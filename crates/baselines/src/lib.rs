@@ -1,0 +1,29 @@
+//! # msaw-baselines
+//!
+//! The interpretable baseline learners the paper weighed gradient
+//! boosting against (§5: "The Gradient Boosting algorithm proved to
+//! offer better predictive performance than other popular intelligible
+//! learning frameworks such as GA2M, suggesting that separating model
+//! performance from model interpretability would better suit our
+//! needs"):
+//!
+//! * [`gam`] — a **generalised additive model** trained by cyclic
+//!   gradient boosting of per-feature piecewise-constant shape
+//!   functions over quantile bins, the construction behind GA²M /
+//!   Explainable Boosting Machines (without pairwise interaction
+//!   terms — the paper's comparison point is the additive family's
+//!   glass-box restriction, which the univariate form already embodies);
+//! * [`linear`] — ridge-regularised linear / logistic regression via
+//!   full-batch gradient descent, the classical clinical-statistics
+//!   baseline.
+//!
+//! Both reuse `msaw-gbdt`'s objectives (squared error and weighted
+//! logistic) and its quantile binning, and both handle missing values
+//! natively — the GAM with a dedicated missing bin per feature, the
+//! linear model by mean-imputation folded into the fitted parameters.
+
+pub mod gam;
+pub mod linear;
+
+pub use gam::{AdditiveModel, GamParams};
+pub use linear::{LinearModel, LinearParams};

@@ -1,0 +1,44 @@
+//! Data-pipeline benches: cohort generation throughput and the QA /
+//! aggregation / sample-construction stages, at the paper's scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msaw_cohort::{generate, CohortConfig};
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, PipelineConfig};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cohort_generate");
+    group.sample_size(10);
+    group.bench_function("paper_261_patients", |b| {
+        b.iter(|| black_box(generate(black_box(&CohortConfig::paper(42)))))
+    });
+    group.bench_function("small_cohort", |b| {
+        b.iter(|| black_box(generate(black_box(&CohortConfig::small(42)))))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = generate(&CohortConfig::paper(42));
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    group.bench_function("feature_panel_261", |b| {
+        b.iter(|| black_box(FeaturePanel::build(black_box(&data), black_box(&cfg))))
+    });
+    let panel = FeaturePanel::build(&data, &cfg);
+    group.bench_function("build_samples_qol", |b| {
+        b.iter(|| {
+            black_box(build_samples(
+                black_box(&data),
+                black_box(&panel),
+                OutcomeKind::Qol,
+                black_box(&cfg),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Training-cost benches: exact vs histogram split finding at the
+//! paper's data scale (≈2.3k rows × 59 features), plus a depth sweep.
+//! These back the DESIGN.md ablation on split-finder choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msaw_gbdt::{Booster, Params, TreeMethod};
+use msaw_tabular::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+/// Synthetic paper-scale matrix: 59 features, 10% missing, noisy linear
+/// + threshold target.
+fn synth(nrows: usize, ncols: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f64; nrows * ncols];
+    let mut y = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let mut target = 0.0;
+        for j in 0..ncols {
+            let v: f64 = if rng.random::<f64>() < 0.1 {
+                f64::NAN
+            } else {
+                rng.random_range(0.0..5.0)
+            };
+            data[i * ncols + j] = v;
+            if !v.is_nan() && j < 8 {
+                target += v * (j + 1) as f64 * 0.1;
+            }
+        }
+        y.push(target + rng.random_range(-0.5..0.5));
+    }
+    (Matrix::from_vec(data, nrows, ncols), y)
+}
+
+fn bench_split_methods(c: &mut Criterion) {
+    let (x, y) = synth(2300, 59, 7);
+    let mut group = c.benchmark_group("train_2300x59_50trees");
+    group.sample_size(10);
+    for (label, method) in [
+        ("exact", TreeMethod::Exact),
+        ("hist_256", TreeMethod::Hist { max_bins: 256 }),
+        ("hist_32", TreeMethod::Hist { max_bins: 32 }),
+    ] {
+        let params = Params {
+            n_estimators: 50,
+            max_depth: 4,
+            tree_method: method,
+            ..Params::regression()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| Booster::train(black_box(&params), black_box(&x), black_box(&y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let (x, y) = synth(1000, 59, 9);
+    let mut group = c.benchmark_group("train_depth_sweep");
+    group.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        let params = Params { n_estimators: 20, max_depth: depth, ..Params::regression() };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &params, |b, p| {
+            b.iter(|| Booster::train(black_box(p), black_box(&x), black_box(&y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = synth(2300, 59, 11);
+    let model = Booster::train(
+        &Params { n_estimators: 250, max_depth: 4, ..Params::regression() },
+        &x,
+        &y,
+    )
+    .unwrap();
+    c.bench_function("predict_2300_rows_250trees", |b| {
+        b.iter(|| black_box(model.predict(black_box(&x))))
+    });
+}
+
+criterion_group!(benches, bench_split_methods, bench_depth, bench_predict);
+criterion_main!(benches);

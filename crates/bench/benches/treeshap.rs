@@ -1,0 +1,79 @@
+//! TreeSHAP cost benches: per-row explanation cost as tree count and
+//! depth grow (TreeSHAP is O(trees · leaves · depth²) per instance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msaw_gbdt::{Booster, Params};
+use msaw_shap::TreeExplainer;
+use msaw_tabular::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn synth(nrows: usize, ncols: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f64; nrows * ncols];
+    let mut y = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        for j in 0..ncols {
+            data[i * ncols + j] = rng.random_range(0.0..5.0);
+        }
+        y.push(data[i * ncols] * 2.0 + data[i * ncols + 1]);
+    }
+    (Matrix::from_vec(data, nrows, ncols), y)
+}
+
+fn bench_by_trees(c: &mut Criterion) {
+    let (x, y) = synth(600, 59, 3);
+    let mut group = c.benchmark_group("treeshap_row_by_trees");
+    for n_trees in [50usize, 150, 250] {
+        let model = Booster::train(
+            &Params { n_estimators: n_trees, max_depth: 4, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &model, |b, m| {
+            let explainer = TreeExplainer::new(m);
+            b.iter(|| black_box(explainer.shap_values_row(black_box(x.row(0)))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_depth(c: &mut Criterion) {
+    let (x, y) = synth(600, 59, 5);
+    let mut group = c.benchmark_group("treeshap_row_by_depth");
+    for depth in [2usize, 4, 6] {
+        let model = Booster::train(
+            &Params { n_estimators: 50, max_depth: depth, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &model, |b, m| {
+            let explainer = TreeExplainer::new(m);
+            b.iter(|| black_box(explainer.shap_values_row(black_box(x.row(0)))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    let (x, y) = synth(600, 59, 7);
+    let model = Booster::train(
+        &Params { n_estimators: 100, max_depth: 4, ..Params::regression() },
+        &x,
+        &y,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("treeshap_matrix");
+    group.sample_size(10);
+    group.bench_function("600rows_100trees", |b| {
+        let explainer = TreeExplainer::new(&model);
+        b.iter(|| black_box(explainer.shap_values(black_box(&x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_trees, bench_by_depth, bench_full_matrix);
+criterion_main!(benches);

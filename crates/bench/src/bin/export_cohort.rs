@@ -1,0 +1,38 @@
+//! Export the synthetic cohort's QA'd sample sets to CSV, one file per
+//! outcome, so the data can be inspected or consumed outside Rust
+//! (the real MySAwH data cannot be shared; this synthetic stand-in can).
+//!
+//! ```sh
+//! cargo run --release -p msaw-bench --bin export_cohort [out_dir]
+//! ```
+
+use msaw_bench::{experiment_config, paper_cohort};
+use msaw_kd::attach_fi;
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
+use msaw_tabular::csv::write_csv;
+use std::fs::File;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out_dir: PathBuf =
+        std::env::args().nth(1).unwrap_or_else(|| "cohort_export".to_string()).into();
+    std::fs::create_dir_all(&out_dir)?;
+
+    let data = paper_cohort();
+    let cfg = experiment_config();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+
+    for outcome in OutcomeKind::ALL {
+        let set = attach_fi(&build_samples(&data, &panel, outcome, &cfg.pipeline), &data);
+        let path = out_dir.join(format!("samples_{}.csv", outcome.name().to_lowercase()));
+        write_csv(&set.to_frame(), File::create(&path)?)?;
+        println!(
+            "wrote {} ({} rows x {} columns)",
+            path.display(),
+            set.len(),
+            set.features.ncols() + 5
+        );
+    }
+    println!("\nColumns: patient, clinic, month, window, 59 features, fi_baseline, label.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # msaw-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (run them with `cargo run --release -p msaw-bench --bin <name>`),
+//! plus Criterion performance benches under `benches/`.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig1_outcome_distributions` | Fig. 1 — QoL / SPPB / Falls distributions |
+//! | `fig4_dd_vs_kd` | Fig. 4 — headline DD vs KD grid |
+//! | `table1_per_clinic` | Table 1 — per-clinic model grids |
+//! | `fig5_mae_by_clinic` | Fig. 5 — per-patient MAE box plots by clinic |
+//! | `fig6_local_explanations` | Fig. 6 — contrasting local SHAP reports |
+//! | `fig7_global_dependence` | Fig. 7 — SHAP dependence + data-driven cutoff |
+//! | `qa_gap_sweep` | §3 QA — max-interpolation-gap sweep |
+
+use msaw_cohort::{generate, CohortConfig, CohortData};
+use msaw_core::ExperimentConfig;
+
+/// The seed every experiment binary uses, so their outputs agree.
+pub const EXPERIMENT_SEED: u64 = 42;
+
+/// Generate the paper-scale cohort all experiment binaries share.
+pub fn paper_cohort() -> CohortData {
+    generate(&CohortConfig::paper(EXPERIMENT_SEED))
+}
+
+/// The shared experiment configuration.
+pub fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig { seed: EXPERIMENT_SEED, ..ExperimentConfig::default() }
+}
+
+/// Render a percentage the way the paper's tables do.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_rounds_like_the_paper() {
+        assert_eq!(pct(0.943), "94%");
+        assert_eq!(pct(0.02), "2%");
+        assert_eq!(pct(1.0), "100%");
+    }
+}

@@ -1,0 +1,194 @@
+//! Daily activity-tracker traces: step count, sleep hours, calories.
+//!
+//! The commercial-grade wearable in MySAwH logged these three channels
+//! daily. We generate them from the latent state: steps are driven by
+//! locomotion and vitality (log-normal-ish daily variation, weekly
+//! rhythm), sleep by the psychological domain, calories by a basal rate
+//! plus activity. Occasional not-worn days become `NaN`.
+
+use crate::config::ClinicConfig;
+use crate::domains::Domain;
+use crate::patient::Patient;
+use crate::rng::{normal, substream, Stream};
+use crate::trajectory::Trajectory;
+use crate::{DAYS_PER_MONTH, STUDY_MONTHS};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Daily traces for one patient; each vector has
+/// `STUDY_MONTHS * DAYS_PER_MONTH` entries, `NaN` = device not worn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    /// Steps per day.
+    pub steps: Vec<f64>,
+    /// Hours slept per night.
+    pub sleep_hours: Vec<f64>,
+    /// Active calories per day.
+    pub calories: Vec<f64>,
+}
+
+/// Probability the device is not worn on a given day.
+const NOT_WORN_PROB: f64 = 0.04;
+
+/// Simulate a patient's daily activity over the study.
+pub fn simulate(
+    patient: &Patient,
+    trajectory: &Trajectory,
+    clinic_cfg: &ClinicConfig,
+    seed: u64,
+) -> ActivityTrace {
+    let n_days = STUDY_MONTHS * DAYS_PER_MONTH;
+    let mut rng = substream(seed, Stream::Activity, patient.id.0 as u64, 0);
+    let mut steps = Vec::with_capacity(n_days);
+    let mut sleep = Vec::with_capacity(n_days);
+    let mut calories = Vec::with_capacity(n_days);
+
+    for day in 0..n_days {
+        // Month index 1..=18; the trajectory month governing this day.
+        let month = (day / DAYS_PER_MONTH) + 1;
+        let cap = &trajectory.capacity[month];
+        if rng.random::<f64>() < NOT_WORN_PROB {
+            steps.push(f64::NAN);
+            sleep.push(f64::NAN);
+            calories.push(f64::NAN);
+            continue;
+        }
+        let loco = cap.get(Domain::Locomotion);
+        let vita = cap.get(Domain::Vitality);
+        let psych = cap.get(Domain::Psychological);
+
+        // Weekly rhythm: weekends a little lower.
+        let weekend = if day % 7 >= 5 { 0.88 } else { 1.0 };
+        let base_steps = 1200.0 + 9500.0 * (0.65 * loco + 0.35 * vita);
+        let noise = (0.35 * clinic_cfg.observation_noise * normal(&mut rng)).exp();
+        let s = (base_steps * weekend * noise + clinic_cfg.activity_shift).max(0.0);
+        steps.push(s);
+
+        let base_sleep = 5.6 + 2.6 * psych;
+        let sl = (base_sleep + 0.7 * clinic_cfg.observation_noise * normal(&mut rng))
+            .clamp(2.0, 12.0);
+        sleep.push(sl);
+
+        let cal = (650.0 + 0.09 * s + 250.0 * vita + 60.0 * normal(&mut rng)).max(200.0);
+        calories.push(cal);
+    }
+    ActivityTrace { steps, sleep_hours: sleep, calories }
+}
+
+impl ActivityTrace {
+    /// Mean of a channel over the days of `month` (1-based), skipping
+    /// not-worn days. `NaN` when the whole month is missing.
+    pub fn monthly_mean(&self, channel: &[f64], month: usize) -> f64 {
+        assert!((1..=STUDY_MONTHS).contains(&month), "month out of range");
+        let start = (month - 1) * DAYS_PER_MONTH;
+        let slice = &channel[start..start + DAYS_PER_MONTH];
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &v in slice {
+            if !v.is_nan() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CohortConfig;
+    use crate::domains::DomainVector;
+    use crate::patient::{Clinic, PatientId};
+    use crate::trajectory;
+
+    fn setup(capacity: f64) -> (Patient, Trajectory, ClinicConfig) {
+        let p = Patient {
+            id: PatientId(1),
+            clinic: Clinic::Modena,
+            age: 60.0,
+            years_with_hiv: 15.0,
+            baseline_capacity: DomainVector::splat(capacity),
+            baseline_frailty: 1.0 - capacity,
+        };
+        let cfg = CohortConfig::paper(1).clinics[0].clone();
+        let t = trajectory::simulate(&p, &cfg, 42);
+        (p, t, cfg)
+    }
+
+    #[test]
+    fn trace_covers_the_whole_study() {
+        let (p, t, cfg) = setup(0.7);
+        let a = simulate(&p, &t, &cfg, 42);
+        assert_eq!(a.steps.len(), STUDY_MONTHS * DAYS_PER_MONTH);
+        assert_eq!(a.sleep_hours.len(), a.steps.len());
+        assert_eq!(a.calories.len(), a.steps.len());
+    }
+
+    #[test]
+    fn values_are_physiologically_plausible() {
+        let (p, t, cfg) = setup(0.7);
+        let a = simulate(&p, &t, &cfg, 42);
+        for i in 0..a.steps.len() {
+            if a.steps[i].is_nan() {
+                assert!(a.sleep_hours[i].is_nan() && a.calories[i].is_nan());
+                continue;
+            }
+            assert!(a.steps[i] >= 0.0 && a.steps[i] < 80_000.0);
+            assert!((2.0..=12.0).contains(&a.sleep_hours[i]));
+            assert!(a.calories[i] >= 200.0 && a.calories[i] < 8000.0);
+        }
+    }
+
+    #[test]
+    fn higher_capacity_patients_walk_more() {
+        let (p1, t1, cfg) = setup(0.9);
+        let (p2, t2, _) = setup(0.3);
+        let a1 = simulate(&p1, &t1, &cfg, 42);
+        let a2 = simulate(&p2, &t2, &cfg, 42);
+        let m1 = a1.monthly_mean(&a1.steps, 1);
+        let m2 = a2.monthly_mean(&a2.steps, 1);
+        assert!(m1 > m2, "{m1} !> {m2}");
+    }
+
+    #[test]
+    fn some_days_are_not_worn() {
+        let (p, t, cfg) = setup(0.7);
+        let a = simulate(&p, &t, &cfg, 42);
+        let missing = a.steps.iter().filter(|v| v.is_nan()).count();
+        let frac = missing as f64 / a.steps.len() as f64;
+        assert!(frac > 0.01 && frac < 0.10, "not-worn fraction {frac}");
+    }
+
+    #[test]
+    fn monthly_mean_skips_missing_days() {
+        let (p, t, cfg) = setup(0.7);
+        let a = simulate(&p, &t, &cfg, 42);
+        for month in 1..=STUDY_MONTHS {
+            let m = a.monthly_mean(&a.steps, month);
+            assert!(!m.is_nan(), "month {month} all missing is implausible here");
+        }
+    }
+
+    /// Bitwise equality that treats NaN == NaN (traces contain not-worn
+    /// days encoded as NaN, which `PartialEq` would reject).
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (p, t, cfg) = setup(0.7);
+        let a = simulate(&p, &t, &cfg, 42);
+        let b = simulate(&p, &t, &cfg, 42);
+        assert!(bits_eq(&a.steps, &b.steps));
+        assert!(bits_eq(&a.sleep_hours, &b.sleep_hours));
+        assert!(bits_eq(&a.calories, &b.calories));
+        let c = simulate(&p, &t, &cfg, 43);
+        assert!(!bits_eq(&a.steps, &c.steps));
+    }
+}

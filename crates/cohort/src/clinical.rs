@@ -1,0 +1,210 @@
+//! Clinical assessments at study visits (months 0, 9, 18).
+//!
+//! The paper computes its Frailty Index from 37 clinical variables — 27
+//! blood-test values, 3 body-composition measures and 7 HIV-related
+//! variables — following the standard deficit-accumulation procedure
+//! (Searle et al. 2008). We simulate each variable as a *deficit score*
+//! in {0, 0.5, 1}: absent, partial, or full deficit, drawn with a
+//! probability that rises with the patient's latent frailty.
+
+use crate::patient::{Patient, PatientId};
+use crate::rng::{substream, Stream};
+use crate::trajectory::Trajectory;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Number of clinical deficit variables (27 blood + 3 body + 7 HIV).
+pub const N_CLINICAL: usize = 37;
+
+/// Category of a clinical variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClinicalCategory {
+    /// Blood-test derived deficit (e.g. anaemia, renal function).
+    Blood,
+    /// Body composition (BMI extremes, muscle mass, waist).
+    Body,
+    /// HIV-specific (CD4 nadir, viral suppression history, ART burden).
+    Hiv,
+}
+
+/// Static description of one clinical deficit variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClinicalVariable {
+    /// Stable name, e.g. `blood_03` or `hiv_cd4_nadir`.
+    pub name: String,
+    /// Variable category.
+    pub category: ClinicalCategory,
+    /// Baseline deficit log-odds at frailty 0.
+    pub intercept: f64,
+    /// Slope of deficit log-odds in latent frailty.
+    pub slope: f64,
+}
+
+/// The 37-variable panel, deterministic and shared.
+pub fn clinical_panel() -> Vec<ClinicalVariable> {
+    let mut panel = Vec::with_capacity(N_CLINICAL);
+    for i in 0..27 {
+        panel.push(ClinicalVariable {
+            name: format!("blood_{i:02}"),
+            category: ClinicalCategory::Blood,
+            intercept: -2.6 + 0.8 * ((i as f64 * 0.83).sin()),
+            slope: 2.8 + 1.2 * ((i as f64 * 1.31).cos()).abs(),
+        });
+    }
+    for (i, label) in ["bmi_extreme", "low_muscle_mass", "waist_circumference"]
+        .iter()
+        .enumerate()
+    {
+        panel.push(ClinicalVariable {
+            name: format!("body_{label}"),
+            category: ClinicalCategory::Body,
+            intercept: -2.2 + 0.3 * i as f64,
+            slope: 3.0,
+        });
+    }
+    for (i, label) in [
+        "cd4_nadir_low",
+        "detectable_viraemia_history",
+        "art_regimen_burden",
+        "years_infected_high",
+        "aids_event_history",
+        "lipodystrophy",
+        "coinfection",
+    ]
+    .iter()
+    .enumerate()
+    {
+        panel.push(ClinicalVariable {
+            name: format!("hiv_{label}"),
+            category: ClinicalCategory::Hiv,
+            intercept: -1.9 + 0.25 * ((i as f64 * 1.7).sin()),
+            slope: 2.4,
+        });
+    }
+    debug_assert_eq!(panel.len(), N_CLINICAL);
+    panel
+}
+
+/// One clinical assessment: the 37 deficit scores at a visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClinicalAssessment {
+    /// Assessed patient.
+    pub patient: PatientId,
+    /// Visit month (0, 9 or 18).
+    pub month: usize,
+    /// Deficit score per variable: 0.0, 0.5 or 1.0.
+    pub deficits: Vec<f64>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Draw one visit's assessment from the latent frailty at that month.
+pub fn assess(
+    patient: &Patient,
+    trajectory: &Trajectory,
+    month: usize,
+    panel: &[ClinicalVariable],
+    seed: u64,
+) -> ClinicalAssessment {
+    let frailty = trajectory.frailty[month];
+    let mut rng: StdRng = substream(seed, Stream::Clinical, patient.id.0 as u64, month as u64);
+    let deficits = panel
+        .iter()
+        .map(|v| {
+            let p = sigmoid(v.intercept + v.slope * frailty);
+            let u: f64 = rng.random();
+            // Graded deficit: full when well past the draw, partial when
+            // near it — mimics Searle's 0/0.5/1 coding of lab cutoffs.
+            if u < p * 0.7 {
+                1.0
+            } else if u < p {
+                0.5
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    ClinicalAssessment { patient: patient.id, month, deficits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CohortConfig;
+    use crate::domains::DomainVector;
+    use crate::patient::Clinic;
+    use crate::trajectory;
+
+    fn patient_with_capacity(id: u32, cap: f64) -> (Patient, Trajectory) {
+        let p = Patient {
+            id: PatientId(id),
+            clinic: Clinic::Modena,
+            age: 65.0,
+            years_with_hiv: 20.0,
+            baseline_capacity: DomainVector::splat(cap),
+            baseline_frailty: 1.0 - cap,
+        };
+        let cfg = CohortConfig::paper(1).clinics[0].clone();
+        let t = trajectory::simulate(&p, &cfg, 11);
+        (p, t)
+    }
+
+    #[test]
+    fn panel_matches_paper_breakdown() {
+        let panel = clinical_panel();
+        assert_eq!(panel.len(), 37);
+        let blood = panel.iter().filter(|v| v.category == ClinicalCategory::Blood).count();
+        let body = panel.iter().filter(|v| v.category == ClinicalCategory::Body).count();
+        let hiv = panel.iter().filter(|v| v.category == ClinicalCategory::Hiv).count();
+        assert_eq!((blood, body, hiv), (27, 3, 7));
+        let names: std::collections::HashSet<_> = panel.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names.len(), 37);
+    }
+
+    #[test]
+    fn deficit_scores_are_graded() {
+        let (p, t) = patient_with_capacity(0, 0.5);
+        let a = assess(&p, &t, 9, &clinical_panel(), 42);
+        assert_eq!(a.deficits.len(), 37);
+        for &d in &a.deficits {
+            assert!(d == 0.0 || d == 0.5 || d == 1.0);
+        }
+    }
+
+    #[test]
+    fn frail_patients_accumulate_more_deficits() {
+        let panel = clinical_panel();
+        let mut frail_total = 0.0;
+        let mut fit_total = 0.0;
+        for id in 0..30 {
+            let (pf, tf) = patient_with_capacity(id, 0.2);
+            let (ph, th) = patient_with_capacity(id + 100, 0.9);
+            frail_total += assess(&pf, &tf, 0, &panel, 42).deficits.iter().sum::<f64>();
+            fit_total += assess(&ph, &th, 0, &panel, 42).deficits.iter().sum::<f64>();
+        }
+        assert!(
+            frail_total > fit_total * 1.5,
+            "frail {frail_total} vs fit {fit_total}"
+        );
+    }
+
+    #[test]
+    fn assessment_is_deterministic() {
+        let (p, t) = patient_with_capacity(5, 0.6);
+        let panel = clinical_panel();
+        assert_eq!(assess(&p, &t, 9, &panel, 42), assess(&p, &t, 9, &panel, 42));
+        assert_ne!(assess(&p, &t, 9, &panel, 42), assess(&p, &t, 9, &panel, 43));
+    }
+
+    #[test]
+    fn different_visits_differ() {
+        let (p, t) = patient_with_capacity(6, 0.6);
+        let panel = clinical_panel();
+        let a0 = assess(&p, &t, 0, &panel, 42);
+        let a18 = assess(&p, &t, 18, &panel, 42);
+        assert_ne!(a0.deficits, a18.deficits);
+    }
+}

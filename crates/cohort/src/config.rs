@@ -1,0 +1,143 @@
+//! Simulation configuration.
+
+use crate::patient::Clinic;
+use serde::{Deserialize, Serialize};
+
+/// Per-clinic generation parameters. The defaults encode the cohort
+/// structure the paper reports and the inter-clinic heterogeneity its
+/// Table 1 / Fig. 5 discussion attributes to data-collection protocols
+/// and stratum size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClinicConfig {
+    /// Which clinic this block describes.
+    pub clinic: Clinic,
+    /// Number of enrolled patients.
+    pub n_patients: usize,
+    /// Spread of baseline latent capacity across patients (smaller =
+    /// more homogeneous cohort; the paper describes Hong Kong's as such).
+    pub baseline_spread: f64,
+    /// Extra observation noise on PRO and activity channels (protocol
+    /// differences between centres).
+    pub observation_noise: f64,
+    /// Additive shift applied to the activity-tracker scale (device /
+    /// protocol calibration differences).
+    pub activity_shift: f64,
+}
+
+/// PRO missingness process parameters, matched to the paper's §3 QA
+/// statistics: gaps of ~5 consecutive missing observations on average
+/// (max 17), ≈108 gaps per patient across all variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissingnessConfig {
+    /// Probability a gap starts at any observed week of a variable series.
+    pub gap_start_prob: f64,
+    /// Mean gap length (geometric distribution).
+    pub mean_gap_len: f64,
+    /// Hard cap on gap length (paper: max 17 consecutive missing).
+    pub max_gap_len: usize,
+}
+
+impl Default for MissingnessConfig {
+    fn default() -> Self {
+        // 56 variables × 72 weeks; gap_start_prob tuned so that the
+        // per-patient gap count averages ≈108 (≈1.9 gaps per series)
+        // once gap occupancy is accounted for.
+        MissingnessConfig { gap_start_prob: 0.031, mean_gap_len: 5.0, max_gap_len: 17 }
+    }
+}
+
+/// Full cohort simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortConfig {
+    /// Per-clinic blocks.
+    pub clinics: Vec<ClinicConfig>,
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// Missingness process for PRO series.
+    pub missingness: MissingnessConfig,
+}
+
+impl CohortConfig {
+    /// The paper's cohort: 261 patients (Modena 128, Sydney 100,
+    /// Hong Kong 33).
+    pub fn paper(seed: u64) -> Self {
+        CohortConfig {
+            clinics: vec![
+                ClinicConfig {
+                    clinic: Clinic::Modena,
+                    n_patients: 128,
+                    baseline_spread: 0.16,
+                    observation_noise: 1.0,
+                    activity_shift: 0.0,
+                },
+                ClinicConfig {
+                    clinic: Clinic::Sydney,
+                    n_patients: 100,
+                    baseline_spread: 0.15,
+                    observation_noise: 1.05,
+                    activity_shift: 300.0,
+                },
+                ClinicConfig {
+                    clinic: Clinic::HongKong,
+                    n_patients: 33,
+                    baseline_spread: 0.09,
+                    observation_noise: 1.35,
+                    activity_shift: -400.0,
+                },
+            ],
+            seed,
+            missingness: MissingnessConfig::default(),
+        }
+    }
+
+    /// A small cohort for fast tests (same three clinics, scaled down).
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self::paper(seed);
+        for c in &mut cfg.clinics {
+            c.n_patients = (c.n_patients / 8).max(4);
+        }
+        cfg
+    }
+
+    /// Total number of patients.
+    pub fn total_patients(&self) -> usize {
+        self.clinics.iter().map(|c| c.n_patients).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cohort_has_261_patients() {
+        let cfg = CohortConfig::paper(1);
+        assert_eq!(cfg.total_patients(), 261);
+        assert_eq!(cfg.clinics.len(), 3);
+        assert_eq!(cfg.clinics[0].n_patients, 128);
+        assert_eq!(cfg.clinics[1].n_patients, 100);
+        assert_eq!(cfg.clinics[2].n_patients, 33);
+    }
+
+    #[test]
+    fn hong_kong_is_most_homogeneous_and_noisiest() {
+        let cfg = CohortConfig::paper(1);
+        let hk = &cfg.clinics[2];
+        assert!(cfg.clinics.iter().all(|c| c.baseline_spread >= hk.baseline_spread));
+        assert!(cfg.clinics.iter().all(|c| c.observation_noise <= hk.observation_noise));
+    }
+
+    #[test]
+    fn small_cohort_scales_down() {
+        let cfg = CohortConfig::small(1);
+        assert!(cfg.total_patients() < 60);
+        assert!(cfg.clinics.iter().all(|c| c.n_patients >= 4));
+    }
+
+    #[test]
+    fn default_missingness_matches_paper_caps() {
+        let m = MissingnessConfig::default();
+        assert_eq!(m.max_gap_len, 17);
+        assert!((m.mean_gap_len - 5.0).abs() < f64::EPSILON);
+    }
+}

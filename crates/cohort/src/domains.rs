@@ -1,0 +1,150 @@
+//! The five Intrinsic Capacity domains (WHO ICOPE) the paper's feature
+//! space and KD index are organised around.
+
+use serde::{Deserialize, Serialize};
+
+/// An Intrinsic Capacity domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Movement ability (drives SPPB and falls risk).
+    Locomotion,
+    /// Memory and executive function.
+    Cognition,
+    /// Mood, stress, social connectedness.
+    Psychological,
+    /// Energy, appetite, physiological reserve.
+    Vitality,
+    /// Vision and hearing.
+    Sensory,
+}
+
+impl Domain {
+    /// All domains, in canonical order.
+    pub const ALL: [Domain; 5] = [
+        Domain::Locomotion,
+        Domain::Cognition,
+        Domain::Psychological,
+        Domain::Vitality,
+        Domain::Sensory,
+    ];
+
+    /// Canonical index (position in [`Domain::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Locomotion => 0,
+            Domain::Cognition => 1,
+            Domain::Psychological => 2,
+            Domain::Vitality => 3,
+            Domain::Sensory => 4,
+        }
+    }
+
+    /// Short lowercase name used in generated variable names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Locomotion => "locomotion",
+            Domain::Cognition => "cognition",
+            Domain::Psychological => "psychological",
+            Domain::Vitality => "vitality",
+            Domain::Sensory => "sensory",
+        }
+    }
+}
+
+/// A value per domain (latent capacities, weights, …), each typically
+/// in `[0, 1]` where 1 = full capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DomainVector {
+    /// `values[d.index()]` is the value for domain `d`.
+    pub values: [f64; 5],
+}
+
+impl DomainVector {
+    /// Uniform vector.
+    pub fn splat(v: f64) -> Self {
+        DomainVector { values: [v; 5] }
+    }
+
+    /// Value for one domain.
+    pub fn get(&self, d: Domain) -> f64 {
+        self.values[d.index()]
+    }
+
+    /// Set one domain's value.
+    pub fn set(&mut self, d: Domain, v: f64) {
+        self.values[d.index()] = v;
+    }
+
+    /// Unweighted mean across domains.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / 5.0
+    }
+
+    /// Weighted mean; weights need not be normalised.
+    pub fn weighted_mean(&self, weights: &DomainVector) -> f64 {
+        let wsum: f64 = weights.values.iter().sum();
+        assert!(wsum > 0.0, "weights must not all be zero");
+        self.values
+            .iter()
+            .zip(&weights.values)
+            .map(|(v, w)| v * w)
+            .sum::<f64>()
+            / wsum
+    }
+
+    /// Clamp every component to `[0, 1]`.
+    pub fn clamped(mut self) -> Self {
+        for v in &mut self.values {
+            *v = v.clamp(0.0, 1.0);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, d) in Domain::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Domain::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = DomainVector::splat(0.5);
+        v.set(Domain::Vitality, 0.9);
+        assert_eq!(v.get(Domain::Vitality), 0.9);
+        assert_eq!(v.get(Domain::Locomotion), 0.5);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let mut v = DomainVector::splat(0.0);
+        v.set(Domain::Locomotion, 1.0);
+        let mut w = DomainVector::splat(0.0);
+        w.set(Domain::Locomotion, 2.0);
+        w.set(Domain::Cognition, 2.0);
+        assert_eq!(v.weighted_mean(&w), 0.5);
+    }
+
+    #[test]
+    fn clamped_bounds_components() {
+        let v = DomainVector { values: [-0.2, 0.5, 1.7, 0.0, 1.0] }.clamped();
+        assert_eq!(v.values, [0.0, 0.5, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        let v = DomainVector { values: [0.0, 0.25, 0.5, 0.75, 1.0] };
+        assert_eq!(v.mean(), 0.5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Patients and clinics.
+
+use crate::domains::DomainVector;
+use serde::{Deserialize, Serialize};
+
+/// Stable patient identifier (index into the cohort's panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatientId(pub u32);
+
+/// The three MySAwH clinical centres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Clinic {
+    /// Modena, Italy — 128 patients in the paper.
+    Modena,
+    /// Sydney, Australia — 100 patients.
+    Sydney,
+    /// Hong Kong, China — 33 patients.
+    HongKong,
+}
+
+impl Clinic {
+    /// All clinics in the paper's order.
+    pub const ALL: [Clinic; 3] = [Clinic::Modena, Clinic::Sydney, Clinic::HongKong];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Clinic::Modena => "Modena",
+            Clinic::Sydney => "Sydney",
+            Clinic::HongKong => "Hong Kong",
+        }
+    }
+}
+
+/// One enrolled patient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Patient {
+    /// Cohort-unique id.
+    pub id: PatientId,
+    /// Enrolling clinic.
+    pub clinic: Clinic,
+    /// Age at enrolment (the cohort is 50+ by design — OPLWH).
+    pub age: f64,
+    /// Years since HIV diagnosis (the paper's proxy for accentuated
+    /// biological ageing).
+    pub years_with_hiv: f64,
+    /// Baseline latent Intrinsic Capacity per domain (hidden from the
+    /// learning pipeline; kept for tests and validation).
+    pub baseline_capacity: DomainVector,
+    /// Baseline latent frailty in `[0,1]` (hidden likewise).
+    pub baseline_frailty: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clinic_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Clinic::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn patient_ids_order() {
+        assert!(PatientId(3) < PatientId(10));
+    }
+}

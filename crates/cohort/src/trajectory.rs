@@ -1,0 +1,182 @@
+//! Latent health trajectories: per-domain Intrinsic Capacity and frailty
+//! evolving month by month.
+
+use crate::config::ClinicConfig;
+use crate::domains::{Domain, DomainVector};
+use crate::patient::Patient;
+use crate::rng::{normal, substream, Stream};
+use crate::STUDY_MONTHS;
+use serde::{Deserialize, Serialize};
+
+/// A patient's hidden state over the study: one entry per month
+/// `0..=STUDY_MONTHS` (19 points — baseline plus 18 months).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Monthly latent capacity per domain, each in `[0,1]`.
+    pub capacity: Vec<DomainVector>,
+    /// Monthly latent frailty in `[0,1]` (1 = most frail).
+    pub frailty: Vec<f64>,
+}
+
+/// Mean monthly drift per domain: slow age-related decline, strongest
+/// in locomotion and vitality (the domains SPPB and Falls react to).
+fn domain_drift(d: Domain) -> f64 {
+    match d {
+        Domain::Locomotion => -0.0035,
+        Domain::Cognition => -0.0015,
+        Domain::Psychological => -0.0010,
+        Domain::Vitality => -0.0030,
+        Domain::Sensory => -0.0020,
+    }
+}
+
+/// Monthly innovation scale per domain.
+fn domain_volatility(d: Domain) -> f64 {
+    match d {
+        Domain::Locomotion => 0.012,
+        Domain::Cognition => 0.008,
+        Domain::Psychological => 0.018,
+        Domain::Vitality => 0.015,
+        Domain::Sensory => 0.006,
+    }
+}
+
+/// Frailty as a deficit-weighted readout of capacity plus an
+/// idiosyncratic component: frail patients are low-capacity patients,
+/// but the mapping is noisy (frailty and IC are related, not opposite —
+/// Belloni & Cesari 2019, as discussed in the paper's background).
+pub fn frailty_from_capacity(capacity: &DomainVector, idiosyncratic: f64) -> f64 {
+    let weights = DomainVector { values: [1.3, 1.0, 0.8, 1.4, 0.7] };
+    let deficit = 1.0 - capacity.weighted_mean(&weights);
+    // A substantial idiosyncratic share: clinical frailty carries
+    // information (comorbidity burden, lab abnormalities) that the
+    // questionnaire-visible capacities only partly proxy. This is what
+    // the baseline FI contributes on top of the PRO/activity features.
+    (0.58 * deficit + 0.42 * idiosyncratic).clamp(0.0, 1.0)
+}
+
+/// A stable per-patient *balance* trait in `[0,1]`: partly explained by
+/// locomotion capacity, partly idiosyncratic (inner-ear function, past
+/// injuries, medication side effects — things a questionnaire only
+/// reaches through specific balance items). It loads on three PRO items
+/// and on fall risk, and is the signal the expert's ICI subset misses.
+pub fn balance_trait(patient: &Patient, seed: u64) -> f64 {
+    let mut rng = substream(seed, Stream::Baseline, patient.id.0 as u64, 2);
+    let idio = (0.5 + 0.28 * normal(&mut rng)).clamp(0.0, 1.0);
+    (0.45 * patient.baseline_capacity.get(Domain::Locomotion) + 0.55 * idio).clamp(0.0, 1.0)
+}
+
+/// Simulate a patient's trajectory.
+pub fn simulate(patient: &Patient, clinic_cfg: &ClinicConfig, seed: u64) -> Trajectory {
+    let mut rng = substream(seed, Stream::Trajectory, patient.id.0 as u64, 0);
+    let mut capacity = Vec::with_capacity(STUDY_MONTHS + 1);
+    let mut frailty = Vec::with_capacity(STUDY_MONTHS + 1);
+
+    // The idiosyncratic frailty component is a stable patient trait.
+    let idiosyncratic = {
+        let mut r = substream(seed, Stream::Baseline, patient.id.0 as u64, 1);
+        (0.5 + 0.25 * normal(&mut r)).clamp(0.0, 1.0)
+    };
+
+    let mut state = patient.baseline_capacity;
+    capacity.push(state);
+    frailty.push(frailty_from_capacity(&state, idiosyncratic));
+    for _month in 1..=STUDY_MONTHS {
+        let mut next = state;
+        for d in Domain::ALL {
+            let drift = domain_drift(d);
+            let vol = domain_volatility(d) * clinic_cfg.observation_noise.sqrt();
+            // AR(1) with mild mean reversion toward the patient baseline:
+            // capacities wander but do not random-walk off to extremes.
+            let anchor = patient.baseline_capacity.get(d);
+            let v = next.get(d);
+            let updated = v + drift + 0.06 * (anchor - v) + vol * normal(&mut rng);
+            next.set(d, updated.clamp(0.0, 1.0));
+        }
+        state = next;
+        capacity.push(state);
+        frailty.push(frailty_from_capacity(&state, idiosyncratic));
+    }
+    Trajectory { capacity, frailty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CohortConfig;
+    use crate::domains::DomainVector;
+    use crate::patient::{Clinic, PatientId};
+
+    fn test_patient(id: u32) -> Patient {
+        Patient {
+            id: PatientId(id),
+            clinic: Clinic::Modena,
+            age: 62.0,
+            years_with_hiv: 18.0,
+            baseline_capacity: DomainVector::splat(0.7),
+            baseline_frailty: 0.3,
+        }
+    }
+
+    fn clinic_cfg() -> ClinicConfig {
+        CohortConfig::paper(1).clinics[0].clone()
+    }
+
+    #[test]
+    fn trajectory_has_a_point_per_month_plus_baseline() {
+        let t = simulate(&test_patient(0), &clinic_cfg(), 42);
+        assert_eq!(t.capacity.len(), STUDY_MONTHS + 1);
+        assert_eq!(t.frailty.len(), STUDY_MONTHS + 1);
+    }
+
+    #[test]
+    fn all_values_stay_in_unit_interval() {
+        for id in 0..20 {
+            let t = simulate(&test_patient(id), &clinic_cfg(), 42);
+            for c in &t.capacity {
+                for v in c.values {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+            for &f in &t.frailty {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_patient() {
+        let a = simulate(&test_patient(3), &clinic_cfg(), 42);
+        let b = simulate(&test_patient(3), &clinic_cfg(), 42);
+        assert_eq!(a, b);
+        let c = simulate(&test_patient(3), &clinic_cfg(), 43);
+        assert_ne!(a, c);
+        let d = simulate(&test_patient(4), &clinic_cfg(), 42);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn frailty_decreases_with_capacity() {
+        let high = frailty_from_capacity(&DomainVector::splat(0.95), 0.5);
+        let low = frailty_from_capacity(&DomainVector::splat(0.25), 0.5);
+        assert!(low > high);
+    }
+
+    #[test]
+    fn population_drifts_downward_on_average() {
+        // Over 18 months the mean capacity should decline slightly
+        // (age-related drift), not explode or climb.
+        let cfg = clinic_cfg();
+        let mut start = 0.0;
+        let mut end = 0.0;
+        let n = 60;
+        for id in 0..n {
+            let t = simulate(&test_patient(id), &cfg, 7);
+            start += t.capacity[0].mean();
+            end += t.capacity[STUDY_MONTHS].mean();
+        }
+        let drift = (end - start) / n as f64;
+        assert!(drift < 0.0, "expected decline, got {drift}");
+        assert!(drift > -0.1, "decline implausibly fast: {drift}");
+    }
+}

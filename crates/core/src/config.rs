@@ -1,0 +1,127 @@
+//! Experiment configuration.
+
+use msaw_gbdt::Params;
+use msaw_preprocess::{OutcomeKind, PipelineConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything a reproduction run needs besides the cohort itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Seed for splits and subsampling (independent of the cohort seed).
+    pub seed: u64,
+    /// Held-out test fraction (paper: 20%).
+    pub test_fraction: f64,
+    /// K for the cross-validation on the training side (paper: "standard
+    /// KFold", we use 5).
+    pub cv_folds: usize,
+    /// Booster parameters for the regression outcomes (QoL, SPPB).
+    pub regression_params: Params,
+    /// Booster parameters for Falls. `scale_pos_weight` is recomputed
+    /// from each training split's class balance, so the value here is a
+    /// placeholder.
+    pub classification_params: Params,
+    /// Data pipeline knobs (interpolation limit, QA budget).
+    pub pipeline: PipelineConfig,
+    /// Classification decision threshold on the predicted probability.
+    pub decision_threshold: f64,
+    /// Reweight Falls classes by `sum(neg)/sum(pos)` per training split.
+    /// Off by default: the paper trained unweighted models (its KD Falls
+    /// model without FI collapses to the majority class as a result).
+    pub auto_balance_falls: bool,
+}
+
+impl ExperimentConfig {
+    /// Booster parameters for one outcome.
+    pub fn params_for(&self, outcome: OutcomeKind) -> &Params {
+        if outcome.is_classification() {
+            &self.classification_params
+        } else {
+            &self.regression_params
+        }
+    }
+
+    /// A lighter configuration for tests: fewer, shallower trees.
+    pub fn fast() -> Self {
+        let mut cfg = Self::default();
+        cfg.regression_params.n_estimators = 60;
+        cfg.regression_params.max_depth = 3;
+        cfg.classification_params.n_estimators = 60;
+        cfg.classification_params.max_depth = 3;
+        cfg
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        let regression_params = Params {
+            n_estimators: 250,
+            learning_rate: 0.08,
+            max_depth: 4,
+            min_child_weight: 2.0,
+            subsample: 0.9,
+            colsample_bytree: 0.8,
+            ..Params::regression()
+        };
+        let classification_params = Params {
+            n_estimators: 250,
+            learning_rate: 0.08,
+            max_depth: 4,
+            min_child_weight: 2.0,
+            subsample: 0.9,
+            colsample_bytree: 0.8,
+            ..Params::binary(1.0)
+        };
+        ExperimentConfig {
+            seed: 42,
+            test_fraction: 0.2,
+            cv_folds: 5,
+            regression_params,
+            classification_params,
+            pipeline: PipelineConfig::default(),
+            decision_threshold: 0.5,
+            auto_balance_falls: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_gbdt::Objective;
+
+    #[test]
+    fn default_matches_paper_protocol() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.test_fraction, 0.2);
+        assert!(cfg.cv_folds >= 2);
+        assert!(matches!(cfg.classification_params.objective, Objective::Logistic { .. }));
+        assert!(matches!(cfg.regression_params.objective, Objective::SquaredError));
+    }
+
+    #[test]
+    fn params_for_dispatches_on_outcome() {
+        let cfg = ExperimentConfig::default();
+        assert!(matches!(
+            cfg.params_for(OutcomeKind::Falls).objective,
+            Objective::Logistic { .. }
+        ));
+        assert!(matches!(
+            cfg.params_for(OutcomeKind::Qol).objective,
+            Objective::SquaredError
+        ));
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        let fast = ExperimentConfig::fast();
+        let full = ExperimentConfig::default();
+        assert!(fast.regression_params.n_estimators < full.regression_params.n_estimators);
+    }
+
+    #[test]
+    fn params_validate() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.regression_params.validate().is_ok());
+        assert!(cfg.classification_params.validate().is_ok());
+    }
+}

@@ -1,0 +1,315 @@
+//! One variant = one trained and evaluated model: an outcome, an
+//! approach (DD or KD), and whether the baseline FI is included.
+
+use crate::config::ExperimentConfig;
+use msaw_gbdt::{Booster, Objective, Params};
+use msaw_metrics::{kfold, train_test_split, ConfusionMatrix};
+use msaw_metrics::{mae, one_minus_mape};
+use msaw_preprocess::{OutcomeKind, SampleSet};
+use serde::{Deserialize, Serialize};
+
+/// DD vs KD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Approach {
+    /// Data-driven: the full 59-feature (60 with FI) representation.
+    DataDriven,
+    /// Knowledge-driven: the expert's ICI scalar (plus FI when enabled).
+    KnowledgeDriven,
+}
+
+impl Approach {
+    /// Short label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::DataDriven => "DD",
+            Approach::KnowledgeDriven => "KD",
+        }
+    }
+}
+
+/// Regression metrics on the held-out test set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegressionScores {
+    /// The paper's headline score, `1 - MAPE`.
+    pub one_minus_mape: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+}
+
+/// The evaluated result of one variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantResult {
+    /// Which outcome was predicted.
+    pub outcome: OutcomeKind,
+    /// DD or KD.
+    pub approach: Approach,
+    /// Whether the window-baseline FI was a feature.
+    pub with_fi: bool,
+    /// Test-set regression scores (QoL, SPPB).
+    pub regression: Option<RegressionScores>,
+    /// Test-set classification report (Falls).
+    pub classification: Option<msaw_metrics::BinaryReport>,
+    /// Primary metric per CV fold on the training side (1-MAPE or
+    /// accuracy), in fold order.
+    pub cv_scores: Vec<f64>,
+    /// Training rows.
+    pub n_train: usize,
+    /// Test rows.
+    pub n_test: usize,
+}
+
+impl VariantResult {
+    /// The primary test metric: 1-MAPE for regression, accuracy for
+    /// classification.
+    pub fn primary_metric(&self) -> f64 {
+        if let Some(r) = &self.regression {
+            r.one_minus_mape
+        } else if let Some(c) = &self.classification {
+            c.accuracy
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Mean of the CV fold scores.
+    pub fn cv_mean(&self) -> f64 {
+        if self.cv_scores.is_empty() {
+            return f64::NAN;
+        }
+        self.cv_scores.iter().sum::<f64>() / self.cv_scores.len() as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        let fi = if self.with_fi { "w/ FI " } else { "w/o FI" };
+        match (&self.regression, &self.classification) {
+            (Some(r), _) => format!(
+                "{:<5} {} {}  1-MAPE {:5.1}%  MAE {:.4}  (cv {:5.1}%, {} train / {} test)",
+                self.outcome.name(),
+                self.approach.label(),
+                fi,
+                100.0 * r.one_minus_mape,
+                r.mae,
+                100.0 * self.cv_mean(),
+                self.n_train,
+                self.n_test
+            ),
+            (_, Some(c)) => format!(
+                "{:<5} {} {}  Acc {:5.1}%  P(T) {:5.1}%  P(F) {:5.1}%  R(T) {:5.1}%  R(F) {:5.1}%  F1(T) {:5.1}%  F1(F) {:5.1}%",
+                self.outcome.name(),
+                self.approach.label(),
+                fi,
+                100.0 * c.accuracy,
+                100.0 * c.precision_true,
+                100.0 * c.precision_false,
+                100.0 * c.recall_true,
+                100.0 * c.recall_false,
+                100.0 * c.f1_true,
+                100.0 * c.f1_false
+            ),
+            _ => format!("{} {} {fi}: no scores", self.outcome.name(), self.approach.label()),
+        }
+    }
+}
+
+/// Tune `scale_pos_weight` to the training split's class imbalance,
+/// XGBoost's standard `sum(neg)/sum(pos)` recipe.
+fn balanced_params(base: &Params, labels: &[f64]) -> Params {
+    let pos = labels.iter().filter(|&&l| l == 1.0).count().max(1);
+    let neg = labels.len() - labels.iter().filter(|&&l| l == 1.0).count();
+    Params {
+        objective: Objective::Logistic { scale_pos_weight: neg.max(1) as f64 / pos as f64 },
+        ..base.clone()
+    }
+}
+
+/// Train on the given rows of `set` and return the fitted model.
+/// `auto_balance` switches on the class-weight recipe; the paper's
+/// models did not reweight (which is exactly why its KD Falls model
+/// without FI collapses to the majority class).
+fn fit(set: &SampleSet, rows: &[usize], params: &Params, auto_balance: bool) -> Booster {
+    let x = set.features.take_rows(rows);
+    let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
+    let params = if set.outcome.is_classification() && auto_balance {
+        balanced_params(params, &y)
+    } else {
+        params.clone()
+    };
+    Booster::train(&params, &x, &y).expect("training failed on valid inputs")
+}
+
+/// Score a fitted model on the given rows: the primary metric.
+fn score(model: &Booster, set: &SampleSet, rows: &[usize], threshold: f64) -> f64 {
+    let x = set.features.take_rows(rows);
+    let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
+    let preds = model.predict(&x);
+    if set.outcome.is_classification() {
+        let labels: Vec<bool> = y.iter().map(|&l| l == 1.0).collect();
+        ConfusionMatrix::from_probabilities(&labels, &preds, threshold).accuracy()
+    } else {
+        one_minus_mape(&y, &preds)
+    }
+}
+
+/// Run the paper's protocol on one prepared sample set: shuffle-split
+/// 80/20, K-fold CV on the training side, final fit on all training
+/// rows, report on the held-out 20%.
+pub fn run_variant(
+    set: &SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+) -> VariantResult {
+    assert!(!set.is_empty(), "cannot evaluate an empty sample set");
+    let params = cfg.params_for(set.outcome);
+    let (train_rows, test_rows) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+
+    // Cross-validation within the training split.
+    let mut cv_scores = Vec::with_capacity(cfg.cv_folds);
+    if train_rows.len() >= cfg.cv_folds * 2 {
+        for fold in kfold(train_rows.len(), cfg.cv_folds, cfg.seed ^ 0x5eed) {
+            let fold_train: Vec<usize> = fold.train.iter().map(|&i| train_rows[i]).collect();
+            let fold_val: Vec<usize> = fold.validation.iter().map(|&i| train_rows[i]).collect();
+            let model = fit(set, &fold_train, params, cfg.auto_balance_falls);
+            cv_scores.push(score(&model, set, &fold_val, cfg.decision_threshold));
+        }
+    }
+
+    // Final model on the full training split, evaluated on the test split.
+    let model = fit(set, &train_rows, params, cfg.auto_balance_falls);
+    let x_test = set.features.take_rows(&test_rows);
+    let y_test: Vec<f64> = test_rows.iter().map(|&i| set.labels[i]).collect();
+    let preds = model.predict(&x_test);
+
+    let (regression, classification) = if set.outcome.is_classification() {
+        let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
+        let cm = ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold);
+        (None, Some(cm.report()))
+    } else {
+        (
+            Some(RegressionScores {
+                one_minus_mape: one_minus_mape(&y_test, &preds),
+                mae: mae(&y_test, &preds),
+            }),
+            None,
+        )
+    };
+
+    VariantResult {
+        outcome: set.outcome,
+        approach,
+        with_fi,
+        regression,
+        classification,
+        cv_scores,
+        n_train: train_rows.len(),
+        n_test: test_rows.len(),
+    }
+}
+
+/// Train a final model on the full 80% training split of a sample set
+/// (the model the interpretation experiments explain).
+pub fn fit_final_model(set: &SampleSet, cfg: &ExperimentConfig) -> Booster {
+    let (train_rows, _) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+    fit(set, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_cohort::{generate, CohortConfig};
+    use msaw_preprocess::{build_samples, FeaturePanel, PipelineConfig};
+
+    fn qol_set() -> SampleSet {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = PipelineConfig::default();
+        let panel = FeaturePanel::build(&data, &cfg);
+        build_samples(&data, &panel, OutcomeKind::Qol, &cfg)
+    }
+
+    fn falls_set() -> SampleSet {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = PipelineConfig::default();
+        let panel = FeaturePanel::build(&data, &cfg);
+        build_samples(&data, &panel, OutcomeKind::Falls, &cfg)
+    }
+
+    #[test]
+    fn regression_variant_produces_regression_scores() {
+        let set = qol_set();
+        let r = run_variant(&set, Approach::DataDriven, false, &ExperimentConfig::fast());
+        assert!(r.regression.is_some());
+        assert!(r.classification.is_none());
+        let scores = r.regression.unwrap();
+        assert!((0.0..=1.0).contains(&scores.one_minus_mape));
+        assert!(scores.mae >= 0.0);
+        assert_eq!(r.n_train + r.n_test, set.len());
+        assert_eq!(r.cv_scores.len(), 5);
+    }
+
+    #[test]
+    fn classification_variant_produces_report() {
+        let set = falls_set();
+        let r = run_variant(&set, Approach::DataDriven, false, &ExperimentConfig::fast());
+        assert!(r.classification.is_some());
+        assert!(r.regression.is_none());
+        let c = r.classification.unwrap();
+        assert!((0.0..=1.0).contains(&c.accuracy));
+    }
+
+    #[test]
+    fn model_beats_predicting_the_mean() {
+        let set = qol_set();
+        let cfg = ExperimentConfig::fast();
+        let r = run_variant(&set, Approach::DataDriven, false, &cfg);
+        // Baseline: predict the train mean everywhere.
+        let (train_rows, test_rows) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+        let mean: f64 = train_rows.iter().map(|&i| set.labels[i]).sum::<f64>()
+            / train_rows.len() as f64;
+        let y: Vec<f64> = test_rows.iter().map(|&i| set.labels[i]).collect();
+        let baseline = one_minus_mape(&y, &vec![mean; y.len()]);
+        assert!(
+            r.regression.unwrap().one_minus_mape > baseline,
+            "model {:.3} should beat mean baseline {:.3}",
+            r.regression.unwrap().one_minus_mape,
+            baseline
+        );
+    }
+
+    #[test]
+    fn results_are_seed_deterministic() {
+        let set = qol_set();
+        let cfg = ExperimentConfig::fast();
+        let a = run_variant(&set, Approach::DataDriven, false, &cfg);
+        let b = run_variant(&set, Approach::DataDriven, false, &cfg);
+        assert_eq!(a.primary_metric(), b.primary_metric());
+        assert_eq!(a.cv_scores, b.cv_scores);
+    }
+
+    #[test]
+    fn summary_lines_mention_the_variant() {
+        let set = qol_set();
+        let r = run_variant(&set, Approach::KnowledgeDriven, true, &ExperimentConfig::fast());
+        let line = r.summary_line();
+        assert!(line.contains("QoL") && line.contains("KD") && line.contains("w/ FI"));
+    }
+
+    #[test]
+    fn balanced_params_matches_imbalance() {
+        let base = ExperimentConfig::default().classification_params;
+        let labels = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let p = balanced_params(&base, &labels);
+        match p.objective {
+            Objective::Logistic { scale_pos_weight } => assert_eq!(scale_pos_weight, 4.0),
+            _ => panic!("wrong objective"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_set_is_rejected() {
+        let set = qol_set();
+        let empty = set.take(&[]);
+        run_variant(&empty, Approach::DataDriven, false, &ExperimentConfig::fast());
+    }
+}

@@ -1,0 +1,168 @@
+//! The full 12-model grid of the paper's Fig. 4 (and, stratified per
+//! clinic, its Table 1): 3 outcomes × {DD, KD} × {w/o FI, w/ FI}.
+
+use crate::config::ExperimentConfig;
+use crate::experiment::{run_variant, Approach, VariantResult};
+use msaw_cohort::{Clinic, CohortData};
+use msaw_kd::{attach_fi, default_ici_spec, ici_sample_set};
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
+
+/// The four sample-set variants for one outcome, ready to train on.
+pub struct VariantSets {
+    /// DD without FI (59 features).
+    pub dd: SampleSet,
+    /// DD with FI (60 features).
+    pub dd_fi: SampleSet,
+    /// KD without FI (the ICI scalar).
+    pub kd: SampleSet,
+    /// KD with FI (ICI + FI).
+    pub kd_fi: SampleSet,
+}
+
+/// Build all four variants for one outcome.
+pub fn build_variant_sets(
+    data: &CohortData,
+    panel: &FeaturePanel,
+    outcome: OutcomeKind,
+    cfg: &ExperimentConfig,
+) -> VariantSets {
+    let dd = build_samples(data, panel, outcome, &cfg.pipeline);
+    let dd_fi = attach_fi(&dd, data);
+    let spec = default_ici_spec();
+    let kd = ici_sample_set(&dd, &spec);
+    let kd_fi = attach_fi(&kd, data);
+    VariantSets { dd, dd_fi, kd, kd_fi }
+}
+
+/// Run the four variants of one outcome.
+pub fn run_grid_for_samples(sets: &VariantSets, cfg: &ExperimentConfig) -> Vec<VariantResult> {
+    vec![
+        run_variant(&sets.kd, Approach::KnowledgeDriven, false, cfg),
+        run_variant(&sets.kd_fi, Approach::KnowledgeDriven, true, cfg),
+        run_variant(&sets.dd, Approach::DataDriven, false, cfg),
+        run_variant(&sets.dd_fi, Approach::DataDriven, true, cfg),
+    ]
+}
+
+/// Run the full 12-model grid over a cohort (Fig. 4). Outcomes run in
+/// parallel — they share nothing but the immutable panel.
+pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantResult> {
+    let panel = FeaturePanel::build(data, &cfg.pipeline);
+    let results: Vec<Vec<VariantResult>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = OutcomeKind::ALL
+            .iter()
+            .map(|&outcome| {
+                let panel = &panel;
+                s.spawn(move |_| {
+                    let sets = build_variant_sets(data, panel, outcome, cfg);
+                    run_grid_for_samples(&sets, cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+/// Run the grid restricted to one clinic's patients (Table 1 rows).
+pub fn run_clinic_grid(
+    data: &CohortData,
+    clinic: Clinic,
+    cfg: &ExperimentConfig,
+) -> Vec<VariantResult> {
+    let panel = FeaturePanel::build(data, &cfg.pipeline);
+    let mut out = Vec::new();
+    for outcome in OutcomeKind::ALL {
+        let sets = build_variant_sets(data, &panel, outcome, cfg);
+        let restricted = VariantSets {
+            dd: sets.dd.filter_clinic(clinic),
+            dd_fi: sets.dd_fi.filter_clinic(clinic),
+            kd: sets.kd.filter_clinic(clinic),
+            kd_fi: sets.kd_fi.filter_clinic(clinic),
+        };
+        out.extend(run_grid_for_samples(&restricted, cfg));
+    }
+    out
+}
+
+/// Look up one variant in a result list.
+pub fn find(
+    results: &[VariantResult],
+    outcome: OutcomeKind,
+    approach: Approach,
+    with_fi: bool,
+) -> &VariantResult {
+    results
+        .iter()
+        .find(|r| r.outcome == outcome && r.approach == approach && r.with_fi == with_fi)
+        .expect("variant present in grid results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_cohort::{generate, CohortConfig};
+
+    fn small_grid() -> Vec<VariantResult> {
+        let data = generate(&CohortConfig::small(42));
+        run_full_grid(&data, &ExperimentConfig::fast())
+    }
+
+    #[test]
+    fn grid_has_all_twelve_variants() {
+        let results = small_grid();
+        assert_eq!(results.len(), 12);
+        for outcome in OutcomeKind::ALL {
+            for approach in [Approach::DataDriven, Approach::KnowledgeDriven] {
+                for with_fi in [false, true] {
+                    let r = find(&results, outcome, approach, with_fi);
+                    assert!(r.primary_metric().is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_sets_have_expected_widths() {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = ExperimentConfig::fast();
+        let panel = FeaturePanel::build(&data, &cfg.pipeline);
+        let sets = build_variant_sets(&data, &panel, OutcomeKind::Sppb, &cfg);
+        assert_eq!(sets.dd.features.ncols(), 59);
+        assert_eq!(sets.dd_fi.features.ncols(), 60);
+        assert_eq!(sets.kd.features.ncols(), 1);
+        assert_eq!(sets.kd_fi.features.ncols(), 2);
+        // All four share rows and labels.
+        assert_eq!(sets.dd.len(), sets.kd.len());
+        assert_eq!(sets.dd.labels, sets.kd_fi.labels);
+    }
+
+    #[test]
+    fn dd_outperforms_kd_on_regression() {
+        // The paper's headline: the data-driven approach performs
+        // generally better than the knowledge-driven one.
+        let results = small_grid();
+        for outcome in [OutcomeKind::Qol, OutcomeKind::Sppb] {
+            let dd = find(&results, outcome, Approach::DataDriven, true).primary_metric();
+            let kd = find(&results, outcome, Approach::KnowledgeDriven, true).primary_metric();
+            assert!(
+                dd + 1e-9 >= kd,
+                "{}: DD {dd:.3} should not lose to KD {kd:.3}",
+                outcome.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clinic_grid_uses_fewer_samples() {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = ExperimentConfig::fast();
+        let full = run_full_grid(&data, &cfg);
+        let hk = run_clinic_grid(&data, Clinic::HongKong, &cfg);
+        assert_eq!(hk.len(), 12);
+        let full_n = find(&full, OutcomeKind::Qol, Approach::DataDriven, false).n_train;
+        let hk_n = find(&hk, OutcomeKind::Qol, Approach::DataDriven, false).n_train;
+        assert!(hk_n < full_n);
+    }
+}

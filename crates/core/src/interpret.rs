@@ -1,0 +1,247 @@
+//! Model interpretation reports — the paper's §5.2.
+//!
+//! Local: per-patient top-k SHAP attributions, and "contrast pairs" —
+//! two patients with (nearly) the same prediction but different
+//! explanations, the paper's Fig. 6 argument for personalised medicine.
+//! Global: dependence curves with data-driven thresholds (Fig. 7).
+
+use msaw_gbdt::Booster;
+use msaw_preprocess::SampleSet;
+use msaw_shap::{dependence_curve, sign_change_threshold, GlobalSummary, TreeExplainer};
+use serde::{Deserialize, Serialize};
+
+/// A named SHAP attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Feature name.
+    pub feature: String,
+    /// The feature's value in the explained sample (`NaN` = missing).
+    pub value: f64,
+    /// Its SHAP value (raw-score space).
+    pub shap: f64,
+}
+
+/// A local explanation report for one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalReport {
+    /// Row index within the sample set.
+    pub row: usize,
+    /// Patient the row belongs to.
+    pub patient: u32,
+    /// The model's (transformed) prediction.
+    pub prediction: f64,
+    /// The top-k attributions by |SHAP|, descending.
+    pub top: Vec<Attribution>,
+}
+
+/// Explain one row of a sample set.
+pub fn explain_row(
+    model: &Booster,
+    set: &SampleSet,
+    row: usize,
+    top_k: usize,
+) -> LocalReport {
+    let explainer = TreeExplainer::new(model);
+    let features = set.features.row(row);
+    let exp = explainer.shap_values_row(features);
+    let top = exp
+        .top_k(top_k)
+        .into_iter()
+        .map(|(f, shap)| Attribution {
+            feature: set.feature_names[f].clone(),
+            value: features[f],
+            shap,
+        })
+        .collect();
+    LocalReport {
+        row,
+        patient: set.meta[row].patient.0,
+        prediction: model.predict_row(features),
+        top,
+    }
+}
+
+/// Find two samples from *different patients* whose predictions agree
+/// within `tolerance` but whose top-1 explanation differs — the paper's
+/// Fig. 6 scenario ("same SPPB, different drivers → different
+/// interventions"). Returns `None` when no such pair exists.
+pub fn find_contrast_pair(
+    model: &Booster,
+    set: &SampleSet,
+    tolerance: f64,
+    top_k: usize,
+) -> Option<(LocalReport, LocalReport)> {
+    let explainer = TreeExplainer::new(model);
+    // Precompute predictions and top features for every row.
+    let rows: Vec<(usize, f64, usize)> = (0..set.len())
+        .map(|i| {
+            let features = set.features.row(i);
+            let exp = explainer.shap_values_row(features);
+            (i, model.predict_row(features), exp.ranking()[0])
+        })
+        .collect();
+    for (a_pos, &(a, pred_a, top_a)) in rows.iter().enumerate() {
+        for &(b, pred_b, top_b) in &rows[a_pos + 1..] {
+            if set.meta[a].patient == set.meta[b].patient {
+                continue;
+            }
+            if (pred_a - pred_b).abs() <= tolerance && top_a != top_b {
+                return Some((
+                    explain_row(model, set, a, top_k),
+                    explain_row(model, set, b, top_k),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Global dependence report for one feature (Fig. 7): the SHAP-vs-value
+/// curve and the data-driven threshold where its influence flips sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependenceReport {
+    /// The analysed feature.
+    pub feature: String,
+    /// `(feature value, SHAP value)` points, sorted by value.
+    pub points: Vec<(f64, f64)>,
+    /// Value at which the mean SHAP flips sign, when it does.
+    pub threshold: Option<f64>,
+}
+
+/// Build the dependence report for `feature_name` over a sample set.
+pub fn dependence_report(
+    model: &Booster,
+    set: &SampleSet,
+    feature_name: &str,
+) -> DependenceReport {
+    let feature = set
+        .feature_names
+        .iter()
+        .position(|n| n == feature_name)
+        .unwrap_or_else(|| panic!("unknown feature `{feature_name}`"));
+    let explainer = TreeExplainer::new(model);
+    let shap = explainer.shap_values(&set.features);
+    let curve = dependence_curve(&set.features, &shap, feature);
+    let threshold = sign_change_threshold(&curve);
+    DependenceReport {
+        feature: feature_name.to_string(),
+        points: curve.iter().map(|p| (p.feature_value, p.shap_value)).collect(),
+        threshold,
+    }
+}
+
+/// Extract data-driven thresholds for *every* PRO feature of a model —
+/// the paper's closing suggestion that "this explanation capability may
+/// underpin epidemiological studies": a population-level catalogue of
+/// where each questionnaire item's influence flips sign, the DD
+/// counterpart of the KD cutoff table. Features without a sign change
+/// (monotone or inert) are omitted.
+pub fn population_thresholds(model: &Booster, set: &SampleSet) -> Vec<(String, f64)> {
+    let explainer = TreeExplainer::new(model);
+    let shap = explainer.shap_values(&set.features);
+    let mut out = Vec::new();
+    for (f, name) in set.feature_names.iter().enumerate() {
+        if !name.starts_with("pro_") {
+            continue;
+        }
+        let curve = dependence_curve(&set.features, &shap, f);
+        if let Some(t) = sign_change_threshold(&curve) {
+            out.push((name.clone(), t));
+        }
+    }
+    out
+}
+
+/// Global importance ranking (mean |SHAP|) with feature names attached.
+pub fn global_ranking(model: &Booster, set: &SampleSet, top_k: usize) -> Vec<(String, f64)> {
+    let explainer = TreeExplainer::new(model);
+    let summary = GlobalSummary::compute(&explainer, &set.features);
+    summary
+        .top_k(top_k)
+        .into_iter()
+        .map(|(f, v)| (set.feature_names[f].clone(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::experiment::fit_final_model;
+    use msaw_cohort::{generate, CohortConfig};
+    use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
+
+    fn setup() -> (SampleSet, Booster) {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = ExperimentConfig::fast();
+        let panel = FeaturePanel::build(&data, &cfg.pipeline);
+        let set = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline);
+        let model = fit_final_model(&set, &cfg);
+        (set, model)
+    }
+
+    #[test]
+    fn local_report_has_k_named_attributions() {
+        let (set, model) = setup();
+        let report = explain_row(&model, &set, 0, 5);
+        assert_eq!(report.top.len(), 5);
+        assert_eq!(report.patient, set.meta[0].patient.0);
+        // Sorted by |SHAP| descending.
+        for w in report.top.windows(2) {
+            assert!(w[0].shap.abs() >= w[1].shap.abs());
+        }
+        // Names resolve to real features.
+        for a in &report.top {
+            assert!(set.feature_names.contains(&a.feature));
+        }
+    }
+
+    #[test]
+    fn contrast_pair_has_same_prediction_different_driver() {
+        let (set, model) = setup();
+        let pair = find_contrast_pair(&model, &set, 0.5, 5);
+        let (a, b) = pair.expect("a contrast pair should exist in a real cohort");
+        assert_ne!(a.patient, b.patient);
+        assert!((a.prediction - b.prediction).abs() <= 0.5);
+        assert_ne!(a.top[0].feature, b.top[0].feature);
+    }
+
+    #[test]
+    fn dependence_report_produces_points() {
+        let (set, model) = setup();
+        let report = dependence_report(&model, &set, "pro_locomotion_walk_distance");
+        assert!(!report.points.is_empty());
+        // Points sorted by feature value.
+        for w in report.points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn global_ranking_names_features() {
+        let (set, model) = setup();
+        let ranking = global_ranking(&model, &set, 10);
+        assert_eq!(ranking.len(), 10);
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn population_thresholds_are_within_likert_range() {
+        let (set, model) = setup();
+        let thresholds = population_thresholds(&model, &set);
+        assert!(!thresholds.is_empty(), "some PRO item should show a threshold");
+        for (name, t) in &thresholds {
+            assert!(name.starts_with("pro_"));
+            assert!((1.0..=5.0).contains(t), "{name}: threshold {t} outside Likert range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn unknown_feature_panics() {
+        let (set, model) = setup();
+        dependence_report(&model, &set, "not_a_feature");
+    }
+}

@@ -1,0 +1,39 @@
+//! # msaw-core
+//!
+//! The paper's learning framework (its Fig. 3), assembled from the
+//! substrate crates:
+//!
+//! * [`config`] — experiment configuration: the gradient-boosting
+//!   hyper-parameters per outcome, split sizes, CV folds, seeds;
+//! * [`experiment`] — train-and-evaluate for a single `(outcome,
+//!   approach, ±FI)` variant: 80/20 split, K-fold CV on the training
+//!   side, held-out test metrics (1-MAPE for QoL/SPPB, the full
+//!   per-class classification report for Falls);
+//! * [`grid`] — the full 12-model grid (3 outcomes × DD/KD × ±FI) that
+//!   regenerates Fig. 4, with per-clinic stratification for Table 1;
+//! * [`oof`] — out-of-fold predictions over an entire sample set, used
+//!   for the per-patient MAE distributions of Fig. 5;
+//! * [`interpret`] — SHAP-based reports: per-patient top-k local
+//!   explanations and contrast pairs (Fig. 6), global dependence curves
+//!   with data-driven thresholds (Fig. 7).
+//!
+//! ```no_run
+//! use msaw_cohort::{generate, CohortConfig};
+//! use msaw_core::{config::ExperimentConfig, grid};
+//!
+//! let data = generate(&CohortConfig::paper(42));
+//! let results = grid::run_full_grid(&data, &ExperimentConfig::default());
+//! for r in &results {
+//!     println!("{}", r.summary_line());
+//! }
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod grid;
+pub mod interpret;
+pub mod oof;
+
+pub use config::ExperimentConfig;
+pub use experiment::{run_variant, Approach, RegressionScores, VariantResult};
+pub use grid::{run_full_grid, run_grid_for_samples};

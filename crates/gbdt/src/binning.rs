@@ -1,0 +1,187 @@
+//! Quantile binning for the histogram split finder (XGBoost's
+//! approximate/hist method).
+//!
+//! `BinnedMatrix::fit` builds, per feature, a set of *cut points* —
+//! midpoints between adjacent distinct values at (approximately) equal
+//! quantile ranks — and pre-computes each row's bin index once. Node
+//! histogram accumulation then touches each row exactly once per feature
+//! regardless of how many distinct values exist.
+
+use msaw_tabular::Matrix;
+
+/// Sentinel bin code for missing values.
+const MISSING: u16 = u16::MAX;
+
+/// A matrix pre-quantised into per-feature quantile bins.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// Row-major bin codes; `MISSING` encodes `NaN`.
+    codes: Vec<u16>,
+    nrows: usize,
+    ncols: usize,
+    /// Per-feature ascending cut points; bin `i` is
+    /// `[cuts[i-1], cuts[i])`, matching the tree's `v < threshold` rule.
+    cuts: Vec<Vec<f64>>,
+}
+
+impl BinnedMatrix {
+    /// Quantise `data` into at most `max_bins` bins per feature.
+    pub fn fit(data: &Matrix, max_bins: u16) -> BinnedMatrix {
+        assert!(max_bins >= 2, "need at least 2 bins");
+        let nrows = data.nrows();
+        let ncols = data.ncols();
+        let mut cuts = Vec::with_capacity(ncols);
+        for j in 0..ncols {
+            cuts.push(feature_cuts(&data.column(j), max_bins));
+        }
+        let mut codes = vec![0u16; nrows * ncols];
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let v = data.get(i, j);
+                codes[i * ncols + j] = if v.is_nan() {
+                    MISSING
+                } else {
+                    // Count of cuts <= v = index of the bin containing v.
+                    cuts[j].partition_point(|&c| c <= v) as u16
+                };
+            }
+        }
+        BinnedMatrix { codes, nrows, ncols, cuts }
+    }
+
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Feature count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Cut points (split thresholds) for a feature.
+    pub fn cuts(&self, feature: usize) -> &[f64] {
+        &self.cuts[feature]
+    }
+
+    /// Bin code of `(row, feature)`; `None` = missing.
+    #[inline]
+    pub fn bin(&self, row: usize, feature: usize) -> Option<u16> {
+        let code = self.codes[row * self.ncols + feature];
+        if code == MISSING {
+            None
+        } else {
+            Some(code)
+        }
+    }
+}
+
+/// Compute cut points for one feature from its present values.
+fn feature_cuts(values: &[f64], max_bins: u16) -> Vec<f64> {
+    let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if present.len() < 2 {
+        return Vec::new();
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    present.dedup();
+    if present.len() < 2 {
+        return Vec::new();
+    }
+    let max_cuts = (max_bins - 1) as usize;
+    if present.len() - 1 <= max_cuts {
+        // Few distinct values: exact midpoints, identical to the exact finder.
+        return present.windows(2).map(|w| w[0] + (w[1] - w[0]) * 0.5).collect();
+    }
+    // Evenly spaced ranks over the distinct values.
+    let mut cuts = Vec::with_capacity(max_cuts);
+    for k in 1..=max_cuts {
+        let idx = k * (present.len() - 1) / (max_cuts + 1);
+        let idx = idx.min(present.len() - 2);
+        let cut = present[idx] + (present[idx + 1] - present[idx]) * 0.5;
+        if cuts.last().is_none_or(|&last| cut > last) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_distinct_values_get_exact_cuts() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![4.0], vec![2.0]]);
+        let b = BinnedMatrix::fit(&x, 256);
+        assert_eq!(b.cuts(0), &[1.5, 3.0]);
+        assert_eq!(b.bin(0, 0), Some(0));
+        assert_eq!(b.bin(1, 0), Some(1));
+        assert_eq!(b.bin(2, 0), Some(2));
+        assert_eq!(b.bin(3, 0), Some(1));
+    }
+
+    #[test]
+    fn missing_values_get_sentinel() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![f64::NAN]]);
+        let b = BinnedMatrix::fit(&x, 4);
+        assert_eq!(b.bin(1, 0), None);
+    }
+
+    #[test]
+    fn constant_feature_has_no_cuts() {
+        let x = Matrix::from_rows(&[vec![3.0], vec![3.0], vec![3.0]]);
+        let b = BinnedMatrix::fit(&x, 8);
+        assert!(b.cuts(0).is_empty());
+    }
+
+    #[test]
+    fn bin_count_respects_max_bins() {
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = BinnedMatrix::fit(&x, 16);
+        assert!(b.cuts(0).len() <= 15);
+        assert!(b.cuts(0).len() >= 8, "should use most of the budget");
+    }
+
+    #[test]
+    fn cuts_are_strictly_ascending() {
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 37) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = BinnedMatrix::fit(&x, 8);
+        let cuts = b.cuts(0);
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn binning_is_order_consistent() {
+        // If v1 < cut <= v2 then bin(v1) < bin(v2).
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64).sqrt()]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = BinnedMatrix::fit(&x, 10);
+        for i in 1..100 {
+            let b0 = b.bin(i - 1, 0).unwrap();
+            let b1 = b.bin(i, 0).unwrap();
+            assert!(b0 <= b1, "bins must be monotone in value");
+        }
+    }
+
+    #[test]
+    fn values_respect_their_bin_boundaries() {
+        let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![((i * 7) % 101) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = BinnedMatrix::fit(&x, 8);
+        let cuts = b.cuts(0);
+        for i in 0..256 {
+            let v = x.get(i, 0);
+            let bin = b.bin(i, 0).unwrap() as usize;
+            if bin > 0 {
+                assert!(v >= cuts[bin - 1], "value below its bin's lower cut");
+            }
+            if bin < cuts.len() {
+                assert!(v < cuts[bin], "value at/above its bin's upper cut");
+            }
+        }
+    }
+}

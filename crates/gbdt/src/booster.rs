@@ -1,0 +1,579 @@
+//! Tree growing and the boosting loop.
+
+use crate::binning::BinnedMatrix;
+use crate::error::GbdtError;
+use crate::objective::Objective;
+use crate::params::{Params, TreeMethod};
+use crate::split::{find_best_exact, find_best_hist, SplitCandidate, SplitConfig};
+use crate::tree::{Node, Tree};
+use crate::Result;
+use msaw_tabular::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-round evaluation record (train loss, optional eval loss).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Boosting round (0-based).
+    pub round: usize,
+    /// Mean training loss after this round.
+    pub train_loss: f64,
+    /// Mean loss on the eval set, when one was supplied.
+    pub eval_loss: Option<f64>,
+}
+
+/// Outcome of a training run: the model plus its loss history.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The trained model.
+    pub booster: Booster,
+    /// Per-round losses.
+    pub history: Vec<EvalRecord>,
+    /// Round the returned model was truncated to (early stopping), i.e.
+    /// the number of trees kept.
+    pub best_round: usize,
+}
+
+/// A trained gradient-boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Booster {
+    pub(crate) trees: Vec<Tree>,
+    pub(crate) base_score: f64,
+    pub(crate) objective: Objective,
+    pub(crate) n_features: usize,
+}
+
+impl Booster {
+    /// Train on `data` (rows × features, `NaN` = missing) against `labels`.
+    pub fn train(params: &Params, data: &Matrix, labels: &[f64]) -> Result<Booster> {
+        Ok(Self::train_with_eval(params, data, labels, None)?.booster)
+    }
+
+    /// Train with an optional `(eval_data, eval_labels)` set for early
+    /// stopping, returning the full loss history.
+    pub fn train_with_eval(
+        params: &Params,
+        data: &Matrix,
+        labels: &[f64],
+        eval: Option<(&Matrix, &[f64])>,
+    ) -> Result<TrainReport> {
+        params.validate()?;
+        let nrows = data.nrows();
+        if nrows == 0 {
+            return Err(GbdtError::EmptyDataset);
+        }
+        if labels.len() != nrows {
+            return Err(GbdtError::LabelLength { rows: nrows, labels: labels.len() });
+        }
+        if let Some((ed, el)) = eval {
+            if ed.ncols() != data.ncols() {
+                return Err(GbdtError::FeatureCount { expected: data.ncols(), actual: ed.ncols() });
+            }
+            if el.len() != ed.nrows() {
+                return Err(GbdtError::LabelLength { rows: ed.nrows(), labels: el.len() });
+            }
+        }
+        params.objective.validate_labels(labels)?;
+
+        let base_score = params.objective.base_score(labels);
+        let binned = match params.tree_method {
+            TreeMethod::Hist { max_bins } => Some(BinnedMatrix::fit(data, max_bins)),
+            TreeMethod::Exact => None,
+        };
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut raw = vec![base_score; nrows];
+        let mut eval_raw = eval.map(|(ed, _)| vec![base_score; ed.nrows()]);
+        let mut grad = vec![0.0; nrows];
+        let mut hess = vec![0.0; nrows];
+        let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
+        let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
+        let mut best_eval = f64::INFINITY;
+        let mut best_round = 0usize;
+
+        let all_rows: Vec<usize> = (0..nrows).collect();
+        let all_cols: Vec<usize> = (0..data.ncols()).collect();
+
+        for round in 0..params.n_estimators {
+            params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
+
+            // Row subsampling (without replacement).
+            let rows: Vec<usize> = if params.subsample < 1.0 {
+                let n_keep = ((nrows as f64 * params.subsample).round() as usize).max(1);
+                let mut shuffled = all_rows.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(n_keep);
+                shuffled
+            } else {
+                all_rows.clone()
+            };
+
+            // Column subsampling per tree.
+            let cols: Vec<usize> = if params.colsample_bytree < 1.0 {
+                let n_keep =
+                    ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
+                let mut shuffled = all_cols.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(n_keep);
+                shuffled
+            } else {
+                all_cols.clone()
+            };
+
+            let grower = Grower {
+                data,
+                binned: binned.as_ref(),
+                grad: &grad,
+                hess: &hess,
+                features: &cols,
+                params,
+            };
+            let tree = grower.grow(rows);
+
+            // Update raw predictions on every training row (standard GBM:
+            // subsampling affects fitting, not the ensemble update).
+            for (i, r) in raw.iter_mut().enumerate() {
+                *r += tree.predict_row(data.row(i));
+            }
+            let train_loss = params.objective.loss(labels, &raw);
+
+            let eval_loss = if let (Some((ed, el)), Some(eraw)) = (eval, eval_raw.as_mut()) {
+                for (i, r) in eraw.iter_mut().enumerate() {
+                    *r += tree.predict_row(ed.row(i));
+                }
+                Some(params.objective.loss(el, eraw))
+            } else {
+                None
+            };
+
+            trees.push(tree);
+            history.push(EvalRecord { round, train_loss, eval_loss });
+
+            if let Some(el) = eval_loss {
+                if el < best_eval - 1e-12 {
+                    best_eval = el;
+                    best_round = round + 1;
+                } else if params.early_stopping_rounds > 0
+                    && round + 1 >= best_round + params.early_stopping_rounds
+                {
+                    break;
+                }
+            } else {
+                best_round = round + 1;
+            }
+        }
+
+        // With early stopping, keep only the trees up to the best round.
+        if eval.is_some() && params.early_stopping_rounds > 0 {
+            trees.truncate(best_round.max(1));
+        }
+        let kept = trees.len();
+        Ok(TrainReport {
+            booster: Booster {
+                trees,
+                base_score,
+                objective: params.objective,
+                n_features: data.ncols(),
+            },
+            history,
+            best_round: kept,
+        })
+    }
+
+    /// Raw (untransformed) score for one row.
+    pub fn predict_raw_row(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        self.base_score + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+    }
+
+    /// Transformed prediction (identity for regression, probability for
+    /// logistic) for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.objective.transform(self.predict_raw_row(row))
+    }
+
+    /// Transformed predictions for a matrix. Returns an error when the
+    /// feature count disagrees with the training data.
+    pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>> {
+        if data.ncols() != self.n_features {
+            return Err(GbdtError::FeatureCount { expected: self.n_features, actual: data.ncols() });
+        }
+        Ok(data.rows().map(|r| self.predict_row(r)).collect())
+    }
+
+    /// Transformed predictions; panics on feature-count mismatch.
+    pub fn predict(&self, data: &Matrix) -> Vec<f64> {
+        self.try_predict(data).expect("feature count mismatch")
+    }
+
+    /// Raw-score predictions for a matrix.
+    pub fn predict_raw(&self, data: &Matrix) -> Vec<f64> {
+        data.rows().map(|r| self.predict_raw_row(r)).collect()
+    }
+
+    /// The ensemble's trees.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// The learned base (raw) score.
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// The objective the model was trained with.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Number of features the model expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Recursive tree grower for one boosting round.
+struct Grower<'a> {
+    data: &'a Matrix,
+    binned: Option<&'a BinnedMatrix>,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    features: &'a [usize],
+    params: &'a Params,
+}
+
+impl Grower<'_> {
+    fn grow(&self, rows: Vec<usize>) -> Tree {
+        let mut tree = Tree::new();
+        let g: f64 = rows.iter().map(|&r| self.grad[r]).sum();
+        let h: f64 = rows.iter().map(|&r| self.hess[r]).sum();
+        self.grow_node(&mut tree, rows, 0, g, h);
+        tree
+    }
+
+    fn leaf(&self, tree: &mut Tree, g: f64, h: f64) -> usize {
+        let weight = -g / (h + self.params.lambda) * self.params.learning_rate;
+        tree.push(Node::Leaf { weight, cover: h })
+    }
+
+    fn find_split(&self, rows: &[usize], g: f64, h: f64) -> Option<SplitCandidate> {
+        let cfg = SplitConfig {
+            lambda: self.params.lambda,
+            gamma: self.params.gamma,
+            min_child_weight: self.params.min_child_weight,
+        };
+        match self.binned {
+            Some(binned) => {
+                find_best_hist(binned, rows, self.grad, self.hess, self.features, g, h, cfg)
+            }
+            None => {
+                let threads = if rows.len() >= self.params.parallel_split_threshold {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+                } else {
+                    1
+                };
+                find_best_exact(
+                    self.data,
+                    rows,
+                    self.grad,
+                    self.hess,
+                    self.features,
+                    g,
+                    h,
+                    cfg,
+                    threads,
+                )
+            }
+        }
+    }
+
+    fn grow_node(&self, tree: &mut Tree, rows: Vec<usize>, depth: usize, g: f64, h: f64) -> usize {
+        if depth >= self.params.max_depth || rows.len() < 2 {
+            return self.leaf(tree, g, h);
+        }
+        let Some(split) = self.find_split(&rows, g, h) else {
+            return self.leaf(tree, g, h);
+        };
+
+        let mut left_rows = Vec::with_capacity(rows.len() / 2);
+        let mut right_rows = Vec::with_capacity(rows.len() / 2);
+        for &r in &rows {
+            let v = self.data.get(r, split.feature);
+            let goes_left =
+                if v.is_nan() { split.default_left } else { v < split.threshold };
+            if goes_left {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        // A candidate with an empty side can only arise from numerical
+        // pathology; fall back to a leaf rather than recurse forever.
+        if left_rows.is_empty() || right_rows.is_empty() {
+            return self.leaf(tree, g, h);
+        }
+
+        let node_idx = tree.push(Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            default_left: split.default_left,
+            left: usize::MAX,
+            right: usize::MAX,
+            cover: h,
+            gain: split.gain,
+        });
+        let left_idx =
+            self.grow_node(tree, left_rows, depth + 1, split.left_grad, split.left_hess);
+        let right_idx =
+            self.grow_node(tree, right_rows, depth + 1, split.right_grad, split.right_hess);
+        if let Node::Split { left, right, .. } = &mut tree.nodes_mut()[node_idx] {
+            *left = left_idx;
+            *right = right_idx;
+        }
+        node_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2·x0 + noise-free step on x1.
+    fn toy_regression(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x0 = (i % 10) as f64;
+                let x1 = ((i * 7) % 13) as f64;
+                vec![x0, x1]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + if r[1] > 6.0 { 5.0 } else { 0.0 }).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn regression_fits_toy_function() {
+        let (x, y) = toy_regression(200);
+        let params = Params { n_estimators: 100, max_depth: 3, ..Params::regression() };
+        let model = Booster::train(&params, &x, &y).unwrap();
+        let preds = model.predict(&x);
+        let mae: f64 =
+            y.iter().zip(&preds).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        assert!(mae < 0.3, "MAE {mae} too high on a noiseless toy problem");
+    }
+
+    #[test]
+    fn training_loss_is_monotone_nonincreasing() {
+        let (x, y) = toy_regression(100);
+        let params = Params { n_estimators: 30, ..Params::regression() };
+        let report = Booster::train_with_eval(&params, &x, &y, None).unwrap();
+        for w in report.history.windows(2) {
+            assert!(
+                w[1].train_loss <= w[0].train_loss + 1e-9,
+                "loss went up: {} -> {}",
+                w[0].train_loss,
+                w[1].train_loss
+            );
+        }
+    }
+
+    #[test]
+    fn classification_learns_separable_classes() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 20) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| if r[0] >= 10.0 { 1.0 } else { 0.0 }).collect();
+        let x = Matrix::from_rows(&rows);
+        let params = Params { n_estimators: 50, max_depth: 2, ..Params::binary(1.0) };
+        let model = Booster::train(&params, &x, &y).unwrap();
+        let preds = model.predict(&x);
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((*p >= 0.5) == (*t == 1.0), "p={p} t={t}");
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn early_stopping_truncates_trees() {
+        let (x, y) = toy_regression(120);
+        // Train on the first 80 rows, eval on the last 40.
+        let train_idx: Vec<usize> = (0..80).collect();
+        let eval_idx: Vec<usize> = (80..120).collect();
+        let xt = x.take_rows(&train_idx);
+        let yt: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
+        let xe = x.take_rows(&eval_idx);
+        let ye: Vec<f64> = eval_idx.iter().map(|&i| y[i]).collect();
+        let params = Params {
+            n_estimators: 500,
+            early_stopping_rounds: 5,
+            ..Params::regression()
+        };
+        let report = Booster::train_with_eval(&params, &xt, &yt, Some((&xe, &ye))).unwrap();
+        assert!(report.booster.trees().len() < 500, "early stopping never fired");
+        assert_eq!(report.booster.trees().len(), report.best_round);
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let (x, y) = toy_regression(300);
+        let params = Params {
+            n_estimators: 120,
+            subsample: 0.7,
+            colsample_bytree: 0.5,
+            ..Params::regression()
+        };
+        let model = Booster::train(&params, &x, &y).unwrap();
+        let preds = model.predict(&x);
+        let mae: f64 =
+            y.iter().zip(&preds).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        assert!(mae < 1.0, "MAE {mae}");
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let (x, y) = toy_regression(100);
+        let params = Params { n_estimators: 10, subsample: 0.8, ..Params::regression() };
+        let a = Booster::train(&params, &x, &y).unwrap();
+        let b = Booster::train(&params, &x, &y).unwrap();
+        assert_eq!(a, b);
+        let c = Booster::train(&Params { seed: 7, ..params }, &x, &y).unwrap();
+        assert_ne!(a, c, "different seed should change subsampling");
+    }
+
+    #[test]
+    fn hist_method_matches_exact_quality() {
+        let (x, y) = toy_regression(300);
+        let exact = Booster::train(
+            &Params { n_estimators: 50, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let hist = Booster::train(
+            &Params {
+                n_estimators: 50,
+                tree_method: TreeMethod::Hist { max_bins: 64 },
+                ..Params::regression()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let pe = exact.predict(&x);
+        let ph = hist.predict(&x);
+        let mae_e: f64 =
+            y.iter().zip(&pe).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        let mae_h: f64 =
+            y.iter().zip(&ph).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        // With only 10/13 distinct values per feature the cut sets are
+        // exact, so quality must be essentially identical.
+        assert!((mae_e - mae_h).abs() < 1e-6, "exact {mae_e} vs hist {mae_h}");
+    }
+
+    #[test]
+    fn missing_features_are_usable() {
+        // x0 informative but 30% missing; the model must still beat the mean.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x0 = if i % 10 < 3 { f64::NAN } else { (i % 17) as f64 };
+                vec![x0]
+            })
+            .collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| if i % 10 < 3 { 8.0 } else { (i % 17) as f64 })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let params = Params { n_estimators: 80, max_depth: 3, ..Params::regression() };
+        let model = Booster::train(&params, &x, &y).unwrap();
+        let preds = model.predict(&x);
+        let mae: f64 =
+            y.iter().zip(&preds).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        assert!(mae < 1.0, "missing-value routing failed, MAE {mae}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let x = Matrix::zeros(0, 3);
+        let err = Booster::train(&Params::regression(), &x, &[]).unwrap_err();
+        assert_eq!(err, GbdtError::EmptyDataset);
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let x = Matrix::zeros(3, 1);
+        let err = Booster::train(&Params::regression(), &x, &[1.0]).unwrap_err();
+        assert!(matches!(err, GbdtError::LabelLength { rows: 3, labels: 1 }));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let (x, y) = toy_regression(50);
+        let model =
+            Booster::train(&Params { n_estimators: 2, ..Params::regression() }, &x, &y).unwrap();
+        let bad = Matrix::zeros(2, 5);
+        assert!(matches!(
+            model.try_predict(&bad),
+            Err(GbdtError::FeatureCount { expected: 2, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn constant_labels_yield_base_score_only() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![4.0, 4.0, 4.0];
+        let model =
+            Booster::train(&Params { n_estimators: 5, ..Params::regression() }, &x, &y).unwrap();
+        for p in model.predict(&x) {
+            assert!((p - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covers_are_conserved_down_every_tree() {
+        // cover(parent) == cover(left) + cover(right): path-dependent
+        // TreeSHAP relies on this to read covers as branch probabilities.
+        let (x, y) = toy_regression(150);
+        let model =
+            Booster::train(&Params { n_estimators: 15, ..Params::regression() }, &x, &y).unwrap();
+        for tree in model.trees() {
+            for node in tree.nodes() {
+                if let crate::tree::Node::Split { left, right, cover, .. } = node {
+                    let sum = tree.nodes()[*left].cover() + tree.nodes()[*right].cover();
+                    assert!(
+                        (sum - cover).abs() < 1e-9 * cover.max(1.0),
+                        "cover leak: parent {cover}, children {sum}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_invariant_under_positive_affine_feature_transform() {
+        // Exact split finding depends only on value order, so scaling
+        // and shifting a feature must leave the learned function (as a
+        // map from rows to predictions) unchanged.
+        let (x, y) = toy_regression(120);
+        let params = Params { n_estimators: 20, ..Params::regression() };
+        let base = Booster::train(&params, &x, &y).unwrap();
+        let transformed_rows: Vec<Vec<f64>> =
+            x.rows().map(|r| r.iter().map(|v| v * 3.0 + 11.0).collect()).collect();
+        let xt = Matrix::from_rows(&transformed_rows);
+        let transformed = Booster::train(&params, &xt, &y).unwrap();
+        for i in 0..x.nrows() {
+            let a = base.predict_row(x.row(i));
+            let b = transformed.predict_row(xt.row(i));
+            assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn trees_validate_structurally() {
+        let (x, y) = toy_regression(150);
+        let model =
+            Booster::train(&Params { n_estimators: 20, ..Params::regression() }, &x, &y).unwrap();
+        for t in model.trees() {
+            assert!(t.validate());
+            assert!(t.depth() <= 4);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for training and inference.
+
+use std::fmt;
+
+/// Errors produced by `msaw-gbdt`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GbdtError {
+    /// Training data had no rows.
+    EmptyDataset,
+    /// Labels and feature matrix disagree on row count.
+    LabelLength { rows: usize, labels: usize },
+    /// A parameter value was out of its valid range.
+    InvalidParam { name: &'static str, message: String },
+    /// Prediction input has a different feature count than the model.
+    FeatureCount { expected: usize, actual: usize },
+    /// A serialised model could not be decoded.
+    Decode(String),
+    /// Logistic objective requires labels in {0, 1}.
+    NonBinaryLabel { row: usize, value: f64 },
+}
+
+impl fmt::Display for GbdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbdtError::EmptyDataset => write!(f, "training data has no rows"),
+            GbdtError::LabelLength { rows, labels } => {
+                write!(f, "feature matrix has {rows} rows but {labels} labels were given")
+            }
+            GbdtError::InvalidParam { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            GbdtError::FeatureCount { expected, actual } => {
+                write!(f, "model expects {expected} features, input has {actual}")
+            }
+            GbdtError::Decode(msg) => write!(f, "model decode error: {msg}"),
+            GbdtError::NonBinaryLabel { row, value } => {
+                write!(f, "logistic objective requires labels in {{0,1}}, row {row} has {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GbdtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = GbdtError::FeatureCount { expected: 59, actual: 3 };
+        let s = e.to_string();
+        assert!(s.contains("59") && s.contains('3'));
+    }
+}

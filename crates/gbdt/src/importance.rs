@@ -1,0 +1,113 @@
+//! Feature importances aggregated over the ensemble, in the three
+//! flavours XGBoost exposes (gain, cover, frequency/weight).
+
+use crate::booster::Booster;
+use crate::tree::Node;
+use serde::{Deserialize, Serialize};
+
+/// What to accumulate per split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportanceKind {
+    /// Total loss reduction contributed by splits on the feature.
+    Gain,
+    /// Total hessian mass routed through splits on the feature.
+    Cover,
+    /// Number of splits using the feature.
+    Frequency,
+}
+
+/// Per-feature importance scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureImportance {
+    /// `scores[f]` is the importance of feature `f`.
+    pub scores: Vec<f64>,
+    /// Which statistic was accumulated.
+    pub kind: ImportanceKind,
+}
+
+impl FeatureImportance {
+    /// Compute importances for a trained model.
+    pub fn of(model: &Booster, kind: ImportanceKind) -> FeatureImportance {
+        let mut scores = vec![0.0; model.n_features()];
+        for tree in model.trees() {
+            for node in tree.nodes() {
+                if let Node::Split { feature, cover, gain, .. } = node {
+                    scores[*feature] += match kind {
+                        ImportanceKind::Gain => *gain,
+                        ImportanceKind::Cover => *cover,
+                        ImportanceKind::Frequency => 1.0,
+                    };
+                }
+            }
+        }
+        FeatureImportance { scores, kind }
+    }
+
+    /// Features ranked by descending importance, ties broken by index.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("importances are finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Scores normalised to sum to 1 (all-zero stays all-zero).
+    pub fn normalised(&self) -> Vec<f64> {
+        let total: f64 = self.scores.iter().sum();
+        if total == 0.0 {
+            return self.scores.clone();
+        }
+        self.scores.iter().map(|s| s / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use msaw_tabular::Matrix;
+
+    fn model_with_one_informative_feature() -> Booster {
+        // x0 drives y; x1 is constant noise-free junk.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, 1.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
+        let x = Matrix::from_rows(&rows);
+        Booster::train(&Params { n_estimators: 20, ..Params::regression() }, &x, &y).unwrap()
+    }
+
+    #[test]
+    fn informative_feature_dominates_gain() {
+        let model = model_with_one_informative_feature();
+        let imp = FeatureImportance::of(&model, ImportanceKind::Gain);
+        assert!(imp.scores[0] > 0.0);
+        assert_eq!(imp.scores[1], 0.0, "constant feature must never split");
+        assert_eq!(imp.ranking()[0], 0);
+    }
+
+    #[test]
+    fn frequency_counts_splits() {
+        let model = model_with_one_informative_feature();
+        let imp = FeatureImportance::of(&model, ImportanceKind::Frequency);
+        let total_splits: usize =
+            model.trees().iter().map(|t| t.len() - t.n_leaves()).sum();
+        assert_eq!(imp.scores.iter().sum::<f64>() as usize, total_splits);
+    }
+
+    #[test]
+    fn normalised_sums_to_one() {
+        let model = model_with_one_informative_feature();
+        let imp = FeatureImportance::of(&model, ImportanceKind::Cover);
+        let norm = imp.normalised();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_normalisation_is_stable() {
+        let imp = FeatureImportance { scores: vec![0.0, 0.0], kind: ImportanceKind::Gain };
+        assert_eq!(imp.normalised(), vec![0.0, 0.0]);
+    }
+}

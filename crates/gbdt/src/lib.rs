@@ -1,0 +1,58 @@
+//! # msaw-gbdt
+//!
+//! Gradient-boosted decision trees built from scratch for the MySAwH
+//! reproduction, following the XGBoost formulation (Chen & Guestrin,
+//! KDD'16) the paper used:
+//!
+//! * second-order (gradient + hessian) split gain with L2 leaf
+//!   regularisation (`lambda`) and a split penalty (`gamma`);
+//! * **sparsity-aware** split enumeration: every split learns a default
+//!   direction for missing values (`NaN`s) by trying both sides;
+//! * shrinkage (`learning_rate`), row subsampling and per-tree column
+//!   subsampling;
+//! * two objectives — squared error for regression (QoL, SPPB) and
+//!   logistic loss with `scale_pos_weight` for the imbalanced Falls
+//!   classification;
+//! * two split finders behind one API — the exact greedy enumerator and
+//!   a histogram finder over quantile-sketch bins (the paper's learner
+//!   supports both; they form one of our ablation benches);
+//! * early stopping against a held-out evaluation set;
+//! * gain / cover / frequency feature importances;
+//! * binary model (de)serialisation.
+//!
+//! The tree layout (flat node arrays carrying per-node covers) is chosen
+//! so `msaw-shap` can run exact path-dependent TreeSHAP over it.
+//!
+//! ```
+//! use msaw_gbdt::{Booster, Params};
+//! use msaw_tabular::Matrix;
+//!
+//! // y = x0, with one feature: a stump learns it quickly.
+//! let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![1.0], vec![1.0]]);
+//! let y = vec![0.0, 0.0, 1.0, 1.0];
+//! let params = Params { n_estimators: 80, max_depth: 2, ..Params::regression() };
+//! let model = Booster::train(&params, &x, &y).unwrap();
+//! let preds = model.predict(&x);
+//! assert!((preds[0] - 0.0).abs() < 0.1);
+//! assert!((preds[2] - 1.0).abs() < 0.1);
+//! ```
+
+pub mod binning;
+pub mod booster;
+pub mod error;
+pub mod importance;
+pub mod objective;
+pub mod params;
+pub mod serialize;
+pub mod split;
+pub mod tree;
+
+pub use booster::{Booster, EvalRecord, TrainReport};
+pub use error::GbdtError;
+pub use importance::{FeatureImportance, ImportanceKind};
+pub use objective::Objective;
+pub use params::{Params, TreeMethod};
+pub use tree::{Node, Tree};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GbdtError>;

@@ -1,0 +1,236 @@
+//! Compact binary (de)serialisation of trained boosters.
+//!
+//! Format (little endian via `bytes`):
+//! `b"MSGB"` magic · `u16` version · objective tag (+payload) ·
+//! `f64` base score · `u32` feature count · `u32` tree count ·
+//! per tree: `u32` node count · tagged nodes.
+
+use crate::booster::Booster;
+use crate::error::GbdtError;
+use crate::objective::Objective;
+use crate::tree::{Node, Tree};
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"MSGB";
+const VERSION: u16 = 1;
+
+const OBJ_SQUARED: u8 = 0;
+const OBJ_LOGISTIC: u8 = 1;
+const NODE_LEAF: u8 = 0;
+const NODE_SPLIT: u8 = 1;
+
+/// Encode a trained model into a byte buffer.
+pub fn encode(model: &Booster) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + model.trees().len() * 256);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    match model.objective() {
+        Objective::SquaredError => buf.put_u8(OBJ_SQUARED),
+        Objective::Logistic { scale_pos_weight } => {
+            buf.put_u8(OBJ_LOGISTIC);
+            buf.put_f64_le(scale_pos_weight);
+        }
+    }
+    buf.put_f64_le(model.base_score());
+    buf.put_u32_le(model.n_features() as u32);
+    buf.put_u32_le(model.trees().len() as u32);
+    for tree in model.trees() {
+        buf.put_u32_le(tree.len() as u32);
+        for node in tree.nodes() {
+            match node {
+                Node::Leaf { weight, cover } => {
+                    buf.put_u8(NODE_LEAF);
+                    buf.put_f64_le(*weight);
+                    buf.put_f64_le(*cover);
+                }
+                Node::Split { feature, threshold, default_left, left, right, cover, gain } => {
+                    buf.put_u8(NODE_SPLIT);
+                    buf.put_u32_le(*feature as u32);
+                    buf.put_f64_le(*threshold);
+                    buf.put_u8(u8::from(*default_left));
+                    buf.put_u32_le(*left as u32);
+                    buf.put_u32_le(*right as u32);
+                    buf.put_f64_le(*cover);
+                    buf.put_f64_le(*gain);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a model previously produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<Booster> {
+    fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
+        if data.remaining() < n {
+            Err(GbdtError::Decode(format!("truncated input while reading {what}")))
+        } else {
+            Ok(())
+        }
+    }
+    need(data, 6, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GbdtError::Decode("bad magic".into()));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(GbdtError::Decode(format!("unsupported version {version}")));
+    }
+    need(data, 1, "objective")?;
+    let objective = match data.get_u8() {
+        OBJ_SQUARED => Objective::SquaredError,
+        OBJ_LOGISTIC => {
+            need(data, 8, "scale_pos_weight")?;
+            Objective::Logistic { scale_pos_weight: data.get_f64_le() }
+        }
+        other => return Err(GbdtError::Decode(format!("unknown objective tag {other}"))),
+    };
+    need(data, 16, "base score and counts")?;
+    let base_score = data.get_f64_le();
+    let n_features = data.get_u32_le() as usize;
+    let n_trees = data.get_u32_le() as usize;
+    let mut trees = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        need(data, 4, "tree node count")?;
+        let n_nodes = data.get_u32_le() as usize;
+        let mut tree = Tree::new();
+        for _ in 0..n_nodes {
+            need(data, 1, "node tag")?;
+            match data.get_u8() {
+                NODE_LEAF => {
+                    need(data, 16, "leaf")?;
+                    let weight = data.get_f64_le();
+                    let cover = data.get_f64_le();
+                    tree.push(Node::Leaf { weight, cover });
+                }
+                NODE_SPLIT => {
+                    need(data, 4 + 8 + 1 + 4 + 4 + 8 + 8, "split")?;
+                    let feature = data.get_u32_le() as usize;
+                    let threshold = data.get_f64_le();
+                    let default_left = data.get_u8() != 0;
+                    let left = data.get_u32_le() as usize;
+                    let right = data.get_u32_le() as usize;
+                    let cover = data.get_f64_le();
+                    let gain = data.get_f64_le();
+                    tree.push(Node::Split {
+                        feature,
+                        threshold,
+                        default_left,
+                        left,
+                        right,
+                        cover,
+                        gain,
+                    });
+                }
+                other => return Err(GbdtError::Decode(format!("unknown node tag {other}"))),
+            }
+        }
+        if !tree.validate() {
+            return Err(GbdtError::Decode(format!("tree {t} failed structural validation")));
+        }
+        trees.push(tree);
+    }
+    if data.has_remaining() {
+        return Err(GbdtError::Decode(format!("{} trailing bytes", data.remaining())));
+    }
+    Ok(Booster { trees, base_score, objective, n_features })
+}
+
+impl Booster {
+    /// Persist the model to a file in the binary format.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, encode(self))
+    }
+
+    /// Load a model previously written by [`Booster::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Booster> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| GbdtError::Decode(format!("cannot read model file: {e}")))?;
+        decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use msaw_tabular::Matrix;
+
+    fn trained(objective_binary: bool) -> Booster {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 12) as f64, (i % 5) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        if objective_binary {
+            let y: Vec<f64> = rows.iter().map(|r| f64::from(r[0] > 5.0)).collect();
+            Booster::train(&Params { n_estimators: 8, ..Params::binary(2.0) }, &x, &y).unwrap()
+        } else {
+            let y: Vec<f64> = rows.iter().map(|r| r[0] + 0.5 * r[1]).collect();
+            Booster::train(&Params { n_estimators: 8, ..Params::regression() }, &x, &y).unwrap()
+        }
+    }
+
+    #[test]
+    fn round_trip_regression_model() {
+        let model = trained(false);
+        let decoded = decode(&encode(&model)).unwrap();
+        assert_eq!(model, decoded);
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let model = trained(true);
+        let decoded = decode(&encode(&model)).unwrap();
+        let row = vec![3.0, f64::NAN];
+        assert_eq!(model.predict_row(&row), decoded.predict_row(&row));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&trained(false)).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&trained(false)).to_vec();
+        // Chop at several points; every prefix must fail cleanly.
+        for cut in [0, 3, 5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&trained(false)).to_vec();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let model = trained(false);
+        let dir = std::env::temp_dir().join("msaw_gbdt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.msgb");
+        model.save(&path).unwrap();
+        let loaded = Booster::load(&path).unwrap();
+        assert_eq!(model, loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_a_decode_error() {
+        let err = Booster::load("/nonexistent/path/model.msgb").unwrap_err();
+        assert!(matches!(err, GbdtError::Decode(_)));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = encode(&trained(false)).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+    }
+}

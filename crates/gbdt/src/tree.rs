@@ -1,0 +1,260 @@
+//! Regression tree structure shared by training, prediction and TreeSHAP.
+
+use serde::{Deserialize, Serialize};
+
+/// A node in a tree, stored in a flat `Vec` (index 0 = root).
+///
+/// Both internal nodes and leaves carry `cover` (the sum of hessians of
+/// the training rows that reached the node) because path-dependent
+/// TreeSHAP weights branches by `cover(child) / cover(parent)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// An internal split node.
+    Split {
+        /// Feature index tested by this node.
+        feature: usize,
+        /// Rows with `value < threshold` go left.
+        threshold: f64,
+        /// Where rows with a missing value go.
+        default_left: bool,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+        /// Sum of hessians reaching this node.
+        cover: f64,
+        /// Gain realised by this split (used for importances).
+        gain: f64,
+    },
+    /// A terminal node holding a weight (already shrunk by the
+    /// learning rate).
+    Leaf {
+        /// Contribution added to the raw score.
+        weight: f64,
+        /// Sum of hessians reaching this leaf.
+        cover: f64,
+    },
+}
+
+impl Node {
+    /// Cover of the node regardless of kind.
+    pub fn cover(&self) -> f64 {
+        match self {
+            Node::Split { cover, .. } | Node::Leaf { cover, .. } => *cover,
+        }
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+}
+
+/// One regression tree of the ensemble.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// An empty tree under construction.
+    pub fn new() -> Self {
+        Tree { nodes: Vec::new() }
+    }
+
+    /// Append a node, returning its index.
+    pub fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// All nodes (root at index 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access used by the grower to patch child indices.
+    pub(crate) fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum depth (root = 0). Empty tree → 0.
+    pub fn depth(&self) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut max = 0usize;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((idx, d)) = stack.pop() {
+            max = max.max(d);
+            if let Node::Split { left, right, .. } = self.nodes[idx] {
+                stack.push((left, d + 1));
+                stack.push((right, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Index of the leaf a feature row falls into.
+    pub fn leaf_index(&self, row: &[f64]) -> usize {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split { feature, threshold, default_left, left, right, .. } => {
+                    let v = row[*feature];
+                    idx = if v.is_nan() {
+                        if *default_left {
+                            *left
+                        } else {
+                            *right
+                        }
+                    } else if v < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Raw score contribution of this tree for one row.
+    #[inline]
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match &self.nodes[self.leaf_index(row)] {
+            Node::Leaf { weight, .. } => *weight,
+            Node::Split { .. } => unreachable!("leaf_index returns a leaf"),
+        }
+    }
+
+    /// Structural sanity check used by tests and deserialisation:
+    /// child indices in range, no cycles, every non-root reachable once.
+    pub fn validate(&self) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            if idx >= n || seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+            if let Node::Split { left, right, .. } = self.nodes[idx] {
+                stack.push(left);
+                stack.push(right);
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root: x0 < 0.5 ? leaf(-1) : (x1 < 2 ? leaf(1) : leaf(3)), missing x0 → right
+    pub(crate) fn sample_tree() -> Tree {
+        let mut t = Tree::new();
+        t.push(Node::Split {
+            feature: 0,
+            threshold: 0.5,
+            default_left: false,
+            left: 1,
+            right: 2,
+            cover: 10.0,
+            gain: 5.0,
+        });
+        t.push(Node::Leaf { weight: -1.0, cover: 4.0 });
+        t.push(Node::Split {
+            feature: 1,
+            threshold: 2.0,
+            default_left: true,
+            left: 3,
+            right: 4,
+            cover: 6.0,
+            gain: 2.0,
+        });
+        t.push(Node::Leaf { weight: 1.0, cover: 3.0 });
+        t.push(Node::Leaf { weight: 3.0, cover: 3.0 });
+        t
+    }
+
+    #[test]
+    fn routing_follows_thresholds() {
+        let t = sample_tree();
+        assert_eq!(t.predict_row(&[0.0, 0.0]), -1.0);
+        assert_eq!(t.predict_row(&[1.0, 0.0]), 1.0);
+        assert_eq!(t.predict_row(&[1.0, 5.0]), 3.0);
+    }
+
+    #[test]
+    fn missing_values_follow_default_direction() {
+        let t = sample_tree();
+        // x0 missing → right; x1 = 5 → right leaf(3).
+        assert_eq!(t.predict_row(&[f64::NAN, 5.0]), 3.0);
+        // x0 = 1 → right; x1 missing → default left → leaf(1).
+        assert_eq!(t.predict_row(&[1.0, f64::NAN]), 1.0);
+    }
+
+    #[test]
+    fn boundary_value_goes_right() {
+        // `value < threshold` goes left, so the threshold itself goes right.
+        let t = sample_tree();
+        assert_eq!(t.predict_row(&[0.5, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn structure_statistics() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.depth(), 2);
+        assert!(t.validate());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_children() {
+        let mut t = Tree::new();
+        t.push(Node::Split {
+            feature: 0,
+            threshold: 0.0,
+            default_left: true,
+            left: 7,
+            right: 8,
+            cover: 1.0,
+            gain: 0.0,
+        });
+        assert!(!t.validate());
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_nodes() {
+        let mut t = Tree::new();
+        t.push(Node::Leaf { weight: 0.0, cover: 1.0 });
+        t.push(Node::Leaf { weight: 0.0, cover: 1.0 }); // orphan
+        assert!(!t.validate());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert!(!Tree::new().validate());
+    }
+}

@@ -1,0 +1,236 @@
+//! The expert-defined Intrinsic Capacity Index (ICI).
+//!
+//! Following the paper's §4: a manually selected subset `V ⊆ V` of the
+//! PRO and activity variables — chosen to represent each of the five IC
+//! domains — is scored per variable (`s_i(x) ∈ {0,1}` from a single
+//! threshold for most variables, a `[0,1]` ramp for continuous ones
+//! like daily steps) and averaged:
+//!
+//! `ICI(i,j,p) = Σ s_i(x^p_{i,j}[V_i]) / n`
+//!
+//! The subset and cutoffs below are this repository's "clinical expert":
+//! sensible choices a physician could have made, deliberately *not*
+//! tuned against the models — the KD approach's bias is the point.
+
+use msaw_cohort::Domain;
+use msaw_preprocess::SampleSet;
+use serde::{Deserialize, Serialize};
+
+/// Per-variable scoring function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScoreFn {
+    /// Score 1 when the value is at least the cutoff (positive items:
+    /// higher answer = better capacity).
+    AtLeast(f64),
+    /// Score 1 when the value is at most the cutoff (negative items:
+    /// e.g. the paper's stress-level example, scored 1 below its cutoff).
+    AtMost(f64),
+    /// Linear ramp: 0 at `lo` or below, 1 at `hi` or above (continuous
+    /// variables like the number of steps per day).
+    Ramp {
+        /// Value scoring 0.
+        lo: f64,
+        /// Value scoring 1.
+        hi: f64,
+    },
+}
+
+impl ScoreFn {
+    /// Score one value.
+    pub fn score(&self, value: f64) -> f64 {
+        match *self {
+            ScoreFn::AtLeast(cutoff) => f64::from(value >= cutoff),
+            ScoreFn::AtMost(cutoff) => f64::from(value <= cutoff),
+            ScoreFn::Ramp { lo, hi } => ((value - lo) / (hi - lo)).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One expert-selected variable with its cutoff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IciVariable {
+    /// Feature name (must match the sample set's feature names).
+    pub feature: String,
+    /// The IC domain the variable represents.
+    pub domain: Domain,
+    /// Its scoring function.
+    pub score: ScoreFn,
+}
+
+/// The default expert specification: two PRO items per domain plus the
+/// step count — eleven variables covering all five IC domains.
+pub fn default_ici_spec() -> Vec<IciVariable> {
+    fn var(feature: &str, domain: Domain, score: ScoreFn) -> IciVariable {
+        IciVariable { feature: feature.to_string(), domain, score }
+    }
+    vec![
+        // Note the expert's bias the paper calls out: the subset below
+        // picks walking distance and joint pain for locomotion, missing
+        // the balance-specific items entirely — and balance is a strong
+        // falls driver. The DD models recover it; the ICI cannot.
+        var("pro_locomotion_walk_distance", Domain::Locomotion, ScoreFn::AtLeast(3.0)),
+        var("pro_locomotion_joint_pain", Domain::Locomotion, ScoreFn::AtMost(2.5)),
+        var("pro_cognition_memory_recall", Domain::Cognition, ScoreFn::AtLeast(3.0)),
+        var("pro_cognition_forgetfulness", Domain::Cognition, ScoreFn::AtMost(2.5)),
+        var("pro_psychological_mood", Domain::Psychological, ScoreFn::AtLeast(3.0)),
+        var("pro_psychological_stress_level", Domain::Psychological, ScoreFn::AtMost(2.5)),
+        var("pro_vitality_energy_level", Domain::Vitality, ScoreFn::AtLeast(3.0)),
+        var("pro_vitality_fatigue", Domain::Vitality, ScoreFn::AtMost(2.5)),
+        var("pro_sensory_vision_near", Domain::Sensory, ScoreFn::AtLeast(3.0)),
+        var("pro_sensory_hearing_conversation", Domain::Sensory, ScoreFn::AtLeast(3.0)),
+        var("steps_monthly_mean", Domain::Locomotion, ScoreFn::Ramp { lo: 2000.0, hi: 9000.0 }),
+    ]
+}
+
+/// ICI of one feature row: the mean score over the spec's variables,
+/// skipping variables whose value is missing (the index renormalises,
+/// as a clinician scoring an incomplete questionnaire would).
+/// `None` when every spec variable is missing.
+pub fn compute_ici_row(
+    row: &[f64],
+    feature_positions: &[Option<usize>],
+    spec: &[IciVariable],
+) -> Option<f64> {
+    debug_assert_eq!(feature_positions.len(), spec.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (var, pos) in spec.iter().zip(feature_positions) {
+        let Some(p) = pos else { continue };
+        let v = row[*p];
+        if v.is_nan() {
+            continue;
+        }
+        sum += var.score.score(v);
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Transform a DD sample set into the KD `Sample^ICI_o` variant: the
+/// same rows, labels and provenance, with the 59 features collapsed
+/// into a single `ici` column.
+pub fn ici_sample_set(set: &SampleSet, spec: &[IciVariable]) -> SampleSet {
+    let positions: Vec<Option<usize>> = spec
+        .iter()
+        .map(|v| set.feature_names.iter().position(|n| n == &v.feature))
+        .collect();
+    assert!(
+        positions.iter().any(|p| p.is_some()),
+        "none of the ICI spec variables exist in the sample set"
+    );
+    let ici: Vec<f64> = (0..set.len())
+        .map(|i| {
+            compute_ici_row(set.features.row(i), &positions, spec).unwrap_or(f64::NAN)
+        })
+        .collect();
+    SampleSet {
+        features: msaw_tabular::Matrix::from_vec(ici.clone(), set.len(), 1),
+        feature_names: vec!["ici".to_string()],
+        labels: set.labels.clone(),
+        meta: set.meta.clone(),
+        outcome: set.outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_cohort::{generate, CohortConfig};
+    use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, PipelineConfig};
+
+    #[test]
+    fn score_functions_behave() {
+        assert_eq!(ScoreFn::AtLeast(3.0).score(3.0), 1.0);
+        assert_eq!(ScoreFn::AtLeast(3.0).score(2.9), 0.0);
+        assert_eq!(ScoreFn::AtMost(2.5).score(2.5), 1.0);
+        assert_eq!(ScoreFn::AtMost(2.5).score(2.6), 0.0);
+        let ramp = ScoreFn::Ramp { lo: 2000.0, hi: 9000.0 };
+        assert_eq!(ramp.score(1000.0), 0.0);
+        assert_eq!(ramp.score(9000.0), 1.0);
+        assert!((ramp.score(5500.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_spec_covers_all_domains() {
+        let spec = default_ici_spec();
+        for d in Domain::ALL {
+            assert!(
+                spec.iter().any(|v| v.domain == d),
+                "domain {} unrepresented",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_features_exist_in_the_panel() {
+        let names = FeaturePanel::feature_names();
+        for var in default_ici_spec() {
+            assert!(names.contains(&var.feature), "{} not a feature", var.feature);
+        }
+    }
+
+    #[test]
+    fn ici_is_in_unit_interval_and_renormalises() {
+        let spec = vec![
+            IciVariable {
+                feature: "a".into(),
+                domain: Domain::Vitality,
+                score: ScoreFn::AtLeast(3.0),
+            },
+            IciVariable {
+                feature: "b".into(),
+                domain: Domain::Vitality,
+                score: ScoreFn::AtLeast(3.0),
+            },
+        ];
+        let positions = vec![Some(0), Some(1)];
+        assert_eq!(compute_ici_row(&[4.0, 1.0], &positions, &spec), Some(0.5));
+        // Missing second variable: renormalise over the present one.
+        assert_eq!(compute_ici_row(&[4.0, f64::NAN], &positions, &spec), Some(1.0));
+        assert_eq!(compute_ici_row(&[f64::NAN, f64::NAN], &positions, &spec), None);
+    }
+
+    #[test]
+    fn ici_sample_set_collapses_to_one_feature() {
+        let data = generate(&CohortConfig::small(42));
+        let cfg = PipelineConfig::default();
+        let panel = FeaturePanel::build(&data, &cfg);
+        let dd = build_samples(&data, &panel, OutcomeKind::Qol, &cfg);
+        let kd = ici_sample_set(&dd, &default_ici_spec());
+        assert_eq!(kd.features.ncols(), 1);
+        assert_eq!(kd.len(), dd.len());
+        assert_eq!(kd.labels, dd.labels);
+        for i in 0..kd.len() {
+            let v = kd.features.get(i, 0);
+            assert!(v.is_nan() || (0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ici_correlates_with_qol_labels() {
+        // The expert index is meant to be a real (if lossy) health
+        // signal: across the cohort, higher ICI should mean higher QoL.
+        let data = generate(&CohortConfig::paper(42));
+        let cfg = PipelineConfig::default();
+        let panel = FeaturePanel::build(&data, &cfg);
+        let dd = build_samples(&data, &panel, OutcomeKind::Qol, &cfg);
+        let kd = ici_sample_set(&dd, &default_ici_spec());
+        let pairs: Vec<(f64, f64)> = (0..kd.len())
+            .filter(|&i| !kd.features.get(i, 0).is_nan())
+            .map(|i| (kd.features.get(i, 0), kd.labels[i]))
+            .collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sx * sy);
+        assert!(corr > 0.4, "ICI–QoL correlation too weak: {corr}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # msaw-kd
+//!
+//! The knowledge-driven (KD) pipeline — the geriatric-medicine common
+//! practice the paper's data-driven approach is compared against:
+//!
+//! * [`fi`] — the **Frailty Index** by deficit accumulation (Searle et
+//!   al. 2008): the proportion of the 37 clinical deficits present at a
+//!   visit. The paper feeds the window-baseline FI (months 0 and 9) to
+//!   both approaches as an optional extra feature.
+//! * [`ici`] — the **Intrinsic Capacity Index**: an expert-chosen subset
+//!   of the PRO/activity variables, one per-variable cutoff score
+//!   (binary threshold, or a ramp for continuous variables like daily
+//!   steps), averaged into a single number. This is exactly the
+//!   manual construction the paper describes — including its built-in
+//!   bias: "the imposition of the physician's interpretation on the
+//!   choice of the variables … as well as on the thresholds".
+//!
+//! The KD learning models (`M^ICI_o`, `M^{ICI,FI}_o`) are trained by
+//! `msaw-core` on the one- or two-column sample sets these functions
+//! produce.
+
+pub mod fi;
+pub mod ici;
+
+pub use fi::{attach_fi, fi_at_window_start, frailty_index};
+pub use ici::{compute_ici_row, default_ici_spec, ici_sample_set, IciVariable, ScoreFn};

@@ -1,0 +1,136 @@
+//! Box-plot statistics (five-number summary + Tukey outliers), used to
+//! regenerate Fig. 5's per-clinic MAE distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary with 1.5·IQR whiskers and the points beyond them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile (25th percentile, linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Lower whisker: smallest observation ≥ `q1 - 1.5·IQR`.
+    pub whisker_low: f64,
+    /// Upper whisker: largest observation ≤ `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Observations outside the whiskers (Tukey outliers), ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Compute box statistics. `NaN`s are excluded; returns `None` when
+    /// no finite values remain.
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q1 = quantile_sorted(&v, 0.25);
+        let median = quantile_sorted(&v, 0.5);
+        let q3 = quantile_sorted(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_high = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        let outliers: Vec<f64> = v
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxStats {
+            count: v.len(),
+            min: v[0],
+            q1,
+            median,
+            q3,
+            max: v[v.len() - 1],
+            whisker_low,
+            whisker_high,
+            outliers,
+        })
+    }
+}
+
+/// Quantile of a pre-sorted slice with linear interpolation.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_simple_series() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_tukey_outlier() {
+        // 100.0 is far beyond q3 + 1.5 IQR of the bulk.
+        let mut v: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        v.push(100.0);
+        let s = BoxStats::of(&v).unwrap();
+        assert_eq!(s.outliers, vec![100.0]);
+        assert!(s.whisker_high < 100.0);
+    }
+
+    #[test]
+    fn whiskers_clip_to_observed_values() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.whisker_low, 1.0);
+        assert_eq!(s.whisker_high, 3.0);
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let s = BoxStats::of(&[f64::NAN, 1.0, 2.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn empty_or_all_nan_yields_none() {
+        assert!(BoxStats::of(&[]).is_none());
+        assert!(BoxStats::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_value_degenerates_gracefully() {
+        let s = BoxStats::of(&[2.5]).unwrap();
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert!(s.outliers.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Probability calibration diagnostics for the Falls classifier: Brier
+//! score and reliability (calibration) curves. The paper reports only
+//! threshold metrics; these extend the evaluation toolbox so a
+//! downstream user can check whether the predicted fall *probabilities*
+//! are trustworthy, not just the thresholded labels.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean squared error between predicted probabilities and binary
+/// outcomes — lower is better; 0.25 is the score of a constant 0.5.
+pub fn brier_score(y_true: &[bool], probs: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), probs.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty input");
+    let sum: f64 = y_true
+        .iter()
+        .zip(probs)
+        .map(|(&t, &p)| {
+            let y = f64::from(t);
+            (p - y) * (p - y)
+        })
+        .sum();
+    sum / y_true.len() as f64
+}
+
+/// One bucket of a reliability curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the probability bucket.
+    pub lo: f64,
+    /// Upper edge (inclusive for the last bucket).
+    pub hi: f64,
+    /// Mean predicted probability inside the bucket (`NaN` when empty).
+    pub mean_predicted: f64,
+    /// Observed positive fraction inside the bucket (`NaN` when empty).
+    pub observed_rate: f64,
+    /// Number of observations in the bucket.
+    pub count: usize,
+}
+
+/// Equal-width reliability curve over `[0, 1]`. A perfectly calibrated
+/// model has `observed_rate ≈ mean_predicted` in every non-empty bucket.
+pub fn calibration_curve(y_true: &[bool], probs: &[f64], n_bins: usize) -> Vec<CalibrationBin> {
+    assert_eq!(y_true.len(), probs.len(), "length mismatch");
+    assert!(n_bins > 0, "need at least one bin");
+    let mut sums = vec![(0.0f64, 0usize, 0usize); n_bins]; // (Σp, positives, count)
+    for (&t, &p) in y_true.iter().zip(probs) {
+        let p = p.clamp(0.0, 1.0);
+        let idx = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        let slot = &mut sums[idx];
+        slot.0 += p;
+        slot.1 += usize::from(t);
+        slot.2 += 1;
+    }
+    let width = 1.0 / n_bins as f64;
+    sums.into_iter()
+        .enumerate()
+        .map(|(i, (sum_p, pos, count))| CalibrationBin {
+            lo: i as f64 * width,
+            hi: (i + 1) as f64 * width,
+            mean_predicted: if count > 0 { sum_p / count as f64 } else { f64::NAN },
+            observed_rate: if count > 0 { pos as f64 / count as f64 } else { f64::NAN },
+            count,
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap
+/// between predicted and observed rates across the reliability curve.
+pub fn expected_calibration_error(y_true: &[bool], probs: &[f64], n_bins: usize) -> f64 {
+    let curve = calibration_curve(y_true, probs, n_bins);
+    let n = y_true.len() as f64;
+    curve
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.count as f64 / n) * (b.mean_predicted - b.observed_rate).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_of_perfect_predictions_is_zero() {
+        assert_eq!(brier_score(&[true, false], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn brier_of_constant_half_is_quarter() {
+        let y = [true, false, true, false];
+        assert!((brier_score(&y, &[0.5; 4]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_penalises_confident_mistakes_most() {
+        let y = [true];
+        assert!(brier_score(&y, &[0.0]) > brier_score(&y, &[0.4]));
+    }
+
+    #[test]
+    fn calibration_curve_buckets_probabilities() {
+        let y = [true, true, false, false];
+        let p = [0.9, 0.8, 0.1, 0.2];
+        let curve = calibration_curve(&y, &p, 2);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].count, 2);
+        assert_eq!(curve[0].observed_rate, 0.0);
+        assert!((curve[0].mean_predicted - 0.15).abs() < 1e-12);
+        assert_eq!(curve[1].count, 2);
+        assert_eq!(curve[1].observed_rate, 1.0);
+    }
+
+    #[test]
+    fn empty_buckets_are_nan_not_zero() {
+        let curve = calibration_curve(&[true], &[0.95], 10);
+        assert!(curve[0].mean_predicted.is_nan());
+        assert_eq!(curve[9].count, 1);
+    }
+
+    #[test]
+    fn probability_one_lands_in_last_bucket() {
+        let curve = calibration_curve(&[true], &[1.0], 4);
+        assert_eq!(curve[3].count, 1);
+    }
+
+    #[test]
+    fn ece_of_calibrated_model_is_small() {
+        // 30% predicted, 30% observed in one bucket → ECE ≈ 0.
+        let y: Vec<bool> = (0..100).map(|i| i % 10 < 3).collect();
+        let p = vec![0.3; 100];
+        assert!(expected_calibration_error(&y, &p, 10) < 1e-9);
+    }
+
+    #[test]
+    fn ece_detects_systematic_overconfidence() {
+        // Predicts 0.9 but only 10% positive.
+        let y: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect();
+        let p = vec![0.9; 100];
+        let ece = expected_calibration_error(&y, &p, 10);
+        assert!((ece - 0.8).abs() < 1e-9, "ece {ece}");
+    }
+}

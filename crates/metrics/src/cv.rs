@@ -1,0 +1,242 @@
+//! Resampling: seeded train/test splits and K-fold cross-validation.
+//!
+//! Everything is index-based: splitters return row indices so callers can
+//! slice frames, matrices and label vectors consistently. All randomness
+//! flows from an explicit seed, keeping every experiment reproducible.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One cross-validation fold: disjoint train/validation index sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices used for training.
+    pub train: Vec<usize>,
+    /// Indices used for validation.
+    pub validation: Vec<usize>,
+}
+
+/// Shuffled train/test split. `test_fraction` in (0,1); at least one row
+/// lands on each side when `n >= 2`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0,1)");
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut n_test = (n as f64 * test_fraction).round() as usize;
+    if n >= 2 {
+        n_test = n_test.clamp(1, n - 1);
+    }
+    let test = indices.split_off(n - n_test);
+    (indices, test)
+}
+
+/// Train/test split that keeps all rows of a group (e.g. one patient) on
+/// the same side, preventing within-patient leakage across the boundary.
+/// `groups[i]` is the group id of row `i`.
+pub fn group_train_test_split(
+    groups: &[u64],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0,1)");
+    let mut unique: Vec<u64> = groups.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let mut rng = StdRng::seed_from_u64(seed);
+    unique.shuffle(&mut rng);
+    let mut n_test_groups = (unique.len() as f64 * test_fraction).round() as usize;
+    if unique.len() >= 2 {
+        n_test_groups = n_test_groups.clamp(1, unique.len() - 1);
+    }
+    let test_groups: std::collections::HashSet<u64> =
+        unique[unique.len() - n_test_groups..].iter().copied().collect();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, g) in groups.iter().enumerate() {
+        if test_groups.contains(g) {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Plain K-fold cross validation over `n` rows: shuffle once, cut into
+/// `k` near-equal folds. Panics when `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(k <= n, "k must not exceed the number of rows");
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    chunks_to_folds(&indices, k)
+}
+
+/// Stratified K-fold for binary labels: each fold receives a near-equal
+/// share of positives and negatives. Falls (≈15% positive) needs this —
+/// a plain split can leave a fold with no positive cases at all.
+pub fn stratified_kfold(labels: &[bool], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k must be at least 2");
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        if l {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    // Deal each class round-robin into k validation buckets.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (j, &i) in pos.iter().enumerate() {
+        buckets[j % k].push(i);
+    }
+    for (j, &i) in neg.iter().enumerate() {
+        buckets[j % k].push(i);
+    }
+    buckets_to_folds(buckets, labels.len())
+}
+
+fn chunks_to_folds(shuffled: &[usize], k: usize) -> Vec<Fold> {
+    let n = shuffled.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    let mut boundaries = Vec::with_capacity(k);
+    for fold_idx in 0..k {
+        let size = base + usize::from(fold_idx < extra);
+        boundaries.push((start, start + size));
+        start += size;
+    }
+    for &(lo, hi) in &boundaries {
+        let validation: Vec<usize> = shuffled[lo..hi].to_vec();
+        let train: Vec<usize> = shuffled[..lo]
+            .iter()
+            .chain(&shuffled[hi..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, validation });
+    }
+    folds
+}
+
+fn buckets_to_folds(buckets: Vec<Vec<usize>>, n: usize) -> Vec<Fold> {
+    let mut in_bucket = vec![usize::MAX; n];
+    for (b, bucket) in buckets.iter().enumerate() {
+        for &i in bucket {
+            in_bucket[i] = b;
+        }
+    }
+    buckets
+        .iter()
+        .enumerate()
+        .map(|(b, bucket)| {
+            let validation = bucket.clone();
+            let train = (0..n).filter(|&i| in_bucket[i] != b).collect();
+            Fold { train, validation }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let (train, test) = train_test_split(100, 0.2, 7);
+        assert_eq!(train.len() + test.len(), 100);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let a = train_test_split(50, 0.3, 99);
+        let b = train_test_split(50, 0.3, 99);
+        assert_eq!(a, b);
+        let c = train_test_split(50, 0.3, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_split_keeps_both_sides_nonempty() {
+        let (train, test) = train_test_split(2, 0.01, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn group_split_never_splits_a_group() {
+        // 10 groups × 4 rows.
+        let groups: Vec<u64> = (0..40).map(|i| (i / 4) as u64).collect();
+        let (train, test) = group_train_test_split(&groups, 0.2, 3);
+        let train_groups: HashSet<u64> = train.iter().map(|&i| groups[i]).collect();
+        let test_groups: HashSet<u64> = test.iter().map(|&i| groups[i]).collect();
+        assert!(train_groups.is_disjoint(&test_groups));
+        assert_eq!(train.len() + test.len(), 40);
+        assert_eq!(test_groups.len(), 2);
+    }
+
+    #[test]
+    fn kfold_partitions_validation_sets() {
+        let folds = kfold(23, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            assert_eq!(f.train.len() + f.validation.len(), 23);
+            for &i in &f.validation {
+                assert!(seen.insert(i), "row {i} validated twice");
+                assert!(!f.train.contains(&i));
+            }
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn kfold_sizes_are_balanced() {
+        let folds = kfold(23, 5, 11);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.validation.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn kfold_rejects_k1() {
+        kfold(10, 1, 0);
+    }
+
+    #[test]
+    fn stratified_folds_each_contain_positives() {
+        // 10% positive rate, 100 rows, 5 folds → 2 positives per fold.
+        let labels: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect();
+        let folds = stratified_kfold(&labels, 5, 5);
+        for f in &folds {
+            let pos = f.validation.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(pos, 2, "stratification must balance positives");
+        }
+    }
+
+    #[test]
+    fn stratified_folds_partition_everything() {
+        let labels: Vec<bool> = (0..37).map(|i| i % 5 == 0).collect();
+        let folds = stratified_kfold(&labels, 4, 2);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            for &i in &f.validation {
+                assert!(seen.insert(i));
+            }
+        }
+        assert_eq!(seen.len(), 37);
+    }
+}

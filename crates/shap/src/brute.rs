@@ -1,0 +1,143 @@
+//! Brute-force Shapley reference used only in tests.
+//!
+//! Computes φ_i = Σ_{S ⊆ F\{i}} |S|!(M−|S|−1)!/M! · (v(S∪{i}) − v(S))
+//! by enumerating all 2^M feature subsets, with the coalition value
+//! v(S) = E[f(x) | x_S] estimated by the same cover-weighted tree
+//! traversal path-dependent TreeSHAP uses (Lundberg et al., Alg. 1).
+//! Exponential in features — keep M small in tests.
+
+use msaw_gbdt::{Booster, Node, Tree};
+
+/// Expected value of one tree given that features in `mask` are fixed to
+/// the instance's values and the rest follow the training distribution.
+fn exp_value(tree: &Tree, row: &[f64], mask: u32, idx: usize) -> f64 {
+    match &tree.nodes()[idx] {
+        Node::Leaf { weight, .. } => *weight,
+        Node::Split { feature, threshold, default_left, left, right, cover, .. } => {
+            if mask & (1 << feature) != 0 {
+                let v = row[*feature];
+                let goes_left = if v.is_nan() { *default_left } else { v < *threshold };
+                exp_value(tree, row, mask, if goes_left { *left } else { *right })
+            } else {
+                let cl = tree.nodes()[*left].cover();
+                let cr = tree.nodes()[*right].cover();
+                (cl * exp_value(tree, row, mask, *left)
+                    + cr * exp_value(tree, row, mask, *right))
+                    / cover
+            }
+        }
+    }
+}
+
+/// Coalition value of the whole model for feature subset `mask`.
+fn coalition_value(model: &Booster, row: &[f64], mask: u32) -> f64 {
+    model.base_score()
+        + model.trees().iter().map(|t| exp_value(t, row, mask, 0)).sum::<f64>()
+}
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).map(|k| k as f64).product()
+}
+
+/// Exact Shapley values by subset enumeration (raw-score space).
+pub fn brute_force_shap(model: &Booster, row: &[f64]) -> Vec<f64> {
+    let m = model.n_features();
+    assert!(m <= 20, "brute force is exponential; use few features");
+    let m_fact = factorial(m);
+    let mut phi = vec![0.0; m];
+    for (i, slot) in phi.iter_mut().enumerate() {
+        let bit = 1u32 << i;
+        for mask in 0u32..(1 << m) {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = mask.count_ones() as usize;
+            let weight = factorial(s) * factorial(m - s - 1) / m_fact;
+            let with_i = coalition_value(model, row, mask | bit);
+            let without_i = coalition_value(model, row, mask);
+            *slot += weight * (with_i - without_i);
+        }
+    }
+    phi
+}
+
+/// Exact SHAP *interaction* values by subset enumeration (Fujimoto's
+/// Shapley interaction index, as used by Lundberg et al. §4.2):
+/// `Φ_ij = Σ_{S ⊆ F\{i,j}} |S|!(M−|S|−2)!/(2(M−1)!) · Δ_ij(S)` for
+/// `i ≠ j`, with `Δ_ij(S) = v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S)`,
+/// and diagonal `Φ_ii = φ_i − Σ_{j≠i} Φ_ij`. Returns a row-major M×M
+/// matrix. Exponential — tests only.
+pub fn brute_force_interactions(model: &Booster, row: &[f64]) -> Vec<f64> {
+    let m = model.n_features();
+    assert!((2..=16).contains(&m), "brute force interactions need 2..=16 features");
+    let denom = 2.0 * factorial(m - 1);
+    let mut out = vec![0.0; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let bi = 1u32 << i;
+            let bj = 1u32 << j;
+            let mut phi = 0.0;
+            for mask in 0u32..(1 << m) {
+                if mask & (bi | bj) != 0 {
+                    continue;
+                }
+                let s = mask.count_ones() as usize;
+                let weight = factorial(s) * factorial(m - s - 2) / denom;
+                let delta = coalition_value(model, row, mask | bi | bj)
+                    - coalition_value(model, row, mask | bi)
+                    - coalition_value(model, row, mask | bj)
+                    + coalition_value(model, row, mask);
+                phi += weight * delta;
+            }
+            out[i * m + j] = phi;
+            out[j * m + i] = phi;
+        }
+    }
+    let shap = brute_force_shap(model, row);
+    for i in 0..m {
+        let off: f64 = (0..m).filter(|&j| j != i).map(|j| out[i * m + j]).sum();
+        out[i * m + i] = shap[i] - off;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_gbdt::Params;
+    use msaw_tabular::Matrix;
+
+    #[test]
+    fn efficiency_axiom_holds() {
+        // Σφ = f(x) − v(∅) for the brute-force reference itself.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = Booster::train(
+            &Params { n_estimators: 5, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let row = x.row(11);
+        let phi = brute_force_shap(&model, row);
+        let fx = model.predict_raw_row(row);
+        let v_empty = coalition_value(&model, row, 0);
+        assert!((phi.iter().sum::<f64>() - (fx - v_empty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_mask_reproduces_prediction() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = Booster::train(
+            &Params { n_estimators: 3, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let row = x.row(7);
+        assert!((coalition_value(&model, row, 1) - model.predict_raw_row(row)).abs() < 1e-12);
+    }
+}

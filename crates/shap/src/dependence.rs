@@ -1,0 +1,136 @@
+//! SHAP dependence curves and data-driven threshold extraction (Fig. 7).
+//!
+//! The paper's key interpretability observation is that plotting a PRO
+//! feature's SHAP values against its answer values reveals a cutoff
+//! (e.g. "answers ≥ 3 push the prediction up") that *mimics the expert's
+//! manually chosen KD cutoff* but is identified from data. This module
+//! produces that scatter and extracts the crossing point.
+
+use msaw_tabular::Matrix;
+
+/// One point of a dependence plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DependencePoint {
+    /// The feature's value in the instance.
+    pub feature_value: f64,
+    /// The feature's SHAP value for that instance.
+    pub shap_value: f64,
+}
+
+/// Build the `(feature value, SHAP value)` scatter for one feature.
+/// Rows where the feature is missing are skipped. Points are sorted by
+/// feature value so the curve reads left to right.
+pub fn dependence_curve(data: &Matrix, shap: &Matrix, feature: usize) -> Vec<DependencePoint> {
+    assert_eq!(data.nrows(), shap.nrows(), "row count mismatch");
+    assert_eq!(data.ncols(), shap.ncols(), "feature count mismatch");
+    let mut points: Vec<DependencePoint> = (0..data.nrows())
+        .filter_map(|i| {
+            let v = data.get(i, feature);
+            if v.is_nan() {
+                None
+            } else {
+                Some(DependencePoint { feature_value: v, shap_value: shap.get(i, feature) })
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.feature_value
+            .partial_cmp(&b.feature_value)
+            .expect("NaNs filtered")
+    });
+    points
+}
+
+/// Find the feature value at which the *mean* SHAP value crosses zero:
+/// the data-driven analogue of a KD cutoff.
+///
+/// Groups points by distinct feature value, computes each group's mean
+/// SHAP value, and returns the first value whose mean is on the opposite
+/// sign of the first group's mean. Returns `None` when the curve never
+/// changes sign (no threshold behaviour).
+pub fn sign_change_threshold(points: &[DependencePoint]) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    // Group by distinct feature value (points are sorted).
+    let mut groups: Vec<(f64, f64, usize)> = Vec::new(); // (value, shap sum, count)
+    for p in points {
+        match groups.last_mut() {
+            Some((v, sum, n)) if *v == p.feature_value => {
+                *sum += p.shap_value;
+                *n += 1;
+            }
+            _ => groups.push((p.feature_value, p.shap_value, 1)),
+        }
+    }
+    let mean = |(v, sum, n): &(f64, f64, usize)| (*v, *sum / *n as f64);
+    let (_, first_mean) = mean(&groups[0]);
+    if first_mean == 0.0 {
+        return None;
+    }
+    let start_sign = first_mean > 0.0;
+    for g in &groups[1..] {
+        let (v, m) = mean(g);
+        if m != 0.0 && (m > 0.0) != start_sign {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(v: f64, s: f64) -> DependencePoint {
+        DependencePoint { feature_value: v, shap_value: s }
+    }
+
+    #[test]
+    fn curve_is_sorted_and_skips_missing() {
+        let data = Matrix::from_rows(&[vec![3.0], vec![f64::NAN], vec![1.0]]);
+        let shap = Matrix::from_rows(&[vec![0.5], vec![0.1], vec![-0.5]]);
+        let curve = dependence_curve(&data, &shap, 0);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], pt(1.0, -0.5));
+        assert_eq!(curve[1], pt(3.0, 0.5));
+    }
+
+    #[test]
+    fn threshold_found_at_sign_change() {
+        // Negative below 3, positive from 3 on — the paper's Fig. 7 shape.
+        let points = vec![
+            pt(1.0, -0.4),
+            pt(1.0, -0.3),
+            pt(2.0, -0.1),
+            pt(3.0, 0.2),
+            pt(4.0, 0.5),
+            pt(5.0, 0.6),
+        ];
+        assert_eq!(sign_change_threshold(&points), Some(3.0));
+    }
+
+    #[test]
+    fn no_threshold_for_monotone_same_sign() {
+        let points = vec![pt(1.0, 0.1), pt(2.0, 0.2), pt(3.0, 0.5)];
+        assert_eq!(sign_change_threshold(&points), None);
+    }
+
+    #[test]
+    fn noisy_group_means_decide() {
+        // Individual points cross zero but the group means do not.
+        let points = vec![pt(1.0, -0.5), pt(1.0, 0.1), pt(2.0, -0.6), pt(2.0, 0.2)];
+        assert_eq!(sign_change_threshold(&points), None);
+    }
+
+    #[test]
+    fn empty_curve_has_no_threshold() {
+        assert_eq!(sign_change_threshold(&[]), None);
+    }
+
+    #[test]
+    fn positive_to_negative_also_detected() {
+        let points = vec![pt(1.0, 0.4), pt(2.0, -0.3)];
+        assert_eq!(sign_change_threshold(&points), Some(2.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Global (population-level) SHAP summaries.
+
+use crate::explainer::TreeExplainer;
+use msaw_tabular::Matrix;
+
+/// Population-level importance: mean |SHAP| per feature over a dataset.
+/// This is the statistic behind the `shap.summary_plot` bar view the
+/// paper's global explanations rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSummary {
+    /// `mean_abs[f]` = mean over rows of |φ_f|.
+    pub mean_abs: Vec<f64>,
+    /// Mean signed SHAP value per feature (direction of influence).
+    pub mean_signed: Vec<f64>,
+    /// Number of rows summarised.
+    pub n_rows: usize,
+}
+
+impl GlobalSummary {
+    /// Summarise SHAP values over every row of `data`.
+    pub fn compute(explainer: &TreeExplainer<'_>, data: &Matrix) -> GlobalSummary {
+        let shap = explainer.shap_values(data);
+        Self::from_shap_matrix(&shap)
+    }
+
+    /// Summarise a precomputed SHAP matrix (rows × features).
+    pub fn from_shap_matrix(shap: &Matrix) -> GlobalSummary {
+        let n = shap.nrows().max(1) as f64;
+        let mut mean_abs = vec![0.0; shap.ncols()];
+        let mut mean_signed = vec![0.0; shap.ncols()];
+        for row in shap.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                mean_abs[j] += v.abs();
+                mean_signed[j] += v;
+            }
+        }
+        for j in 0..shap.ncols() {
+            mean_abs[j] /= n;
+            mean_signed[j] /= n;
+        }
+        GlobalSummary { mean_abs, mean_signed, n_rows: shap.nrows() }
+    }
+
+    /// Features ranked by descending mean |SHAP|.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.mean_abs.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.mean_abs[b]
+                .partial_cmp(&self.mean_abs[a])
+                .expect("finite summaries")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Top `k` `(feature, mean_abs_shap)` pairs.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, f64)> {
+        self.ranking().into_iter().take(k).map(|f| (f, self.mean_abs[f])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_gbdt::{Booster, Params};
+
+    #[test]
+    fn informative_feature_ranks_first_globally() {
+        // y depends strongly on x0, weakly on x1, never on x2.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 10) as f64, (i % 4) as f64, 1.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] + 0.5 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = Booster::train(
+            &Params { n_estimators: 30, ..Params::regression() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let explainer = TreeExplainer::new(&model);
+        let summary = GlobalSummary::compute(&explainer, &x);
+        assert_eq!(summary.ranking()[0], 0);
+        assert_eq!(summary.ranking()[2], 2);
+        assert_eq!(summary.mean_abs[2], 0.0);
+        assert_eq!(summary.n_rows, 200);
+    }
+
+    #[test]
+    fn from_shap_matrix_averages_correctly() {
+        let shap = Matrix::from_rows(&[vec![1.0, -2.0], vec![-1.0, 2.0]]);
+        let s = GlobalSummary::from_shap_matrix(&shap);
+        assert_eq!(s.mean_abs, vec![1.0, 2.0]);
+        assert_eq!(s.mean_signed, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let shap = Matrix::from_rows(&[vec![1.0, 3.0, 2.0]]);
+        let s = GlobalSummary::from_shap_matrix(&shap);
+        assert_eq!(s.top_k(2), vec![(1, 3.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let shap = Matrix::zeros(0, 3);
+        let s = GlobalSummary::from_shap_matrix(&shap);
+        assert_eq!(s.mean_abs, vec![0.0; 3]);
+        assert_eq!(s.n_rows, 0);
+    }
+}

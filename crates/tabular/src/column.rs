@@ -1,0 +1,327 @@
+//! Typed column storage.
+
+use crate::schema::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A single column of data. Float columns encode missing values as `NaN`
+/// so the numeric hot paths (aggregation, matrix export, split scanning
+/// downstream in `msaw-gbdt`) never pay for an `Option` discriminant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Column {
+    /// 64-bit floats, `NaN` = missing.
+    Float(Vec<f64>),
+    /// Nullable integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable booleans.
+    Bool(Vec<Option<bool>>),
+    /// Dictionary-encoded categories: `codes[i]` indexes into `categories`.
+    Categorical {
+        /// Per-row category code; `None` = missing.
+        codes: Vec<Option<u32>>,
+        /// The dictionary of category labels.
+        categories: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Build a float column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float(values)
+    }
+
+    /// Build an int column.
+    pub fn from_i64(values: Vec<Option<i64>>) -> Self {
+        Column::Int(values)
+    }
+
+    /// Build a bool column.
+    pub fn from_bool(values: Vec<Option<bool>>) -> Self {
+        Column::Bool(values)
+    }
+
+    /// Build a categorical column by dictionary-encoding the labels in
+    /// first-appearance order.
+    pub fn from_labels<S: AsRef<str>>(labels: &[Option<S>]) -> Self {
+        let mut categories: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(labels.len());
+        for label in labels {
+            match label {
+                None => codes.push(None),
+                Some(l) => {
+                    let l = l.as_ref();
+                    let code = match categories.iter().position(|c| c == l) {
+                        Some(pos) => pos as u32,
+                        None => {
+                            categories.push(l.to_string());
+                            (categories.len() - 1) as u32
+                        }
+                    };
+                    codes.push(Some(code));
+                }
+            }
+        }
+        Column::Categorical { codes, categories }
+    }
+
+    /// Logical type of the column.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Float(_) => DataType::Float,
+            Column::Int(_) => DataType::Int,
+            Column::Bool(_) => DataType::Bool,
+            Column::Categorical { .. } => DataType::Categorical,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of missing entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Float(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Categorical { codes, .. } => codes.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Borrow the float payload, if this is a float column.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the int payload, if this is an int column.
+    pub fn as_i64(&self) -> Option<&[Option<i64>]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the bool payload, if this is a bool column.
+    pub fn as_bool(&self) -> Option<&[Option<bool>]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow categorical codes and dictionary, if categorical.
+    pub fn as_categorical(&self) -> Option<(&[Option<u32>], &[String])> {
+        match self {
+            Column::Categorical { codes, categories } => Some((codes, categories)),
+            _ => None,
+        }
+    }
+
+    /// Value at `row` coerced to `f64`: ints and bools widen, categoricals
+    /// expose their code, missing values become `NaN`.
+    pub fn value_as_f64(&self, row: usize) -> f64 {
+        match self {
+            Column::Float(v) => v[row],
+            Column::Int(v) => v[row].map(|x| x as f64).unwrap_or(f64::NAN),
+            Column::Bool(v) => v[row].map(|x| if x { 1.0 } else { 0.0 }).unwrap_or(f64::NAN),
+            Column::Categorical { codes, .. } => {
+                codes[row].map(|c| c as f64).unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    /// Entire column coerced to `f64` (see [`Column::value_as_f64`]).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            Column::Float(v) => v.clone(),
+            _ => (0..self.len()).map(|i| self.value_as_f64(i)).collect(),
+        }
+    }
+
+    /// Keep only rows where `mask[i]` is true. `mask.len()` must equal
+    /// `self.len()` (enforced by [`crate::Frame::filter`]).
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        fn keep<T: Clone>(values: &[T], mask: &[bool]) -> Vec<T> {
+            values
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+        match self {
+            Column::Float(v) => Column::Float(keep(v, mask)),
+            Column::Int(v) => Column::Int(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Categorical { codes, categories } => Column::Categorical {
+                codes: keep(codes, mask),
+                categories: categories.clone(),
+            },
+        }
+    }
+
+    /// Select rows by index (indices may repeat; each must be in bounds).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, categories } => Column::Categorical {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                categories: categories.clone(),
+            },
+        }
+    }
+
+    /// Append all rows of `other` (same variant required; categorical
+    /// dictionaries are merged by label).
+    pub fn extend_from(&mut self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Float(a), Column::Float(b)) => {
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Int(a), Column::Int(b)) => {
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Bool(a), Column::Bool(b)) => {
+                a.extend_from_slice(b);
+                true
+            }
+            (
+                Column::Categorical { codes: ac, categories: acat },
+                Column::Categorical { codes: bc, categories: bcat },
+            ) => {
+                // Remap b's codes into a's dictionary.
+                let remap: Vec<u32> = bcat
+                    .iter()
+                    .map(|label| match acat.iter().position(|c| c == label) {
+                        Some(pos) => pos as u32,
+                        None => {
+                            acat.push(label.clone());
+                            (acat.len() - 1) as u32
+                        }
+                    })
+                    .collect();
+                ac.extend(bc.iter().map(|c| c.map(|code| remap[code as usize])));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Render the value at `row` for display/CSV. Missing values render
+    /// as the empty string.
+    pub fn render(&self, row: usize) -> String {
+        match self {
+            Column::Float(v) => {
+                if v[row].is_nan() {
+                    String::new()
+                } else {
+                    format!("{}", v[row])
+                }
+            }
+            Column::Int(v) => v[row].map(|x| x.to_string()).unwrap_or_default(),
+            Column::Bool(v) => v[row].map(|x| x.to_string()).unwrap_or_default(),
+            Column::Categorical { codes, categories } => codes[row]
+                .and_then(|c| categories.get(c as usize))
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_null_count_counts_nans() {
+        let c = Column::from_f64(vec![1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn labels_dictionary_encode_in_first_appearance_order() {
+        let c = Column::from_labels(&[Some("modena"), Some("sydney"), Some("modena"), None]);
+        let (codes, cats) = c.as_categorical().unwrap();
+        assert_eq!(cats, &["modena".to_string(), "sydney".to_string()]);
+        assert_eq!(codes, &[Some(0), Some(1), Some(0), None]);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn value_as_f64_widens_all_types() {
+        let f = Column::from_f64(vec![2.5]);
+        let i = Column::from_i64(vec![Some(7)]);
+        let b = Column::from_bool(vec![Some(true)]);
+        let c = Column::from_labels(&[Some("x")]);
+        assert_eq!(f.value_as_f64(0), 2.5);
+        assert_eq!(i.value_as_f64(0), 7.0);
+        assert_eq!(b.value_as_f64(0), 1.0);
+        assert_eq!(c.value_as_f64(0), 0.0);
+    }
+
+    #[test]
+    fn missing_values_widen_to_nan() {
+        let i = Column::from_i64(vec![None]);
+        let b = Column::from_bool(vec![None]);
+        assert!(i.value_as_f64(0).is_nan());
+        assert!(b.value_as_f64(0).is_nan());
+    }
+
+    #[test]
+    fn filter_keeps_masked_rows() {
+        let c = Column::from_f64(vec![1.0, 2.0, 3.0, 4.0]);
+        let filtered = c.filter(&[true, false, true, false]);
+        assert_eq!(filtered.as_f64().unwrap(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::from_i64(vec![Some(10), Some(20), Some(30)]);
+        let taken = c.take(&[2, 0, 0]);
+        assert_eq!(taken.as_i64().unwrap(), &[Some(30), Some(10), Some(10)]);
+    }
+
+    #[test]
+    fn extend_merges_categorical_dictionaries() {
+        let mut a = Column::from_labels(&[Some("modena"), Some("sydney")]);
+        let b = Column::from_labels(&[Some("hong_kong"), Some("modena")]);
+        assert!(a.extend_from(&b));
+        let (codes, cats) = a.as_categorical().unwrap();
+        assert_eq!(cats.len(), 3);
+        assert_eq!(codes.len(), 4);
+        // The appended "modena" must map back to code 0.
+        assert_eq!(codes[3], Some(0));
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_variants() {
+        let mut a = Column::from_f64(vec![1.0]);
+        let b = Column::from_i64(vec![Some(1)]);
+        assert!(!a.extend_from(&b));
+    }
+
+    #[test]
+    fn render_uses_empty_string_for_missing() {
+        let c = Column::from_f64(vec![f64::NAN, 1.5]);
+        assert_eq!(c.render(0), "");
+        assert_eq!(c.render(1), "1.5");
+    }
+}

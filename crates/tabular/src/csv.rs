@@ -1,0 +1,238 @@
+//! Minimal CSV round-trip for [`Frame`]s.
+//!
+//! This exists so experiments can dump generated cohorts and sample sets
+//! to disk for inspection. It handles the subset of CSV the pipeline
+//! produces: comma separation, no embedded commas/quotes in values,
+//! empty string = missing. Output is written through a `BufWriter`
+//! per the I/O guidance (unbuffered writes would syscall per cell).
+
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::frame::Frame;
+use crate::schema::DataType;
+use crate::Result;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Write `frame` as CSV (header + rows).
+pub fn write_csv<W: Write>(frame: &Frame, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    let names = frame.schema().names();
+    writeln!(out, "{}", names.join(","))?;
+    let ncols = frame.ncols();
+    let mut cells: Vec<String> = Vec::with_capacity(ncols);
+    for row in 0..frame.nrows() {
+        cells.clear();
+        for col in 0..ncols {
+            cells.push(frame.column_at(col).expect("in-range").render(row));
+        }
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    out.flush()
+}
+
+/// Column type declarations for [`read_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvSchema {
+    /// `(column name, type)` in file order.
+    pub columns: Vec<(String, DataType)>,
+}
+
+/// Read a CSV produced by [`write_csv`] given explicit column types.
+/// The header must match `schema` by name and order.
+pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(line))) => line,
+        Some((i, Err(e))) => return Err(TabularError::Csv { line: i + 1, message: e.to_string() }),
+        None => return Err(TabularError::Csv { line: 1, message: "empty input".into() }),
+    };
+    let header_names: Vec<&str> = header.split(',').collect();
+    if header_names.len() != schema.columns.len() {
+        return Err(TabularError::Csv {
+            line: 1,
+            message: format!(
+                "expected {} columns, found {}",
+                schema.columns.len(),
+                header_names.len()
+            ),
+        });
+    }
+    for (h, (name, _)) in header_names.iter().zip(&schema.columns) {
+        if h != name {
+            return Err(TabularError::Csv {
+                line: 1,
+                message: format!("header `{h}` does not match schema column `{name}`"),
+            });
+        }
+    }
+
+    enum Builder {
+        Float(Vec<f64>),
+        Int(Vec<Option<i64>>),
+        Bool(Vec<Option<bool>>),
+        Labels(Vec<Option<String>>),
+    }
+    let mut builders: Vec<Builder> = schema
+        .columns
+        .iter()
+        .map(|(_, dtype)| match dtype {
+            DataType::Float => Builder::Float(Vec::new()),
+            DataType::Int => Builder::Int(Vec::new()),
+            DataType::Bool => Builder::Bool(Vec::new()),
+            DataType::Categorical => Builder::Labels(Vec::new()),
+        })
+        .collect();
+
+    for (idx, line) in lines {
+        let line = line.map_err(|e| TabularError::Csv { line: idx + 1, message: e.to_string() })?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != builders.len() {
+            return Err(TabularError::Csv {
+                line: idx + 1,
+                message: format!("expected {} cells, found {}", builders.len(), cells.len()),
+            });
+        }
+        for (cell, builder) in cells.iter().zip(builders.iter_mut()) {
+            match builder {
+                Builder::Float(v) => {
+                    if cell.is_empty() {
+                        v.push(f64::NAN);
+                    } else {
+                        v.push(cell.parse().map_err(|_| TabularError::Csv {
+                            line: idx + 1,
+                            message: format!("invalid float `{cell}`"),
+                        })?);
+                    }
+                }
+                Builder::Int(v) => {
+                    if cell.is_empty() {
+                        v.push(None);
+                    } else {
+                        v.push(Some(cell.parse().map_err(|_| TabularError::Csv {
+                            line: idx + 1,
+                            message: format!("invalid int `{cell}`"),
+                        })?));
+                    }
+                }
+                Builder::Bool(v) => match *cell {
+                    "" => v.push(None),
+                    "true" => v.push(Some(true)),
+                    "false" => v.push(Some(false)),
+                    other => {
+                        return Err(TabularError::Csv {
+                            line: idx + 1,
+                            message: format!("invalid bool `{other}`"),
+                        })
+                    }
+                },
+                Builder::Labels(v) => {
+                    if cell.is_empty() {
+                        v.push(None);
+                    } else {
+                        v.push(Some(cell.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut frame = Frame::new();
+    for ((name, _), builder) in schema.columns.iter().zip(builders) {
+        let column = match builder {
+            Builder::Float(v) => Column::from_f64(v),
+            Builder::Int(v) => Column::from_i64(v),
+            Builder::Bool(v) => Column::from_bool(v),
+            Builder::Labels(v) => Column::from_labels(&v),
+        };
+        frame.push_column(name.clone(), column)?;
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Frame {
+        let mut f = Frame::new();
+        f.push_column("steps", Column::from_f64(vec![4000.0, f64::NAN])).unwrap();
+        f.push_column("visits", Column::from_i64(vec![Some(2), None])).unwrap();
+        f.push_column("fell", Column::from_bool(vec![Some(true), None])).unwrap();
+        f.push_column("clinic", Column::from_labels(&[Some("modena"), Some("sydney")])).unwrap();
+        f
+    }
+
+    fn schema() -> CsvSchema {
+        CsvSchema {
+            columns: vec![
+                ("steps".into(), DataType::Float),
+                ("visits".into(), DataType::Int),
+                ("fell".into(), DataType::Bool),
+                ("clinic".into(), DataType::Categorical),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_missing() {
+        let f = sample();
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let g = read_csv(Cursor::new(buf), &schema()).unwrap();
+        assert_eq!(g.nrows(), 2);
+        let steps = g.f64_column("steps").unwrap();
+        assert_eq!(steps[0], 4000.0);
+        assert!(steps[1].is_nan());
+        assert_eq!(g.i64_column("visits").unwrap(), &[Some(2), None]);
+        assert_eq!(g.bool_column("fell").unwrap(), &[Some(true), None]);
+        let (codes, cats) = g.column("clinic").unwrap().as_categorical().unwrap();
+        assert_eq!(cats, &["modena".to_string(), "sydney".to_string()]);
+        assert_eq!(codes, &[Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let input = "a,b\n1,2\n";
+        let bad = CsvSchema {
+            columns: vec![("a".into(), DataType::Float), ("c".into(), DataType::Float)],
+        };
+        let err = read_csv(Cursor::new(input), &bad).unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let input = "a,b\n1,2\n3\n";
+        let s = CsvSchema {
+            columns: vec![("a".into(), DataType::Float), ("b".into(), DataType::Float)],
+        };
+        let err = read_csv(Cursor::new(input), &s).unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn invalid_cell_reports_line() {
+        let input = "a\nnot_a_number\n";
+        let s = CsvSchema { columns: vec![("a".into(), DataType::Float)] };
+        let err = read_csv(Cursor::new(input), &s).unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let s = CsvSchema { columns: vec![("a".into(), DataType::Float)] };
+        assert!(read_csv(Cursor::new(""), &s).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = "a\n1\n\n2\n";
+        let s = CsvSchema { columns: vec![("a".into(), DataType::Float)] };
+        let f = read_csv(Cursor::new(input), &s).unwrap();
+        assert_eq!(f.nrows(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by every `msaw-tabular` operation.
+
+use std::fmt;
+
+/// Errors produced by frame and column operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// A column was requested by a name the frame does not contain.
+    UnknownColumn(String),
+    /// A column with this name already exists in the frame.
+    DuplicateColumn(String),
+    /// A column of `expected` rows was pushed into a frame of `actual` rows.
+    LengthMismatch { expected: usize, actual: usize },
+    /// A typed accessor was used on a column of a different type.
+    TypeMismatch { column: String, expected: &'static str, actual: &'static str },
+    /// A row index was out of bounds.
+    RowOutOfBounds { index: usize, nrows: usize },
+    /// A categorical code did not map to a known category.
+    UnknownCategory { column: String, code: u32 },
+    /// CSV input could not be parsed.
+    Csv { line: usize, message: String },
+    /// A mask/filter had the wrong length.
+    MaskLength { expected: usize, actual: usize },
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TabularError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            TabularError::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: frame has {expected} rows, column has {actual}")
+            }
+            TabularError::TypeMismatch { column, expected, actual } => {
+                write!(f, "column `{column}` is {actual}, expected {expected}")
+            }
+            TabularError::RowOutOfBounds { index, nrows } => {
+                write!(f, "row index {index} out of bounds for frame of {nrows} rows")
+            }
+            TabularError::UnknownCategory { column, code } => {
+                write!(f, "categorical column `{column}` has no category for code {code}")
+            }
+            TabularError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TabularError::MaskLength { expected, actual } => {
+                write!(f, "filter mask length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_column() {
+        let err = TabularError::UnknownColumn("qol".into());
+        assert!(err.to_string().contains("qol"));
+    }
+
+    #[test]
+    fn display_mentions_lengths() {
+        let err = TabularError::LengthMismatch { expected: 3, actual: 5 };
+        let s = err.to_string();
+        assert!(s.contains('3') && s.contains('5'));
+    }
+}

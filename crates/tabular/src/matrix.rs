@@ -1,0 +1,163 @@
+//! Dense row-major `f64` matrix — the hand-off format between the data
+//! pipeline and the learners. Missing values are `NaN`.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl Matrix {
+    /// Build from a row-major buffer. Panics if `data.len() != nrows * ncols`
+    /// — this is a programmer error, not a data error.
+    pub fn from_vec(data: Vec<f64>, nrows: usize, ncols: usize) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "matrix buffer size mismatch");
+        Matrix { data, nrows, ncols }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix { data: vec![0.0; nrows * ncols], nrows, ncols }
+    }
+
+    /// Build from row slices; all rows must share a length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { data, nrows, ncols }
+    }
+
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Column count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.data[row * self.ncols + col]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.data[row * self.ncols + col] = value;
+    }
+
+    /// Borrow one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        let start = row * self.ncols;
+        &self.data[start..start + self.ncols]
+    }
+
+    /// Copy one column out.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.nrows).map(|i| self.get(i, col)).collect()
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.ncols.max(1)).take(self.nrows)
+    }
+
+    /// New matrix with an extra column appended on the right.
+    pub fn hstack_column(&self, col: &[f64]) -> Matrix {
+        assert_eq!(col.len(), self.nrows, "column length mismatch");
+        let ncols = self.ncols + 1;
+        let mut data = Vec::with_capacity(self.nrows * ncols);
+        for (i, row) in self.rows().enumerate() {
+            data.extend_from_slice(row);
+            data.push(col[i]);
+        }
+        Matrix { data, nrows: self.nrows, ncols }
+    }
+
+    /// New matrix containing only the given rows.
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.ncols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, nrows: indices.len(), ncols: self.ncols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix buffer size mismatch")]
+    fn from_vec_rejects_bad_size() {
+        Matrix::from_vec(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hstack_column_appends_right() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let m2 = m.hstack_column(&[10.0, 20.0]);
+        assert_eq!(m2.ncols(), 2);
+        assert_eq!(m2.row(0), &[1.0, 10.0]);
+        assert_eq!(m2.row(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn take_rows_gathers() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = m.take_rows(&[2, 0]);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.get(0, 0), 3.0);
+        assert_eq!(t.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rows_iterator_counts_rows() {
+        let m = Matrix::zeros(4, 2);
+        assert_eq!(m.rows().count(), 4);
+    }
+
+    #[test]
+    fn zero_column_matrix_is_safe() {
+        let m = Matrix::zeros(3, 0);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-column summary statistics (missing-aware).
+
+use crate::column::Column;
+
+/// Summary of a numeric column: missing values are excluded from every
+/// statistic; `count` is the number of *present* values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Present (non-missing) value count.
+    pub count: usize,
+    /// Missing value count.
+    pub missing: usize,
+    /// Mean of present values (`NaN` when `count == 0`).
+    pub mean: f64,
+    /// Sample standard deviation (`NaN` when `count < 2`).
+    pub std: f64,
+    /// Minimum present value.
+    pub min: f64,
+    /// Maximum present value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice of floats, skipping `NaN`s.
+    pub fn of_slice(values: &[f64]) -> Summary {
+        let mut count = 0usize;
+        let mut missing = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_nan() {
+                missing += 1;
+                continue;
+            }
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let mean = if count > 0 { sum / count as f64 } else { f64::NAN };
+        let std = if count > 1 {
+            let ss: f64 = values
+                .iter()
+                .filter(|v| !v.is_nan())
+                .map(|&v| (v - mean) * (v - mean))
+                .sum();
+            (ss / (count as f64 - 1.0)).sqrt()
+        } else {
+            f64::NAN
+        };
+        if count == 0 {
+            min = f64::NAN;
+            max = f64::NAN;
+        }
+        Summary { count, missing, mean, std, min, max }
+    }
+
+    /// Summarise any column via its `f64` widening.
+    pub fn of_column(column: &Column) -> Summary {
+        match column {
+            Column::Float(v) => Summary::of_slice(v),
+            other => Summary::of_slice(&other.to_f64_vec()),
+        }
+    }
+}
+
+/// Mean of present values; `NaN` for an all-missing slice.
+pub fn nanmean(values: &[f64]) -> f64 {
+    Summary::of_slice(values).mean
+}
+
+/// Quantile of present values using linear interpolation between order
+/// statistics (the same convention as numpy's default). `q` in `[0,1]`.
+/// Returns `NaN` when no values are present.
+pub fn nanquantile(values: &[f64], q: f64) -> f64 {
+    let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if present.is_empty() {
+        return f64::NAN;
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (present.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        present[lo]
+    } else {
+        let frac = pos - lo as f64;
+        present[lo] * (1.0 - frac) + present[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_skips_nans() {
+        let s = Summary::of_slice(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.missing, 1);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_nan() {
+        let s = Summary::of_slice(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+        assert!(s.min.is_nan());
+    }
+
+    #[test]
+    fn std_matches_hand_computation() {
+        let s = Summary::of_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // Sample std of this classic example is ~2.138.
+        assert!((s.std - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nanquantile(&v, 0.0), 1.0);
+        assert_eq!(nanquantile(&v, 1.0), 4.0);
+        assert_eq!(nanquantile(&v, 0.5), 2.5);
+        assert!((nanquantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_ignores_nans() {
+        let v = [f64::NAN, 1.0, f64::NAN, 3.0];
+        assert_eq!(nanquantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_of_all_missing_is_nan() {
+        assert!(nanquantile(&[f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn nanmean_basic() {
+        assert_eq!(nanmean(&[2.0, 4.0, f64::NAN]), 3.0);
+    }
+
+    #[test]
+    fn summary_of_bool_column_widens() {
+        let c = Column::from_bool(vec![Some(true), Some(false), None]);
+        let s = Summary::of_column(&c);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 0.5);
+    }
+}

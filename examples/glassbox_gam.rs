@@ -1,0 +1,72 @@
+//! Glass-box alternative: train the GA²M-style additive model on QoL
+//! and read its shape functions directly — no post-hoc explainer
+//! needed. This is the "intelligible learning framework" road the paper
+//! weighed (and rejected on accuracy grounds) before settling on
+//! gradient boosting + SHAP.
+//!
+//! ```sh
+//! cargo run --release --example glassbox_gam
+//! ```
+
+use mysawh_repro::baselines::{AdditiveModel, GamParams};
+use mysawh_repro::cohort::{generate, CohortConfig};
+use mysawh_repro::core::ExperimentConfig;
+use mysawh_repro::metrics::{one_minus_mape, train_test_split};
+use mysawh_repro::preprocess::{build_samples, FeaturePanel, OutcomeKind};
+
+fn main() {
+    let data = generate(&CohortConfig::paper(42));
+    let cfg = ExperimentConfig::default();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    let set = build_samples(&data, &panel, OutcomeKind::Qol, &cfg.pipeline);
+
+    let (train, test) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+    let x_train = set.features.take_rows(&train);
+    let y_train: Vec<f64> = train.iter().map(|&i| set.labels[i]).collect();
+    println!("training the additive model on {} samples...", train.len());
+    let model = AdditiveModel::train(&GamParams::regression(), &x_train, &y_train)
+        .expect("training succeeds");
+
+    let x_test = set.features.take_rows(&test);
+    let y_test: Vec<f64> = test.iter().map(|&i| set.labels[i]).collect();
+    let preds = model.predict(&x_test);
+    println!("test 1-MAPE: {:.1}%", 100.0 * one_minus_mape(&y_test, &preds));
+
+    // Rank features by the amplitude of their shape functions and print
+    // the strongest ones — the GAM's built-in global explanation.
+    let mut amplitude: Vec<(usize, f64)> = model
+        .shapes
+        .iter()
+        .enumerate()
+        .map(|(f, s)| {
+            let lo = s.values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = s.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (f, hi - lo)
+        })
+        .collect();
+    amplitude.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite amplitudes"));
+
+    println!("\nstrongest shape functions (QoL contribution range):");
+    for &(f, amp) in amplitude.iter().take(5) {
+        let shape = &model.shapes[f];
+        println!("\n  {:<42} range {:.4}", set.feature_names[f], amp);
+        // Print the shape as contribution per bin mid-point.
+        for (b, &v) in shape.values.iter().enumerate().take(shape.cuts.len() + 1) {
+            let label = if b == 0 {
+                format!("< {:.2}", shape.cuts.first().copied().unwrap_or(f64::NAN))
+            } else if b == shape.cuts.len() {
+                format!(">= {:.2}", shape.cuts[b - 1])
+            } else {
+                format!("[{:.2}, {:.2})", shape.cuts[b - 1], shape.cuts[b])
+            };
+            let bar_len = (v.abs() * 400.0).round() as usize;
+            let sign = if v >= 0.0 { '+' } else { '-' };
+            println!("      {label:<16} {sign}{}", "#".repeat(bar_len.min(40)));
+        }
+        println!(
+            "      missing          {:+.4}",
+            shape.values.last().expect("missing bin")
+        );
+    }
+    println!("\nEvery prediction is exactly base + Σ per-feature contributions — glass-box.");
+}

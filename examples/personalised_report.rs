@@ -1,0 +1,71 @@
+//! Personalised medicine with SHAP: produce, for a handful of patients,
+//! the kind of report the paper envisions a clinician receiving — the
+//! prediction plus the ranked features that drove it, including the
+//! global dependence threshold for the most influential PRO item.
+//!
+//! ```sh
+//! cargo run --release --example personalised_report
+//! ```
+
+use mysawh_repro::cohort::{generate, CohortConfig};
+use mysawh_repro::core::experiment::fit_final_model;
+use mysawh_repro::core::interpret::{dependence_report, explain_row, global_ranking};
+use mysawh_repro::core::ExperimentConfig;
+use mysawh_repro::kd::attach_fi;
+use mysawh_repro::preprocess::{build_samples, FeaturePanel, OutcomeKind};
+
+fn main() {
+    let data = generate(&CohortConfig::paper(42));
+    let cfg = ExperimentConfig::default();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    let set = attach_fi(
+        &build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline),
+        &data,
+    );
+    println!("training the SPPB model (DD w/ FI)...");
+    let model = fit_final_model(&set, &cfg);
+
+    // Per-patient reports for the first sample of five distinct patients.
+    let mut seen = std::collections::HashSet::new();
+    let rows: Vec<usize> = (0..set.len())
+        .filter(|&i| seen.insert(set.meta[i].patient))
+        .take(5)
+        .collect();
+    for row in rows {
+        let report = explain_row(&model, &set, row, 3);
+        println!(
+            "\npatient {:>3} ({}): predicted SPPB {:>5.2}",
+            report.patient,
+            set.meta[row].clinic.name(),
+            report.prediction
+        );
+        for a in &report.top {
+            let arrow = if a.shap >= 0.0 { "raises" } else { "lowers" };
+            println!(
+                "    {:<42} = {:>8.2}  {} the prediction by {:.3}",
+                a.feature,
+                a.value,
+                arrow,
+                a.shap.abs()
+            );
+        }
+    }
+
+    // Global view: which features matter across the population, and
+    // where the most influential PRO item's threshold sits.
+    println!("\npopulation-level feature importance (mean |SHAP|):");
+    let ranking = global_ranking(&model, &set, 5);
+    for (name, v) in &ranking {
+        println!("    {:<42} {:>8.4}", name, v);
+    }
+    if let Some(pro) = ranking.iter().map(|(n, _)| n).find(|n| n.starts_with("pro_")) {
+        let dep = dependence_report(&model, &set, pro);
+        match dep.threshold {
+            Some(t) => println!(
+                "\n`{pro}` flips from lowering to raising the prediction at answer ≈ {t:.1} —\n\
+                 a data-derived cutoff, where the KD approach would have hard-coded one."
+            ),
+            None => println!("\n`{pro}` influences the model monotonically (no sign change)."),
+        }
+    }
+}

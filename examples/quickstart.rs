@@ -1,0 +1,50 @@
+//! Quickstart: generate a cohort, build the QoL sample set, train a
+//! data-driven model, evaluate it, and explain one prediction.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mysawh_repro::cohort::{generate, CohortConfig};
+use mysawh_repro::core::{run_variant, Approach, ExperimentConfig};
+use mysawh_repro::core::experiment::fit_final_model;
+use mysawh_repro::core::interpret::explain_row;
+use mysawh_repro::preprocess::{build_samples, FeaturePanel, OutcomeKind};
+
+fn main() {
+    // 1. A deterministic synthetic cohort shaped like MySAwH:
+    //    261 patients, 3 clinics, 18 months of PRO + activity data.
+    let config = CohortConfig::paper(42);
+    let data = generate(&config);
+    println!(
+        "generated {} patients, {} PRO series, {} outcome records",
+        data.patients.len(),
+        data.pro.series.len() * 56,
+        data.outcomes.len()
+    );
+
+    // 2. Quality assurance + monthly aggregation + sample construction.
+    let experiment = ExperimentConfig::default();
+    let panel = FeaturePanel::build(&data, &experiment.pipeline);
+    let set = build_samples(&data, &panel, OutcomeKind::Qol, &experiment.pipeline);
+    println!(
+        "QoL sample set: {} samples x {} features (paper: 2,250)",
+        set.len(),
+        set.features.ncols()
+    );
+
+    // 3. Train and evaluate the data-driven model (80/20 + 5-fold CV).
+    let result = run_variant(&set, Approach::DataDriven, false, &experiment);
+    println!("{}", result.summary_line());
+
+    // 4. Explain one patient's prediction with TreeSHAP.
+    let model = fit_final_model(&set, &experiment);
+    let report = explain_row(&model, &set, 0, 5);
+    println!(
+        "\npatient {}: predicted QoL {:.3}; top-5 drivers:",
+        report.patient, report.prediction
+    );
+    for a in &report.top {
+        println!("  {:<42} value {:>8.2}  SHAP {:>+8.4}", a.feature, a.value, a.shap);
+    }
+}

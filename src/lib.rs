@@ -1,0 +1,43 @@
+//! # mysawh-repro
+//!
+//! Umbrella crate for the reproduction of *"Data-driven vs
+//! knowledge-driven inference of health outcomes in the ageing
+//! population: a case study"* (Ferrari, Guaraldi, Mandreoli, Martoglia,
+//! Milić, Missier — EDBT/ICDT 2020 joint conference workshops).
+//!
+//! It re-exports the workspace crates under one roof so the examples
+//! and integration tests read like downstream user code:
+//!
+//! * [`cohort`] — the synthetic MySAwH cohort simulator (the closed
+//!   clinical dataset's stand-in);
+//! * [`preprocess`] — §3 quality assurance and sample construction;
+//! * [`gbdt`] — the from-scratch XGBoost-style learner;
+//! * [`shap`] — exact path-dependent TreeSHAP;
+//! * [`kd`] — the knowledge-driven Frailty Index and ICI;
+//! * [`metrics`] — evaluation metrics and cross-validation;
+//! * [`core`] — the paper's DD-vs-KD learning framework;
+//! * [`baselines`] — the interpretable comparators (GA²M-style additive
+//!   model, ridge linear/logistic regression);
+//! * [`tabular`] — the columnar data substrate.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mysawh_repro::cohort::{generate, CohortConfig};
+//! use mysawh_repro::core::{run_full_grid, ExperimentConfig};
+//!
+//! let data = generate(&CohortConfig::paper(42));
+//! for result in run_full_grid(&data, &ExperimentConfig::default()) {
+//!     println!("{}", result.summary_line());
+//! }
+//! ```
+
+pub use msaw_baselines as baselines;
+pub use msaw_cohort as cohort;
+pub use msaw_core as core;
+pub use msaw_gbdt as gbdt;
+pub use msaw_kd as kd;
+pub use msaw_metrics as metrics;
+pub use msaw_preprocess as preprocess;
+pub use msaw_shap as shap;
+pub use msaw_tabular as tabular;
