@@ -48,20 +48,19 @@ pub fn run_grid_for_samples(sets: &VariantSets, cfg: &ExperimentConfig) -> Vec<V
 /// parallel — they share nothing but the immutable panel.
 pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantResult> {
     let panel = FeaturePanel::build(data, &cfg.pipeline);
-    let results: Vec<Vec<VariantResult>> = crossbeam::thread::scope(|s| {
+    let results: Vec<Vec<VariantResult>> = std::thread::scope(|s| {
         let handles: Vec<_> = OutcomeKind::ALL
             .iter()
             .map(|&outcome| {
                 let panel = &panel;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let sets = build_variant_sets(data, panel, outcome, cfg);
                     run_grid_for_samples(&sets, cfg)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -261,11 +261,11 @@ pub fn find_best_exact(
     }
     let threads = threads.min(features.len());
     let chunk = features.len().div_ceil(threads);
-    let results: Vec<Option<SplitCandidate>> = crossbeam::thread::scope(|s| {
+    let results: Vec<Option<SplitCandidate>> = std::thread::scope(|s| {
         let handles: Vec<_> = features
             .chunks(chunk)
             .map(|fs| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut tracker = BestTracker::new(cfg, total_g, total_h);
                     let mut scratch = Vec::with_capacity(rows.len());
                     for &f in fs {
@@ -279,8 +279,7 @@ pub fn find_best_exact(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("split worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut tracker = BestTracker::new(cfg, total_g, total_h);
     let mut best = None;
     for r in results {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_patient_split-6ea1f3c39f091462.d: crates/bench/src/bin/ablation_patient_split.rs
+
+/root/repo/target/debug/deps/ablation_patient_split-6ea1f3c39f091462: crates/bench/src/bin/ablation_patient_split.rs
+
+crates/bench/src/bin/ablation_patient_split.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sparsity-3c602b62f4f2546c.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/debug/deps/ablation_sparsity-3c602b62f4f2546c: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_learners-2dfc804d6624cfa5.d: crates/bench/src/bin/baseline_learners.rs
+
+/root/repo/target/debug/deps/baseline_learners-2dfc804d6624cfa5: crates/bench/src/bin/baseline_learners.rs
+
+crates/bench/src/bin/baseline_learners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-dcd868e027d832e6.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-dcd868e027d832e6: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ceb691f1f9a1c286.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ceb691f1f9a1c286: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

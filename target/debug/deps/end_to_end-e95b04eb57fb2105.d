@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e95b04eb57fb2105.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e95b04eb57fb2105: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_cohort-734824f2bb36280f.d: crates/bench/src/bin/export_cohort.rs
+
+/root/repo/target/debug/deps/export_cohort-734824f2bb36280f: crates/bench/src/bin/export_cohort.rs
+
+crates/bench/src/bin/export_cohort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falls_calibration-3f4b8de3ad881c25.d: crates/bench/src/bin/falls_calibration.rs
+
+/root/repo/target/debug/deps/falls_calibration-3f4b8de3ad881c25: crates/bench/src/bin/falls_calibration.rs
+
+crates/bench/src/bin/falls_calibration.rs:

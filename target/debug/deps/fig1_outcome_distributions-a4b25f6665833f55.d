@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_outcome_distributions-a4b25f6665833f55.d: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+/root/repo/target/debug/deps/fig1_outcome_distributions-a4b25f6665833f55: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:

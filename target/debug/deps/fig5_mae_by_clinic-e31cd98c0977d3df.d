@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mae_by_clinic-e31cd98c0977d3df.d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+/root/repo/target/debug/deps/fig5_mae_by_clinic-e31cd98c0977d3df: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:

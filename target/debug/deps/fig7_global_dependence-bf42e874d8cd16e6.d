@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_global_dependence-bf42e874d8cd16e6.d: crates/bench/src/bin/fig7_global_dependence.rs
+
+/root/repo/target/debug/deps/fig7_global_dependence-bf42e874d8cd16e6: crates/bench/src/bin/fig7_global_dependence.rs
+
+crates/bench/src/bin/fig7_global_dependence.rs:

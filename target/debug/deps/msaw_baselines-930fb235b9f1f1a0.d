@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_baselines-930fb235b9f1f1a0.d: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+/root/repo/target/debug/deps/libmsaw_baselines-930fb235b9f1f1a0.rlib: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+/root/repo/target/debug/deps/libmsaw_baselines-930fb235b9f1f1a0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gam.rs:
+crates/baselines/src/linear.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_baselines-f227ab746a320601.d: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+/root/repo/target/debug/deps/msaw_baselines-f227ab746a320601: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gam.rs:
+crates/baselines/src/linear.rs:

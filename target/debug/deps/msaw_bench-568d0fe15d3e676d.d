@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msaw_bench-568d0fe15d3e676d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msaw_bench-568d0fe15d3e676d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

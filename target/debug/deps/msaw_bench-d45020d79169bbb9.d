@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_bench-d45020d79169bbb9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-d45020d79169bbb9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-d45020d79169bbb9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

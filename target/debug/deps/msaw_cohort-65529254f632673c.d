@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/msaw_cohort-65529254f632673c.d: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs
+
+/root/repo/target/debug/deps/libmsaw_cohort-65529254f632673c.rlib: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs
+
+/root/repo/target/debug/deps/libmsaw_cohort-65529254f632673c.rmeta: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs
+
+crates/cohort/src/lib.rs:
+crates/cohort/src/activity.rs:
+crates/cohort/src/clinical.rs:
+crates/cohort/src/config.rs:
+crates/cohort/src/domains.rs:
+crates/cohort/src/generator.rs:
+crates/cohort/src/missing.rs:
+crates/cohort/src/outcomes.rs:
+crates/cohort/src/patient.rs:
+crates/cohort/src/pro.rs:
+crates/cohort/src/rng.rs:
+crates/cohort/src/trajectory.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msaw_cohort-e3b8f72c8715ca4a.d: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs
+
+/root/repo/target/debug/deps/msaw_cohort-e3b8f72c8715ca4a: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs
+
+crates/cohort/src/lib.rs:
+crates/cohort/src/activity.rs:
+crates/cohort/src/clinical.rs:
+crates/cohort/src/config.rs:
+crates/cohort/src/domains.rs:
+crates/cohort/src/generator.rs:
+crates/cohort/src/missing.rs:
+crates/cohort/src/outcomes.rs:
+crates/cohort/src/patient.rs:
+crates/cohort/src/pro.rs:
+crates/cohort/src/rng.rs:
+crates/cohort/src/trajectory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_kd-9b25b72ce653871a.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/libmsaw_kd-9b25b72ce653871a.rlib: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/libmsaw_kd-9b25b72ce653871a.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

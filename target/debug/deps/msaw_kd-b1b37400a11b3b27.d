@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_kd-b1b37400a11b3b27.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/msaw_kd-b1b37400a11b3b27: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

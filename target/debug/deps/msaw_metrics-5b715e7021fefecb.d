@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msaw_metrics-5b715e7021fefecb.d: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/debug/deps/libmsaw_metrics-5b715e7021fefecb.rlib: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/debug/deps/libmsaw_metrics-5b715e7021fefecb.rmeta: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/boxplot.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/cv.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/regression.rs:

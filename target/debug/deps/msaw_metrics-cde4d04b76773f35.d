@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_metrics-cde4d04b76773f35.d: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/debug/deps/msaw_metrics-cde4d04b76773f35: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/boxplot.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/cv.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/regression.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msaw_preprocess-22caeda432aa9c30.d: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/libmsaw_preprocess-22caeda432aa9c30.rlib: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/libmsaw_preprocess-22caeda432aa9c30.rmeta: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+crates/preprocess/src/lib.rs:
+crates/preprocess/src/aggregate.rs:
+crates/preprocess/src/interpolate.rs:
+crates/preprocess/src/samples.rs:

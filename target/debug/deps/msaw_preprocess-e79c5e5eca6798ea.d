@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msaw_preprocess-e79c5e5eca6798ea.d: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/msaw_preprocess-e79c5e5eca6798ea: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+crates/preprocess/src/lib.rs:
+crates/preprocess/src/aggregate.rs:
+crates/preprocess/src/interpolate.rs:
+crates/preprocess/src/samples.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_shap-05d4ef63695b602d.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs
+
+/root/repo/target/debug/deps/libmsaw_shap-05d4ef63695b602d.rlib: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs
+
+/root/repo/target/debug/deps/libmsaw_shap-05d4ef63695b602d.rmeta: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:

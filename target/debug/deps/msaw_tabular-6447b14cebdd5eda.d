@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msaw_tabular-6447b14cebdd5eda.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs
+
+/root/repo/target/debug/deps/msaw_tabular-6447b14cebdd5eda: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/frame.rs:
+crates/tabular/src/matrix.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mysawh_repro-5d2fff6986b4fa72.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-5d2fff6986b4fa72.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-5d2fff6986b4fa72.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mysawh_repro-fa9365ad52482a4a.d: src/lib.rs
+
+/root/repo/target/debug/deps/mysawh_repro-fa9365ad52482a4a: src/lib.rs
+
+src/lib.rs:

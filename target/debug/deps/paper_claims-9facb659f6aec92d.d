@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9facb659f6aec92d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9facb659f6aec92d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

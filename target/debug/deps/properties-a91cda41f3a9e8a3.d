@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a91cda41f3a9e8a3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a91cda41f3a9e8a3: tests/properties.rs
+
+tests/properties.rs:

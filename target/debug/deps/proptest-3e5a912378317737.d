@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3e5a912378317737.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-3e5a912378317737: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

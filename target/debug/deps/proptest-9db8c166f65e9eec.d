@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9db8c166f65e9eec.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9db8c166f65e9eec.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9db8c166f65e9eec.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

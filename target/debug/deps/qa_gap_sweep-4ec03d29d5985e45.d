@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qa_gap_sweep-4ec03d29d5985e45.d: crates/bench/src/bin/qa_gap_sweep.rs
+
+/root/repo/target/debug/deps/qa_gap_sweep-4ec03d29d5985e45: crates/bench/src/bin/qa_gap_sweep.rs
+
+crates/bench/src/bin/qa_gap_sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8c797e701af2f110.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8c797e701af2f110.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8c797e701af2f110.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fdf676c4135c4416.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-fdf676c4135c4416: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

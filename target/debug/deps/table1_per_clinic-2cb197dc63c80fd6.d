@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_per_clinic-2cb197dc63c80fd6.d: crates/bench/src/bin/table1_per_clinic.rs
+
+/root/repo/target/debug/deps/table1_per_clinic-2cb197dc63c80fd6: crates/bench/src/bin/table1_per_clinic.rs
+
+crates/bench/src/bin/table1_per_clinic.rs:

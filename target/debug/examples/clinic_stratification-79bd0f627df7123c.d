@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clinic_stratification-79bd0f627df7123c.d: examples/clinic_stratification.rs
+
+/root/repo/target/debug/examples/clinic_stratification-79bd0f627df7123c: examples/clinic_stratification.rs
+
+examples/clinic_stratification.rs:

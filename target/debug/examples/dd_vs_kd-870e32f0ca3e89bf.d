@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dd_vs_kd-870e32f0ca3e89bf.d: examples/dd_vs_kd.rs
+
+/root/repo/target/debug/examples/dd_vs_kd-870e32f0ca3e89bf: examples/dd_vs_kd.rs
+
+examples/dd_vs_kd.rs:

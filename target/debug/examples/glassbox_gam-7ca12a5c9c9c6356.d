@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/glassbox_gam-7ca12a5c9c9c6356.d: examples/glassbox_gam.rs
+
+/root/repo/target/debug/examples/glassbox_gam-7ca12a5c9c9c6356: examples/glassbox_gam.rs
+
+examples/glassbox_gam.rs:

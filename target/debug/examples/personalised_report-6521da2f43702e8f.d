@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personalised_report-6521da2f43702e8f.d: examples/personalised_report.rs
+
+/root/repo/target/debug/examples/personalised_report-6521da2f43702e8f: examples/personalised_report.rs
+
+examples/personalised_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-195ef17a489c1d8f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-195ef17a489c1d8f: examples/quickstart.rs
+
+examples/quickstart.rs:

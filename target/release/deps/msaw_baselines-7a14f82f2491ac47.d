@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msaw_baselines-7a14f82f2491ac47.d: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+/root/repo/target/release/deps/libmsaw_baselines-7a14f82f2491ac47.rlib: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+/root/repo/target/release/deps/libmsaw_baselines-7a14f82f2491ac47.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gam.rs:
+crates/baselines/src/linear.rs:

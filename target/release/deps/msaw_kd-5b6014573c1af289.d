@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msaw_kd-5b6014573c1af289.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/release/deps/libmsaw_kd-5b6014573c1af289.rlib: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/release/deps/libmsaw_kd-5b6014573c1af289.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msaw_metrics-72cab3246ac6548e.d: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/release/deps/libmsaw_metrics-72cab3246ac6548e.rlib: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/release/deps/libmsaw_metrics-72cab3246ac6548e.rmeta: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/boxplot.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/cv.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/regression.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msaw_tabular-3debabc2c6c47138.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs
+
+/root/repo/target/release/deps/libmsaw_tabular-3debabc2c6c47138.rlib: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs
+
+/root/repo/target/release/deps/libmsaw_tabular-3debabc2c6c47138.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/frame.rs:
+crates/tabular/src/matrix.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mysawh_repro-d52cda8150cfc46e.d: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-d52cda8150cfc46e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-d52cda8150cfc46e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e3b687fe55f8f509.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e3b687fe55f8f509.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e3b687fe55f8f509.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-9abc134e16ed02b8.d: examples/probe.rs
+
+/root/repo/target/release/examples/probe-9abc134e16ed02b8: examples/probe.rs
+
+examples/probe.rs:

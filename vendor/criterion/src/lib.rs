@@ -1,0 +1,184 @@
+//! Vendored stand-in for `criterion` (the build environment has no
+//! crates.io access), covering the harness surface this workspace's
+//! benches use: `Criterion`, `benchmark_group` with `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of upstream's statistical analysis it runs a short warmup,
+//! then `sample_size` timed samples, and prints median / mean / min
+//! per benchmark — enough to compare runs by eye on this single-core
+//! container without pulling in plotting or rayon stacks.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone (`group/param`).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+
+    /// An id rendering as `function/param`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample, recording wall-clock durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call so lazy init / cache effects settle.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({} samples)",
+        samples.len()
+    );
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut b);
+    report(name, &mut b.samples);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, label), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.label), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        run_bench(label, self.sample_size, f);
+        self
+    }
+}
+
+/// Re-exported for closures that want an explicit optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 5 };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6, "warmup plus samples");
+    }
+
+    #[test]
+    fn group_runs_parameterised_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! result types as forward-looking annotation, but no code path actually
+//! serialises through serde (the trained-model format is the hand-rolled
+//! binary codec in `msaw-gbdt::serialize`). Since the build environment
+//! cannot reach crates.io, this shim supplies the two names as blanket
+//! marker traits plus no-op derive macros, keeping every `use serde::…`
+//! and `#[derive(...)]` in the tree compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

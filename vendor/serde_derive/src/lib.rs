@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and this workspace
+//! only ever uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotation — nothing serialises through serde at runtime (the binary
+//! model format lives in `msaw-gbdt::serialize`). These derives therefore
+//! expand to nothing; the marker traits in the sibling `serde` shim are
+//! blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
