@@ -5,35 +5,18 @@
 //! land in both train and test, and samples from one window share their
 //! label. This ablation quantifies how much of the headline score that
 //! leakage is worth by comparing the paper's protocol against a
-//! grouped split that keeps each patient entirely on one side.
+//! grouped split that keeps each patient entirely on one side —
+//! both runs go through the same `run_variant` pipeline, toggled by
+//! `ExperimentConfig::split_by_patient`.
 
 use msaw_bench::{experiment_config, paper_cohort, pct};
-use msaw_core::{run_variant, Approach};
-use msaw_metrics::{group_train_test_split, one_minus_mape, ConfusionMatrix};
-use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
-
-/// Evaluate with a per-patient grouped 80/20 split, same learner.
-fn grouped_score(set: &SampleSet, cfg: &msaw_core::ExperimentConfig) -> f64 {
-    let groups = set.patient_groups();
-    let (train, test) = group_train_test_split(&groups, cfg.test_fraction, cfg.seed);
-    let x_train = set.features.take_rows(&train);
-    let y_train: Vec<f64> = train.iter().map(|&i| set.labels[i]).collect();
-    let x_test = set.features.take_rows(&test);
-    let y_test: Vec<f64> = test.iter().map(|&i| set.labels[i]).collect();
-    let model = msaw_gbdt::Booster::train(cfg.params_for(set.outcome), &x_train, &y_train)
-        .expect("training succeeds");
-    let preds = model.predict(&x_test);
-    if set.outcome.is_classification() {
-        let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
-        ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold).accuracy()
-    } else {
-        one_minus_mape(&y_test, &preds)
-    }
-}
+use msaw_core::{run_variant, Approach, ExperimentConfig};
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 
 fn main() {
     let data = paper_cohort();
     let cfg = experiment_config();
+    let grouped_cfg = ExperimentConfig { split_by_patient: true, ..cfg.clone() };
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
 
     println!("Ablation — sample-level split (paper protocol) vs per-patient grouped split");
@@ -42,7 +25,8 @@ fn main() {
     for outcome in OutcomeKind::ALL {
         let set = build_samples(&data, &panel, outcome, &cfg.pipeline);
         let paper_style = run_variant(&set, Approach::DataDriven, false, &cfg).primary_metric();
-        let grouped = grouped_score(&set, &cfg);
+        let grouped =
+            run_variant(&set, Approach::DataDriven, false, &grouped_cfg).primary_metric();
         println!(
             "{:<7} | {:>20} | {:>15} | {:>+14.1}pp",
             outcome.name(),

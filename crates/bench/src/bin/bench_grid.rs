@@ -1,0 +1,86 @@
+//! Performance tracking for the 12-model grid: times `run_full_grid`
+//! on `CohortConfig::small` and writes `BENCH_grid.json` (wall-time per
+//! variant plus the end-to-end total) so the grid's perf trajectory is
+//! recorded from run to run.
+//!
+//! Usage: `cargo run --release -p msaw-bench --bin bench_grid [out.json]`
+
+use std::time::Instant;
+
+use msaw_bench::EXPERIMENT_SEED;
+use msaw_cohort::{generate, CohortConfig};
+use msaw_core::grid::build_variant_sets;
+use msaw_core::{run_full_grid, run_variant, Approach, ExperimentConfig};
+use msaw_preprocess::{FeaturePanel, OutcomeKind};
+
+/// Median of at least one timed repetition, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_grid.json".to_string());
+    let data = generate(&CohortConfig::small(EXPERIMENT_SEED));
+    let cfg = ExperimentConfig { seed: EXPERIMENT_SEED, ..ExperimentConfig::fast() };
+    eprintln!(
+        "timing the 12-model grid on the small cohort ({} patients)...",
+        data.patients.len()
+    );
+
+    // Per-variant timings: one fit pipeline per variant, run in the same
+    // canonical order the grid uses.
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    let mut variants: Vec<(String, f64)> = Vec::new();
+    for outcome in OutcomeKind::ALL {
+        let sets = build_variant_sets(&data, &panel, outcome, &cfg);
+        let jobs = [
+            ("kd", &sets.kd, Approach::KnowledgeDriven, false),
+            ("kd_fi", &sets.kd_fi, Approach::KnowledgeDriven, true),
+            ("dd", &sets.dd, Approach::DataDriven, false),
+            ("dd_fi", &sets.dd_fi, Approach::DataDriven, true),
+        ];
+        for (tag, set, approach, with_fi) in jobs {
+            let secs = time_median(1, || {
+                std::hint::black_box(run_variant(set, approach, with_fi, &cfg));
+            });
+            let name = format!("{}_{}", outcome.name().to_lowercase(), tag);
+            eprintln!("  {name:<12} {secs:.3}s");
+            variants.push((name, secs));
+        }
+    }
+
+    // End-to-end grid wall time (median of 3: single-run noise on a
+    // shared box is easily 10%+).
+    let total = time_median(3, || {
+        std::hint::black_box(run_full_grid(&data, &cfg));
+    });
+    eprintln!("run_full_grid total: {total:.3}s");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"cohort\": \"small\",\n  \"patients\": {},\n  \"seed\": {},\n",
+        data.patients.len(),
+        EXPERIMENT_SEED
+    ));
+    json.push_str("  \"variants_secs\": {\n");
+    for (i, (name, secs)) in variants.iter().enumerate() {
+        let comma = if i + 1 < variants.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {secs:.6}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"variants_total_secs\": {:.6},\n",
+        variants.iter().map(|(_, s)| s).sum::<f64>()
+    ));
+    json.push_str(&format!("  \"run_full_grid_secs\": {total:.6}\n}}\n"));
+    std::fs::write(&out_path, json).expect("write BENCH_grid.json");
+    println!("wrote {out_path}");
+}

@@ -28,6 +28,12 @@ pub struct ExperimentConfig {
     /// Off by default: the paper trained unweighted models (its KD Falls
     /// model without FI collapses to the majority class as a result).
     pub auto_balance_falls: bool,
+    /// Keep each patient entirely on one side of the 80/20 split.
+    /// Off by default: the paper splits at the *sample* level, so a
+    /// patient's monthly samples can straddle train and test. Turning
+    /// this on quantifies the within-patient leakage that protocol
+    /// admits (see the `ablation_patient_split` binary).
+    pub split_by_patient: bool,
 }
 
 impl ExperimentConfig {
@@ -80,6 +86,7 @@ impl Default for ExperimentConfig {
             pipeline: PipelineConfig::default(),
             decision_threshold: 0.5,
             auto_balance_falls: false,
+            split_by_patient: false,
         }
     }
 }
@@ -94,6 +101,8 @@ mod tests {
         let cfg = ExperimentConfig::default();
         assert_eq!(cfg.test_fraction, 0.2);
         assert!(cfg.cv_folds >= 2);
+        // The paper's split is sample-level, leakage and all.
+        assert!(!cfg.split_by_patient);
         assert!(matches!(cfg.classification_params.objective, Objective::Logistic { .. }));
         assert!(matches!(cfg.regression_params.objective, Objective::SquaredError));
     }

@@ -3,7 +3,8 @@
 
 use crate::config::ExperimentConfig;
 use msaw_gbdt::{Booster, Objective, Params};
-use msaw_metrics::{kfold, train_test_split, ConfusionMatrix};
+use msaw_metrics::{group_train_test_split, kfold, stratified_kfold, train_test_split,
+    ConfusionMatrix};
 use msaw_metrics::{mae, one_minus_mape};
 use msaw_preprocess::{OutcomeKind, SampleSet};
 use serde::{Deserialize, Serialize};
@@ -151,9 +152,33 @@ fn score(model: &Booster, set: &SampleSet, rows: &[usize], threshold: f64) -> f6
     }
 }
 
+/// The 80/20 split the protocol uses: sample-level (the paper's
+/// default) or per-patient grouped when `cfg.split_by_patient` is set.
+fn split_train_test(set: &SampleSet, cfg: &ExperimentConfig) -> (Vec<usize>, Vec<usize>) {
+    if cfg.split_by_patient {
+        group_train_test_split(&set.patient_groups(), cfg.test_fraction, cfg.seed)
+    } else {
+        train_test_split(set.len(), cfg.test_fraction, cfg.seed)
+    }
+}
+
+/// CV folds over the training rows: stratified on the labels for
+/// classification outcomes (Falls is imbalanced enough that a plain
+/// KFold can hand a fold a lopsided class mix), plain KFold otherwise.
+/// Fold indices are positions into `train_rows`.
+fn cv_folds(set: &SampleSet, train_rows: &[usize], cfg: &ExperimentConfig)
+    -> Vec<msaw_metrics::Fold> {
+    if set.outcome.is_classification() {
+        let labels: Vec<bool> = train_rows.iter().map(|&i| set.labels[i] == 1.0).collect();
+        stratified_kfold(&labels, cfg.cv_folds, cfg.seed ^ 0x5eed)
+    } else {
+        kfold(train_rows.len(), cfg.cv_folds, cfg.seed ^ 0x5eed)
+    }
+}
+
 /// Run the paper's protocol on one prepared sample set: shuffle-split
-/// 80/20, K-fold CV on the training side, final fit on all training
-/// rows, report on the held-out 20%.
+/// 80/20, K-fold CV on the training side (stratified for Falls), final
+/// fit on all training rows, report on the held-out 20%.
 pub fn run_variant(
     set: &SampleSet,
     approach: Approach,
@@ -162,12 +187,12 @@ pub fn run_variant(
 ) -> VariantResult {
     assert!(!set.is_empty(), "cannot evaluate an empty sample set");
     let params = cfg.params_for(set.outcome);
-    let (train_rows, test_rows) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+    let (train_rows, test_rows) = split_train_test(set, cfg);
 
     // Cross-validation within the training split.
     let mut cv_scores = Vec::with_capacity(cfg.cv_folds);
     if train_rows.len() >= cfg.cv_folds * 2 {
-        for fold in kfold(train_rows.len(), cfg.cv_folds, cfg.seed ^ 0x5eed) {
+        for fold in cv_folds(set, &train_rows, cfg) {
             let fold_train: Vec<usize> = fold.train.iter().map(|&i| train_rows[i]).collect();
             let fold_val: Vec<usize> = fold.validation.iter().map(|&i| train_rows[i]).collect();
             let model = fit(set, &fold_train, params, cfg.auto_balance_falls);
@@ -210,7 +235,7 @@ pub fn run_variant(
 /// Train a final model on the full 80% training split of a sample set
 /// (the model the interpretation experiments explain).
 pub fn fit_final_model(set: &SampleSet, cfg: &ExperimentConfig) -> Booster {
-    let (train_rows, _) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+    let (train_rows, _) = split_train_test(set, cfg);
     fit(set, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)
 }
 
@@ -302,6 +327,61 @@ mod tests {
         match p.objective {
             Objective::Logistic { scale_pos_weight } => assert_eq!(scale_pos_weight, 4.0),
             _ => panic!("wrong objective"),
+        }
+    }
+
+    #[test]
+    fn grouped_split_keeps_patients_on_one_side() {
+        let set = qol_set();
+        let cfg = ExperimentConfig { split_by_patient: true, ..ExperimentConfig::fast() };
+        let (train, test) = split_train_test(&set, &cfg);
+        assert_eq!(train.len() + test.len(), set.len());
+        let train_patients: std::collections::HashSet<u32> =
+            train.iter().map(|&i| set.meta[i].patient.0).collect();
+        for &i in &test {
+            assert!(
+                !train_patients.contains(&set.meta[i].patient.0),
+                "patient {} leaked across the grouped split",
+                set.meta[i].patient.0
+            );
+        }
+        // And the run itself still completes under the grouped protocol.
+        let r = run_variant(&set, Approach::DataDriven, false, &cfg);
+        assert!(r.primary_metric().is_finite());
+    }
+
+    #[test]
+    fn sample_split_is_the_default_and_unchanged() {
+        let set = qol_set();
+        let cfg = ExperimentConfig::fast();
+        let (train, test) = split_train_test(&set, &cfg);
+        let (t2, v2) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
+        assert_eq!(train, t2);
+        assert_eq!(test, v2);
+    }
+
+    #[test]
+    fn classification_cv_is_stratified() {
+        let set = falls_set();
+        let cfg = ExperimentConfig::fast();
+        let (train_rows, _) = split_train_test(&set, &cfg);
+        let folds = cv_folds(&set, &train_rows, &cfg);
+        assert_eq!(folds.len(), cfg.cv_folds);
+        let total_pos = train_rows.iter().filter(|&&i| set.labels[i] == 1.0).count();
+        let overall = total_pos as f64 / train_rows.len() as f64;
+        for fold in &folds {
+            let pos = fold
+                .validation
+                .iter()
+                .filter(|&&i| set.labels[train_rows[i]] == 1.0)
+                .count();
+            let rate = pos as f64 / fold.validation.len() as f64;
+            // Round-robin dealing keeps every fold within one sample of
+            // the overall positive rate.
+            assert!(
+                (rate - overall).abs() <= 1.5 / fold.validation.len() as f64 + 1e-12,
+                "fold positive rate {rate:.3} strays from overall {overall:.3}"
+            );
         }
     }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_grid-fe16cb3fa53e4a95.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/debug/deps/bench_grid-fe16cb3fa53e4a95: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_grid-86875bed1737b6bc.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/release/deps/bench_grid-86875bed1737b6bc: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msaw_bench-429294eb8cca5192.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-429294eb8cca5192.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-429294eb8cca5192.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
