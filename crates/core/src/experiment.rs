@@ -2,7 +2,7 @@
 //! approach (DD or KD), and whether the baseline FI is included.
 
 use crate::config::ExperimentConfig;
-use msaw_gbdt::{Booster, Objective, Params};
+use msaw_gbdt::{Booster, Objective, Params, TrainingContext};
 use msaw_metrics::{group_train_test_split, kfold, stratified_kfold, train_test_split,
     ConfusionMatrix};
 use msaw_metrics::{mae, one_minus_mape};
@@ -124,26 +124,35 @@ fn balanced_params(base: &Params, labels: &[f64]) -> Params {
     }
 }
 
-/// Train on the given rows of `set` and return the fitted model.
-/// `auto_balance` switches on the class-weight recipe; the paper's
-/// models did not reweight (which is exactly why its KD Falls model
-/// without FI collapses to the majority class).
-fn fit(set: &SampleSet, rows: &[usize], params: &Params, auto_balance: bool) -> Booster {
-    let x = set.features.take_rows(rows);
+/// Train on a row view of `set` through its shared context — no row
+/// copying, no re-binning. `auto_balance` switches on the class-weight
+/// recipe; the paper's models did not reweight (which is exactly why
+/// its KD Falls model without FI collapses to the majority class).
+fn fit_rows(
+    set: &SampleSet,
+    ctx: &TrainingContext<'_>,
+    rows: &[usize],
+    params: &Params,
+    auto_balance: bool,
+) -> Booster {
     let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
     let params = if set.outcome.is_classification() && auto_balance {
         balanced_params(params, &y)
     } else {
         params.clone()
     };
-    Booster::train(&params, &x, &y).expect("training failed on valid inputs")
+    Booster::train_on_rows(&params, ctx, rows, &y).expect("training failed on valid inputs")
+}
+
+/// Predict a row view in place — no materialised sub-matrix.
+fn predict_rows(model: &Booster, set: &SampleSet, rows: &[usize]) -> Vec<f64> {
+    rows.iter().map(|&i| model.predict_row(set.features.row(i))).collect()
 }
 
 /// Score a fitted model on the given rows: the primary metric.
 fn score(model: &Booster, set: &SampleSet, rows: &[usize], threshold: f64) -> f64 {
-    let x = set.features.take_rows(rows);
     let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
-    let preds = model.predict(&x);
+    let preds = predict_rows(model, set, rows);
     if set.outcome.is_classification() {
         let labels: Vec<bool> = y.iter().map(|&l| l == 1.0).collect();
         ConfusionMatrix::from_probabilities(&labels, &preds, threshold).accuracy()
@@ -176,6 +185,144 @@ fn cv_folds(set: &SampleSet, train_rows: &[usize], cfg: &ExperimentConfig)
     }
 }
 
+/// One variant, prepared for fitting: the sample set's shared training
+/// context (matrix indexed and binned exactly once) plus the protocol's
+/// 80/20 split and CV folds, all in absolute row indices.
+///
+/// A plan is immutable and `Sync`: its fit jobs are independent and may
+/// run on any thread in any order — [`run_fit_job`] is a pure function
+/// of `(plan, job)` — which is what lets [`crate::grid::run_full_grid`]
+/// fan the whole grid's jobs across one bounded worker pool.
+pub struct VariantPlan<'a> {
+    set: &'a SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    ctx: TrainingContext<'a>,
+    train_rows: Vec<usize>,
+    test_rows: Vec<usize>,
+    /// Per fold: (training rows, validation rows), absolute indices.
+    folds: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+/// One unit of training work inside a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitJob {
+    /// Fit fold `i` on its training rows, score its validation rows.
+    Fold(usize),
+    /// Fit the final model on the full 80% split, score the held-out 20%.
+    Final,
+}
+
+/// The result of one [`FitJob`].
+#[derive(Debug, Clone)]
+pub enum FitOutput {
+    /// A fold's primary metric on its validation rows.
+    CvScore(f64),
+    /// The final model's test-set evaluation.
+    Final {
+        /// Regression scores (QoL, SPPB).
+        regression: Option<RegressionScores>,
+        /// Classification report (Falls).
+        classification: Option<msaw_metrics::BinaryReport>,
+    },
+}
+
+/// Prepare one variant: build its shared context (the set's matrix is
+/// quantised here, once, on the calling thread) and freeze the
+/// protocol's split and folds.
+pub fn plan_variant<'a>(
+    set: &'a SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+) -> VariantPlan<'a> {
+    assert!(!set.is_empty(), "cannot evaluate an empty sample set");
+    let (train_rows, test_rows) = split_train_test(set, cfg);
+    let folds = if train_rows.len() >= cfg.cv_folds * 2 {
+        cv_folds(set, &train_rows, cfg)
+            .into_iter()
+            .map(|fold| {
+                (
+                    fold.train.iter().map(|&i| train_rows[i]).collect(),
+                    fold.validation.iter().map(|&i| train_rows[i]).collect(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    VariantPlan { set, approach, with_fi, ctx: set.training_context(), train_rows, test_rows, folds }
+}
+
+impl VariantPlan<'_> {
+    /// The fit jobs of this variant, in canonical order: every CV fold,
+    /// then the final model.
+    pub fn jobs(&self) -> impl Iterator<Item = FitJob> {
+        (0..self.folds.len()).map(FitJob::Fold).chain(std::iter::once(FitJob::Final))
+    }
+}
+
+/// Execute one fit job against a plan. Pure in `(plan, job, cfg)`:
+/// safe to call from any thread, results independent of scheduling.
+pub fn run_fit_job(plan: &VariantPlan<'_>, job: FitJob, cfg: &ExperimentConfig) -> FitOutput {
+    let params = cfg.params_for(plan.set.outcome);
+    match job {
+        FitJob::Fold(i) => {
+            let (fold_train, fold_val) = &plan.folds[i];
+            let model = fit_rows(plan.set, &plan.ctx, fold_train, params, cfg.auto_balance_falls);
+            FitOutput::CvScore(score(&model, plan.set, fold_val, cfg.decision_threshold))
+        }
+        FitJob::Final => {
+            let model =
+                fit_rows(plan.set, &plan.ctx, &plan.train_rows, params, cfg.auto_balance_falls);
+            let y_test: Vec<f64> = plan.test_rows.iter().map(|&i| plan.set.labels[i]).collect();
+            let preds = predict_rows(&model, plan.set, &plan.test_rows);
+            if plan.set.outcome.is_classification() {
+                let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
+                let cm =
+                    ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold);
+                FitOutput::Final { regression: None, classification: Some(cm.report()) }
+            } else {
+                FitOutput::Final {
+                    regression: Some(RegressionScores {
+                        one_minus_mape: one_minus_mape(&y_test, &preds),
+                        mae: mae(&y_test, &preds),
+                    }),
+                    classification: None,
+                }
+            }
+        }
+    }
+}
+
+/// Assemble a [`VariantResult`] from a plan and its job outputs, which
+/// must be in the plan's canonical job order (folds, then final).
+pub fn finish_variant(plan: &VariantPlan<'_>, outputs: Vec<FitOutput>) -> VariantResult {
+    let mut cv_scores = Vec::with_capacity(plan.folds.len());
+    let mut regression = None;
+    let mut classification = None;
+    for out in outputs {
+        match out {
+            FitOutput::CvScore(s) => cv_scores.push(s),
+            FitOutput::Final { regression: r, classification: c } => {
+                regression = r;
+                classification = c;
+            }
+        }
+    }
+    assert_eq!(cv_scores.len(), plan.folds.len(), "one CV score per fold");
+    VariantResult {
+        outcome: plan.set.outcome,
+        approach: plan.approach,
+        with_fi: plan.with_fi,
+        regression,
+        classification,
+        cv_scores,
+        n_train: plan.train_rows.len(),
+        n_test: plan.test_rows.len(),
+    }
+}
+
 /// Run the paper's protocol on one prepared sample set: shuffle-split
 /// 80/20, K-fold CV on the training side (stratified for Falls), final
 /// fit on all training rows, report on the held-out 20%.
@@ -185,58 +332,17 @@ pub fn run_variant(
     with_fi: bool,
     cfg: &ExperimentConfig,
 ) -> VariantResult {
-    assert!(!set.is_empty(), "cannot evaluate an empty sample set");
-    let params = cfg.params_for(set.outcome);
-    let (train_rows, test_rows) = split_train_test(set, cfg);
-
-    // Cross-validation within the training split.
-    let mut cv_scores = Vec::with_capacity(cfg.cv_folds);
-    if train_rows.len() >= cfg.cv_folds * 2 {
-        for fold in cv_folds(set, &train_rows, cfg) {
-            let fold_train: Vec<usize> = fold.train.iter().map(|&i| train_rows[i]).collect();
-            let fold_val: Vec<usize> = fold.validation.iter().map(|&i| train_rows[i]).collect();
-            let model = fit(set, &fold_train, params, cfg.auto_balance_falls);
-            cv_scores.push(score(&model, set, &fold_val, cfg.decision_threshold));
-        }
-    }
-
-    // Final model on the full training split, evaluated on the test split.
-    let model = fit(set, &train_rows, params, cfg.auto_balance_falls);
-    let x_test = set.features.take_rows(&test_rows);
-    let y_test: Vec<f64> = test_rows.iter().map(|&i| set.labels[i]).collect();
-    let preds = model.predict(&x_test);
-
-    let (regression, classification) = if set.outcome.is_classification() {
-        let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
-        let cm = ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold);
-        (None, Some(cm.report()))
-    } else {
-        (
-            Some(RegressionScores {
-                one_minus_mape: one_minus_mape(&y_test, &preds),
-                mae: mae(&y_test, &preds),
-            }),
-            None,
-        )
-    };
-
-    VariantResult {
-        outcome: set.outcome,
-        approach,
-        with_fi,
-        regression,
-        classification,
-        cv_scores,
-        n_train: train_rows.len(),
-        n_test: test_rows.len(),
-    }
+    let plan = plan_variant(set, approach, with_fi, cfg);
+    let outputs: Vec<FitOutput> = plan.jobs().map(|job| run_fit_job(&plan, job, cfg)).collect();
+    finish_variant(&plan, outputs)
 }
 
 /// Train a final model on the full 80% training split of a sample set
 /// (the model the interpretation experiments explain).
 pub fn fit_final_model(set: &SampleSet, cfg: &ExperimentConfig) -> Booster {
     let (train_rows, _) = split_train_test(set, cfg);
-    fit(set, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)
+    let ctx = set.training_context();
+    fit_rows(set, &ctx, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)
 }
 
 #[cfg(test)]

@@ -2,10 +2,15 @@
 //! clinic, its Table 1): 3 outcomes × {DD, KD} × {w/o FI, w/ FI}.
 
 use crate::config::ExperimentConfig;
-use crate::experiment::{run_variant, Approach, VariantResult};
+use crate::experiment::{
+    finish_variant, plan_variant, run_fit_job, run_variant, Approach, FitJob, FitOutput,
+    VariantPlan, VariantResult,
+};
 use msaw_cohort::{Clinic, CohortData};
 use msaw_kd::{attach_fi, default_ici_spec, ici_sample_set};
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The four sample-set variants for one outcome, ready to train on.
 pub struct VariantSets {
@@ -44,24 +49,71 @@ pub fn run_grid_for_samples(sets: &VariantSets, cfg: &ExperimentConfig) -> Vec<V
     ]
 }
 
-/// Run the full 12-model grid over a cohort (Fig. 4). Outcomes run in
-/// parallel — they share nothing but the immutable panel.
+/// The bounded size of the grid's worker pool: one worker per available
+/// core, never more than there are jobs.
+fn worker_pool_size(n_jobs: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, n_jobs.max(1))
+}
+
+/// Run every fit job of every plan across one bounded worker pool and
+/// reassemble the results in the plans' canonical order.
+///
+/// The queue is a single atomic cursor over the flattened job list;
+/// each worker claims the next unclaimed job and writes its output into
+/// that job's dedicated slot. Because every job is a pure function of
+/// its plan (see [`run_fit_job`]) and reassembly is keyed by job index,
+/// the result is byte-identical regardless of worker count or
+/// interleaving.
+fn run_plans(plans: &[VariantPlan<'_>], cfg: &ExperimentConfig) -> Vec<VariantResult> {
+    let jobs: Vec<(usize, FitJob)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(p, plan)| plan.jobs().map(move |job| (p, job)))
+        .collect();
+    let slots: Vec<OnceLock<FitOutput>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..worker_pool_size(jobs.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(p, job)) = jobs.get(i) else { break };
+                let out = run_fit_job(&plans[p], job, cfg);
+                slots[i].set(out).ok().expect("each job slot is written once");
+            });
+        }
+    });
+    let mut outputs: Vec<Vec<FitOutput>> = plans.iter().map(|_| Vec::new()).collect();
+    for (&(p, _), slot) in jobs.iter().zip(slots) {
+        outputs[p].push(slot.into_inner().expect("worker pool completed every job"));
+    }
+    plans.iter().zip(outputs).map(|(plan, out)| finish_variant(plan, out)).collect()
+}
+
+/// Run the full 12-model grid over a cohort (Fig. 4).
+///
+/// Every variant's sample set is indexed and binned exactly once, on
+/// this thread, by [`plan_variant`]; the ~72 resulting fold/final fits
+/// are then fanned across one bounded worker pool, so parallelism
+/// scales with fits rather than with the 3 outcomes.
 pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantResult> {
     let panel = FeaturePanel::build(data, &cfg.pipeline);
-    let results: Vec<Vec<VariantResult>> = std::thread::scope(|s| {
-        let handles: Vec<_> = OutcomeKind::ALL
-            .iter()
-            .map(|&outcome| {
-                let panel = &panel;
-                s.spawn(move || {
-                    let sets = build_variant_sets(data, panel, outcome, cfg);
-                    run_grid_for_samples(&sets, cfg)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
-    });
-    results.into_iter().flatten().collect()
+    let all_sets: Vec<VariantSets> = OutcomeKind::ALL
+        .iter()
+        .map(|&outcome| build_variant_sets(data, &panel, outcome, cfg))
+        .collect();
+    let plans: Vec<VariantPlan<'_>> = all_sets
+        .iter()
+        .flat_map(|sets| {
+            [
+                (&sets.kd, Approach::KnowledgeDriven, false),
+                (&sets.kd_fi, Approach::KnowledgeDriven, true),
+                (&sets.dd, Approach::DataDriven, false),
+                (&sets.dd_fi, Approach::DataDriven, true),
+            ]
+        })
+        .map(|(set, approach, with_fi)| plan_variant(set, approach, with_fi, cfg))
+        .collect();
+    run_plans(&plans, cfg)
 }
 
 /// Run the grid restricted to one clinic's patients (Table 1 rows).
@@ -151,6 +203,23 @@ mod tests {
                 outcome.name()
             );
         }
+    }
+
+    #[test]
+    fn grid_bins_each_variant_exactly_once() {
+        // The engine's headline economy: one quantisation pass per
+        // variant sample set, no matter how many folds train on it.
+        // (The counter is thread-local; contexts are built on the
+        // calling thread by `plan_variant`, so the delta is exact.)
+        let data = generate(&CohortConfig::small(42));
+        let before = msaw_gbdt::binning::fit_count();
+        let results = run_full_grid(&data, &ExperimentConfig::fast());
+        assert_eq!(results.len(), 12);
+        assert_eq!(
+            msaw_gbdt::binning::fit_count() - before,
+            12,
+            "run_full_grid must quantise each of the 12 variant sets exactly once"
+        );
     }
 
     #[test]

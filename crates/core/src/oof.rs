@@ -13,15 +13,16 @@ use std::collections::BTreeMap;
 pub fn oof_predictions(set: &SampleSet, cfg: &ExperimentConfig) -> Vec<f64> {
     assert!(set.len() >= cfg.cv_folds * 2, "too few samples for OOF");
     let params = cfg.params_for(set.outcome);
+    // One shared context: the matrix is indexed once and every fold's
+    // model trains on a row view of it.
+    let ctx = set.training_context();
     let mut preds = vec![f64::NAN; set.len()];
     for fold in kfold(set.len(), cfg.cv_folds, cfg.seed ^ 0x00f) {
-        let x_train = set.features.take_rows(&fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&i| set.labels[i]).collect();
-        let model =
-            Booster::train(params, &x_train, &y_train).expect("training failed on valid inputs");
-        let x_val = set.features.take_rows(&fold.validation);
-        for (&row, pred) in fold.validation.iter().zip(model.predict(&x_val)) {
-            preds[row] = pred;
+        let model = Booster::train_on_rows(params, &ctx, &fold.train, &y_train)
+            .expect("training failed on valid inputs");
+        for &row in &fold.validation {
+            preds[row] = model.predict_row(set.features.row(row));
         }
     }
     debug_assert!(preds.iter().all(|p| !p.is_nan()));

@@ -8,9 +8,25 @@
 //! regardless of how many distinct values exist.
 
 use msaw_tabular::Matrix;
+use std::cell::Cell;
 
 /// Sentinel bin code for missing values.
 const MISSING: u16 = u16::MAX;
+
+thread_local! {
+    /// Number of [`BinnedMatrix::fit`] calls on this thread. Tests use
+    /// the delta across a grid run to prove each variant's matrix is
+    /// quantised exactly once. Thread-local (not atomic) so a test's
+    /// count cannot be polluted by other tests running in parallel;
+    /// contexts are built on the calling thread, so the grid's fits all
+    /// land on the counter of the thread that invoked it.
+    static FIT_COUNT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Total `BinnedMatrix::fit` calls made by the current thread.
+pub fn fit_count() -> usize {
+    FIT_COUNT.with(|c| c.get())
+}
 
 /// A matrix pre-quantised into per-feature quantile bins.
 #[derive(Debug, Clone)]
@@ -26,14 +42,28 @@ pub struct BinnedMatrix {
 
 impl BinnedMatrix {
     /// Quantise `data` into at most `max_bins` bins per feature.
+    ///
+    /// Every call recomputes cut points from scratch; the shared
+    /// `TrainingContext` calls this exactly once per sample set (the
+    /// [`fit_count`] counter is how tests verify that invariant).
     pub fn fit(data: &Matrix, max_bins: u16) -> BinnedMatrix {
         assert!(max_bins >= 2, "need at least 2 bins");
-        let nrows = data.nrows();
+        FIT_COUNT.with(|c| c.set(c.get() + 1));
         let ncols = data.ncols();
         let mut cuts = Vec::with_capacity(ncols);
         for j in 0..ncols {
             cuts.push(feature_cuts(&data.column(j), max_bins));
         }
+        Self::with_cuts(data, cuts)
+    }
+
+    /// Encode `data` against an already-computed cut set (pure
+    /// re-quantisation, no cut fitting). `cuts` must have one entry per
+    /// feature column.
+    pub fn with_cuts(data: &Matrix, cuts: Vec<Vec<f64>>) -> BinnedMatrix {
+        let nrows = data.nrows();
+        let ncols = data.ncols();
+        assert_eq!(cuts.len(), ncols, "one cut set per feature required");
         let mut codes = vec![0u16; nrows * ncols];
         for i in 0..nrows {
             for j in 0..ncols {
@@ -62,6 +92,12 @@ impl BinnedMatrix {
     /// Cut points (split thresholds) for a feature.
     pub fn cuts(&self, feature: usize) -> &[f64] {
         &self.cuts[feature]
+    }
+
+    /// All per-feature cut sets, cloned (e.g. to re-encode another
+    /// matrix against the same quantisation via [`Self::with_cuts`]).
+    pub fn clone_cuts(&self) -> Vec<Vec<f64>> {
+        self.cuts.clone()
     }
 
     /// Bin code of `(row, feature)`; `None` = missing.

@@ -1,11 +1,12 @@
 //! Tree growing and the boosting loop.
 
 use crate::binning::BinnedMatrix;
+use crate::context::{ExactIndex, TrainingContext};
+use crate::engine::{grow_tree, Backend, RoundCtx};
 use crate::error::GbdtError;
 use crate::objective::Objective;
 use crate::params::{Params, TreeMethod};
-use crate::split::{find_best_exact, find_best_hist, SplitCandidate, SplitConfig};
-use crate::tree::{Node, Tree};
+use crate::tree::Tree;
 use crate::Result;
 use msaw_tabular::Matrix;
 use rand::prelude::*;
@@ -52,6 +53,10 @@ impl Booster {
 
     /// Train with an optional `(eval_data, eval_labels)` set for early
     /// stopping, returning the full loss history.
+    ///
+    /// This standalone path prepares only the index its `tree_method`
+    /// needs; repeated fits over subsets of one matrix should go through
+    /// a shared [`TrainingContext`] and [`Self::train_on_rows`] instead.
     pub fn train_with_eval(
         params: &Params,
         data: &Matrix,
@@ -76,109 +81,49 @@ impl Booster {
         }
         params.objective.validate_labels(labels)?;
 
-        let base_score = params.objective.base_score(labels);
-        let binned = match params.tree_method {
-            TreeMethod::Hist { max_bins } => Some(BinnedMatrix::fit(data, max_bins)),
-            TreeMethod::Exact => None,
+        let map: Vec<usize> = (0..nrows).collect();
+        match params.tree_method {
+            TreeMethod::Hist { max_bins } => {
+                let binned = BinnedMatrix::fit(data, max_bins);
+                train_core(params, data, &map, labels, &Backend::Hist(&binned), eval)
+            }
+            TreeMethod::Exact => {
+                let index = ExactIndex::fit(data);
+                train_core(params, data, &map, labels, &Backend::Exact(&index), eval)
+            }
+        }
+    }
+
+    /// Train on a row-index view of a shared [`TrainingContext`] — no
+    /// `take_rows` copy, no re-binning, no re-sorting. `labels` is
+    /// position-aligned with `rows` (`labels[i]` belongs to full-matrix
+    /// row `rows[i]`).
+    ///
+    /// For `TreeMethod::Exact` the result is bit-for-bit identical to
+    /// materialising the rows and calling [`Self::train`]. For
+    /// `TreeMethod::Hist` the context's shared full-matrix cuts are used
+    /// (the method's `max_bins` is ignored in favour of the context's).
+    pub fn train_on_rows(
+        params: &Params,
+        ctx: &TrainingContext,
+        rows: &[usize],
+        labels: &[f64],
+    ) -> Result<Booster> {
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(GbdtError::EmptyDataset);
+        }
+        if labels.len() != rows.len() {
+            return Err(GbdtError::LabelLength { rows: rows.len(), labels: labels.len() });
+        }
+        debug_assert!(rows.iter().all(|&r| r < ctx.nrows()), "row index out of bounds");
+        params.objective.validate_labels(labels)?;
+
+        let backend = match params.tree_method {
+            TreeMethod::Hist { .. } => Backend::Hist(ctx.binned()),
+            TreeMethod::Exact => Backend::Exact(ctx.exact()),
         };
-
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut raw = vec![base_score; nrows];
-        let mut eval_raw = eval.map(|(ed, _)| vec![base_score; ed.nrows()]);
-        let mut grad = vec![0.0; nrows];
-        let mut hess = vec![0.0; nrows];
-        let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
-        let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
-        let mut best_eval = f64::INFINITY;
-        let mut best_round = 0usize;
-
-        let all_rows: Vec<usize> = (0..nrows).collect();
-        let all_cols: Vec<usize> = (0..data.ncols()).collect();
-
-        for round in 0..params.n_estimators {
-            params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
-
-            // Row subsampling (without replacement).
-            let rows: Vec<usize> = if params.subsample < 1.0 {
-                let n_keep = ((nrows as f64 * params.subsample).round() as usize).max(1);
-                let mut shuffled = all_rows.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.truncate(n_keep);
-                shuffled
-            } else {
-                all_rows.clone()
-            };
-
-            // Column subsampling per tree.
-            let cols: Vec<usize> = if params.colsample_bytree < 1.0 {
-                let n_keep =
-                    ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
-                let mut shuffled = all_cols.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.truncate(n_keep);
-                shuffled
-            } else {
-                all_cols.clone()
-            };
-
-            let grower = Grower {
-                data,
-                binned: binned.as_ref(),
-                grad: &grad,
-                hess: &hess,
-                features: &cols,
-                params,
-            };
-            let tree = grower.grow(rows);
-
-            // Update raw predictions on every training row (standard GBM:
-            // subsampling affects fitting, not the ensemble update).
-            for (i, r) in raw.iter_mut().enumerate() {
-                *r += tree.predict_row(data.row(i));
-            }
-            let train_loss = params.objective.loss(labels, &raw);
-
-            let eval_loss = if let (Some((ed, el)), Some(eraw)) = (eval, eval_raw.as_mut()) {
-                for (i, r) in eraw.iter_mut().enumerate() {
-                    *r += tree.predict_row(ed.row(i));
-                }
-                Some(params.objective.loss(el, eraw))
-            } else {
-                None
-            };
-
-            trees.push(tree);
-            history.push(EvalRecord { round, train_loss, eval_loss });
-
-            if let Some(el) = eval_loss {
-                if el < best_eval - 1e-12 {
-                    best_eval = el;
-                    best_round = round + 1;
-                } else if params.early_stopping_rounds > 0
-                    && round + 1 >= best_round + params.early_stopping_rounds
-                {
-                    break;
-                }
-            } else {
-                best_round = round + 1;
-            }
-        }
-
-        // With early stopping, keep only the trees up to the best round.
-        if eval.is_some() && params.early_stopping_rounds > 0 {
-            trees.truncate(best_round.max(1));
-        }
-        let kept = trees.len();
-        Ok(TrainReport {
-            booster: Booster {
-                trees,
-                base_score,
-                objective: params.objective,
-                n_features: data.ncols(),
-            },
-            history,
-            best_round: kept,
-        })
+        Ok(train_core(params, ctx.data(), rows, labels, &backend, None)?.booster)
     }
 
     /// Raw (untransformed) score for one row.
@@ -233,106 +178,113 @@ impl Booster {
     }
 }
 
-/// Recursive tree grower for one boosting round.
-struct Grower<'a> {
-    data: &'a Matrix,
-    binned: Option<&'a BinnedMatrix>,
-    grad: &'a [f64],
-    hess: &'a [f64],
-    features: &'a [usize],
-    params: &'a Params,
-}
+/// The boosting loop, shared by the standalone and shared-context entry
+/// points. Works in *position space*: position `p` of the training view
+/// maps to full-matrix row `map[p]`; `labels`, gradients and raw scores
+/// are position-indexed, and the RNG subsamples positions — exactly the
+/// index space the old copy-then-train path used on a materialised
+/// subset, which is what keeps the exact path bit-identical to it.
+fn train_core(
+    params: &Params,
+    data: &Matrix,
+    map: &[usize],
+    labels: &[f64],
+    backend: &Backend,
+    eval: Option<(&Matrix, &[f64])>,
+) -> Result<TrainReport> {
+    let nrows = map.len();
+    let base_score = params.objective.base_score(labels);
 
-impl Grower<'_> {
-    fn grow(&self, rows: Vec<usize>) -> Tree {
-        let mut tree = Tree::new();
-        let g: f64 = rows.iter().map(|&r| self.grad[r]).sum();
-        let h: f64 = rows.iter().map(|&r| self.hess[r]).sum();
-        self.grow_node(&mut tree, rows, 0, g, h);
-        tree
-    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut raw = vec![base_score; nrows];
+    let mut eval_raw = eval.map(|(ed, _)| vec![base_score; ed.nrows()]);
+    let mut grad = vec![0.0; nrows];
+    let mut hess = vec![0.0; nrows];
+    let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
+    let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
+    let mut best_eval = f64::INFINITY;
+    let mut best_round = 0usize;
 
-    fn leaf(&self, tree: &mut Tree, g: f64, h: f64) -> usize {
-        let weight = -g / (h + self.params.lambda) * self.params.learning_rate;
-        tree.push(Node::Leaf { weight, cover: h })
-    }
+    let all_rows: Vec<usize> = (0..nrows).collect();
+    let all_cols: Vec<usize> = (0..data.ncols()).collect();
 
-    fn find_split(&self, rows: &[usize], g: f64, h: f64) -> Option<SplitCandidate> {
-        let cfg = SplitConfig {
-            lambda: self.params.lambda,
-            gamma: self.params.gamma,
-            min_child_weight: self.params.min_child_weight,
-        };
-        match self.binned {
-            Some(binned) => {
-                find_best_hist(binned, rows, self.grad, self.hess, self.features, g, h, cfg)
-            }
-            None => {
-                let threads = if rows.len() >= self.params.parallel_split_threshold {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
-                } else {
-                    1
-                };
-                find_best_exact(
-                    self.data,
-                    rows,
-                    self.grad,
-                    self.hess,
-                    self.features,
-                    g,
-                    h,
-                    cfg,
-                    threads,
-                )
-            }
-        }
-    }
+    for round in 0..params.n_estimators {
+        params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
 
-    fn grow_node(&self, tree: &mut Tree, rows: Vec<usize>, depth: usize, g: f64, h: f64) -> usize {
-        if depth >= self.params.max_depth || rows.len() < 2 {
-            return self.leaf(tree, g, h);
-        }
-        let Some(split) = self.find_split(&rows, g, h) else {
-            return self.leaf(tree, g, h);
+        // Row subsampling (without replacement), in position space.
+        let rows: Vec<usize> = if params.subsample < 1.0 {
+            let n_keep = ((nrows as f64 * params.subsample).round() as usize).max(1);
+            let mut shuffled = all_rows.clone();
+            shuffled.shuffle(&mut rng);
+            shuffled.truncate(n_keep);
+            shuffled
+        } else {
+            all_rows.clone()
         };
 
-        let mut left_rows = Vec::with_capacity(rows.len() / 2);
-        let mut right_rows = Vec::with_capacity(rows.len() / 2);
-        for &r in &rows {
-            let v = self.data.get(r, split.feature);
-            let goes_left =
-                if v.is_nan() { split.default_left } else { v < split.threshold };
-            if goes_left {
-                left_rows.push(r);
-            } else {
-                right_rows.push(r);
-            }
-        }
-        // A candidate with an empty side can only arise from numerical
-        // pathology; fall back to a leaf rather than recurse forever.
-        if left_rows.is_empty() || right_rows.is_empty() {
-            return self.leaf(tree, g, h);
-        }
+        // Column subsampling per tree.
+        let cols: Vec<usize> = if params.colsample_bytree < 1.0 {
+            let n_keep =
+                ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
+            let mut shuffled = all_cols.clone();
+            shuffled.shuffle(&mut rng);
+            shuffled.truncate(n_keep);
+            shuffled
+        } else {
+            all_cols.clone()
+        };
 
-        let node_idx = tree.push(Node::Split {
-            feature: split.feature,
-            threshold: split.threshold,
-            default_left: split.default_left,
-            left: usize::MAX,
-            right: usize::MAX,
-            cover: h,
-            gain: split.gain,
-        });
-        let left_idx =
-            self.grow_node(tree, left_rows, depth + 1, split.left_grad, split.left_hess);
-        let right_idx =
-            self.grow_node(tree, right_rows, depth + 1, split.right_grad, split.right_hess);
-        if let Node::Split { left, right, .. } = &mut tree.nodes_mut()[node_idx] {
-            *left = left_idx;
-            *right = right_idx;
+        let rctx = RoundCtx { map, grad: &grad, hess: &hess, features: &cols, params };
+        let tree = grow_tree(backend, &rctx, rows);
+
+        // Update raw predictions on every training row (standard GBM:
+        // subsampling affects fitting, not the ensemble update).
+        for (p, r) in raw.iter_mut().enumerate() {
+            *r += tree.predict_row(data.row(map[p]));
         }
-        node_idx
+        let train_loss = params.objective.loss(labels, &raw);
+
+        let eval_loss = if let (Some((ed, el)), Some(eraw)) = (eval, eval_raw.as_mut()) {
+            for (i, r) in eraw.iter_mut().enumerate() {
+                *r += tree.predict_row(ed.row(i));
+            }
+            Some(params.objective.loss(el, eraw))
+        } else {
+            None
+        };
+
+        trees.push(tree);
+        history.push(EvalRecord { round, train_loss, eval_loss });
+
+        if let Some(el) = eval_loss {
+            if el < best_eval - 1e-12 {
+                best_eval = el;
+                best_round = round + 1;
+            } else if params.early_stopping_rounds > 0
+                && round + 1 >= best_round + params.early_stopping_rounds
+            {
+                break;
+            }
+        } else {
+            best_round = round + 1;
+        }
     }
+
+    // With early stopping, keep only the trees up to the best round.
+    if eval.is_some() && params.early_stopping_rounds > 0 {
+        trees.truncate(best_round.max(1));
+    }
+    let kept = trees.len();
+    Ok(TrainReport {
+        booster: Booster {
+            trees,
+            base_score,
+            objective: params.objective,
+            n_features: data.ncols(),
+        },
+        history,
+        best_round: kept,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! Shared training context: quantise and rank a feature matrix **once**,
+//! then train any number of boosters on row-index views of it.
+//!
+//! The experiment protocol behind the paper's 12-model grid performs
+//! ~72 fits per grid (5 CV folds + 1 final fit × 12 variants), and the
+//! naive path pays `Matrix::take_rows` plus a full re-sort/re-binning of
+//! the feature matrix for every one of them. A [`TrainingContext`]
+//! front-loads the order statistics both split finders need:
+//!
+//! * an [`ExactIndex`] — per feature, the sorted distinct present values
+//!   and each row's *rank* into them — which lets the exact finder
+//!   value-sort any node's rows with a counting sort (`O(n + k)`) instead
+//!   of a comparison sort, and partition on integer rank compares;
+//! * a [`crate::binning::BinnedMatrix`] over the full matrix for the
+//!   histogram finder (shared cuts, XGBoost `DMatrix` semantics).
+//!
+//! Determinism contract: for `TreeMethod::Exact`,
+//! [`crate::Booster::train_on_rows`] against a context is **bit-for-bit
+//! identical** to materialising the rows with `take_rows` and calling
+//! [`crate::Booster::train`] — rank order reproduces value order exactly,
+//! and counting sort reproduces the stable sort's tie order (node
+//! insertion order). The equivalence tests in the crate pin this.
+//!
+//! For `TreeMethod::Hist` the context's cuts come from the *full*
+//! matrix, not the training subset, so thresholds can differ from the
+//! copy-then-train path (which re-fits cuts on the subset). That is the
+//! standard shared-`DMatrix` behaviour and is the point of binning once.
+
+use crate::binning::BinnedMatrix;
+use crate::params::DEFAULT_CONTEXT_BINS;
+use msaw_tabular::Matrix;
+
+/// Sentinel rank for missing (`NaN`) values.
+pub const MISSING_RANK: u32 = u32::MAX;
+
+/// Per-feature order statistics for the exact split finder: sorted
+/// distinct present values, and each cell's rank into them.
+#[derive(Debug, Clone)]
+pub struct ExactIndex {
+    /// Per feature, ascending distinct present values.
+    distinct: Vec<Vec<f64>>,
+    /// Row-major ranks; `MISSING_RANK` encodes `NaN`.
+    ranks: Vec<u32>,
+    ncols: usize,
+}
+
+impl ExactIndex {
+    /// Build the index for a full matrix.
+    pub fn fit(data: &Matrix) -> ExactIndex {
+        let nrows = data.nrows();
+        let ncols = data.ncols();
+        let mut distinct = Vec::with_capacity(ncols);
+        let mut ranks = vec![MISSING_RANK; nrows * ncols];
+        for j in 0..ncols {
+            let col = data.column(j);
+            let mut values: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+            values.dedup();
+            for (i, &v) in col.iter().enumerate() {
+                if !v.is_nan() {
+                    // v is present in `values`, so the partition point is
+                    // exactly its index.
+                    ranks[i * ncols + j] = values.partition_point(|&x| x < v) as u32;
+                }
+            }
+            distinct.push(values);
+        }
+        ExactIndex { distinct, ranks, ncols }
+    }
+
+    /// Sorted distinct present values of one feature.
+    #[inline]
+    pub fn distinct(&self, feature: usize) -> &[f64] {
+        &self.distinct[feature]
+    }
+
+    /// Rank of `(row, feature)`; [`MISSING_RANK`] encodes missing.
+    #[inline]
+    pub fn rank(&self, row: usize, feature: usize) -> u32 {
+        self.ranks[row * self.ncols + feature]
+    }
+
+    /// Feature count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+}
+
+/// A feature matrix prepared once for repeated training on row subsets.
+#[derive(Debug)]
+pub struct TrainingContext<'a> {
+    data: &'a Matrix,
+    exact: ExactIndex,
+    binned: BinnedMatrix,
+}
+
+impl<'a> TrainingContext<'a> {
+    /// Prepare `data` with the default histogram resolution
+    /// ([`DEFAULT_CONTEXT_BINS`]). Builds both the exact rank index and
+    /// the quantile binning eagerly; `BinnedMatrix::fit` runs exactly
+    /// once per context.
+    pub fn new(data: &'a Matrix) -> TrainingContext<'a> {
+        Self::with_max_bins(data, DEFAULT_CONTEXT_BINS)
+    }
+
+    /// Prepare `data` with an explicit histogram bin budget.
+    pub fn with_max_bins(data: &'a Matrix, max_bins: u16) -> TrainingContext<'a> {
+        TrainingContext {
+            data,
+            exact: ExactIndex::fit(data),
+            binned: BinnedMatrix::fit(data, max_bins),
+        }
+    }
+
+    /// The underlying full matrix.
+    pub fn data(&self) -> &'a Matrix {
+        self.data
+    }
+
+    /// The exact-finder rank index.
+    pub fn exact(&self) -> &ExactIndex {
+        &self.exact
+    }
+
+    /// The shared full-matrix quantisation.
+    pub fn binned(&self) -> &BinnedMatrix {
+        &self.binned
+    }
+
+    /// Row count of the underlying matrix.
+    pub fn nrows(&self) -> usize {
+        self.data.nrows()
+    }
+
+    /// Feature count of the underlying matrix.
+    pub fn ncols(&self) -> usize {
+        self.data.ncols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Matrix {
+        Matrix::from_rows(&[
+            vec![3.0, f64::NAN],
+            vec![1.0, 5.0],
+            vec![3.0, 2.0],
+            vec![2.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn ranks_order_matches_value_order() {
+        let x = toy();
+        let idx = ExactIndex::fit(&x);
+        assert_eq!(idx.distinct(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(idx.rank(0, 0), 2);
+        assert_eq!(idx.rank(1, 0), 0);
+        assert_eq!(idx.rank(2, 0), 2);
+        assert_eq!(idx.rank(3, 0), 1);
+    }
+
+    #[test]
+    fn missing_values_get_the_sentinel_rank() {
+        let x = toy();
+        let idx = ExactIndex::fit(&x);
+        assert_eq!(idx.rank(0, 1), MISSING_RANK);
+        assert_eq!(idx.distinct(1), &[2.0, 5.0]);
+        assert_eq!(idx.rank(1, 1), 1);
+        assert_eq!(idx.rank(2, 1), 0);
+    }
+
+    #[test]
+    fn rank_reconstructs_the_value() {
+        let x = toy();
+        let idx = ExactIndex::fit(&x);
+        for i in 0..x.nrows() {
+            for j in 0..x.ncols() {
+                let r = idx.rank(i, j);
+                if r != MISSING_RANK {
+                    assert_eq!(idx.distinct(j)[r as usize], x.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_builds_both_indices() {
+        let x = toy();
+        let before = crate::binning::fit_count();
+        let ctx = TrainingContext::new(&x);
+        assert_eq!(crate::binning::fit_count(), before + 1);
+        assert_eq!(ctx.nrows(), 4);
+        assert_eq!(ctx.ncols(), 2);
+        assert_eq!(ctx.exact().ncols(), 2);
+        assert_eq!(ctx.binned().nrows(), 4);
+    }
+}

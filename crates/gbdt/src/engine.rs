@@ -1,0 +1,532 @@
+//! The shared-context tree grower: grows one tree per boosting round
+//! against row-index *views* of a prepared matrix, never materialising a
+//! row subset.
+//!
+//! Everything here works in **position space**: positions `0..n` index
+//! the training view, and `map[pos]` translates to a row of the
+//! underlying full matrix. Gradients, hessians and the RNG-driven
+//! subsamples are all position-indexed, which is exactly how the old
+//! copy-then-train path behaved on a materialised subset — that
+//! correspondence is what makes the exact path bit-identical to it.
+//!
+//! ## Exact path
+//!
+//! The old exact finder re-extracted and comparison-sorted `(value,
+//! grad, hess)` triples per node per feature (`O(n log n)` each). Here
+//! the [`ExactIndex`] supplies precomputed per-feature ranks, so:
+//!
+//! * the **root** of each tree value-sorts its rows with a counting
+//!   sort over ranks (`O(n + k)`), whose bucket order reproduces the
+//!   stable sort's tie order (node insertion order) exactly;
+//! * **children** never re-sort: a node's sorted list is filtered by a
+//!   side bitmap into the two children (`O(n)`), preserving both value
+//!   order and tie order;
+//! * **partitioning** compares integer ranks against the split's
+//!   boundary rank — provably equivalent to the old `value < threshold`
+//!   float compare for every row in the node.
+//!
+//! The scan visits the same `(value, grad, hess)` sequence as the old
+//! sorted scan, so every floating-point accumulation is performed in
+//! the same order with the same operands: identical trees, identical
+//! predictions.
+//!
+//! ## Histogram path
+//!
+//! Histograms are built per node over the context's shared full-matrix
+//! cuts, with the classic subtraction trick: only the smaller child is
+//! accumulated from its rows; the larger child's histogram is
+//! `parent − sibling`, halving (at least) the accumulation work per
+//! level.
+//!
+//! ## Threading
+//!
+//! Nodes with at least `params.parallel_split_threshold` rows scan
+//! features in parallel chunks with deterministic merging (same
+//! tie-break as the serial scan, so results are thread-count
+//! invariant). Below the threshold the scan is serial — the grid's node
+//! sizes sit far below the default threshold, where thread spawn costs
+//! would dominate.
+
+use crate::binning::BinnedMatrix;
+use crate::context::{ExactIndex, MISSING_RANK};
+use crate::params::Params;
+use crate::split::{BestTracker, SplitCandidate, SplitConfig};
+use crate::tree::{Node, Tree};
+
+/// Which precomputed index drives split finding.
+pub(crate) enum Backend<'a> {
+    Exact(&'a ExactIndex),
+    Hist(&'a BinnedMatrix),
+}
+
+/// Immutable per-round (per-tree) state.
+pub(crate) struct RoundCtx<'a> {
+    /// Position → underlying matrix row.
+    pub map: &'a [usize],
+    /// Position-indexed gradients.
+    pub grad: &'a [f64],
+    /// Position-indexed hessians.
+    pub hess: &'a [f64],
+    /// This round's column subsample, in draw order.
+    pub features: &'a [usize],
+    pub params: &'a Params,
+}
+
+impl RoundCtx<'_> {
+    fn split_config(&self) -> SplitConfig {
+        SplitConfig {
+            lambda: self.params.lambda,
+            gamma: self.params.gamma,
+            min_child_weight: self.params.min_child_weight,
+        }
+    }
+
+    fn scan_threads(&self, node_rows: usize) -> usize {
+        if node_rows >= self.params.parallel_split_threshold {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        } else {
+            1
+        }
+    }
+
+    fn leaf(&self, tree: &mut Tree, g: f64, h: f64) -> usize {
+        let weight = -g / (h + self.params.lambda) * self.params.learning_rate;
+        tree.push(Node::Leaf { weight, cover: h })
+    }
+}
+
+/// Grow one tree over the given positions (in round order).
+pub(crate) fn grow_tree(backend: &Backend, rctx: &RoundCtx, rows: Vec<usize>) -> Tree {
+    let mut tree = Tree::new();
+    let g: f64 = rows.iter().map(|&p| rctx.grad[p]).sum();
+    let h: f64 = rows.iter().map(|&p| rctx.hess[p]).sum();
+    match backend {
+        Backend::Exact(index) => {
+            let lists = root_lists(index, rctx, &rows);
+            let mut side = vec![false; rctx.map.len()];
+            grow_exact(index, rctx, &mut tree, rows, lists, 0, g, h, &mut side);
+        }
+        Backend::Hist(binned) => {
+            let hists = build_hists(binned, rctx, &rows);
+            grow_hist(binned, rctx, &mut tree, rows, hists, 0, g, h);
+        }
+    }
+    tree
+}
+
+// ---------------------------------------------------------------------
+// Exact path
+// ---------------------------------------------------------------------
+
+/// One node's view of one feature: rows sorted by value (rank), plus the
+/// missing rows, both with ties/order in node insertion order.
+struct FeatureList {
+    /// `(position, rank)` ascending by rank; ties in node order.
+    sorted: Vec<(u32, u32)>,
+    /// Positions with a missing value, in node order.
+    missing: Vec<u32>,
+}
+
+/// Counting-sort the root's rows by rank, per feature. `O(n + k)` per
+/// feature; bucket placement in row order reproduces a stable sort.
+fn root_lists(index: &ExactIndex, rctx: &RoundCtx, rows: &[usize]) -> Vec<FeatureList> {
+    let mut row_ranks = vec![0u32; rows.len()];
+    rctx.features
+        .iter()
+        .map(|&f| {
+            let k = index.distinct(f).len();
+            let mut counts = vec![0u32; k];
+            let mut n_present = 0usize;
+            for (i, &p) in rows.iter().enumerate() {
+                let r = index.rank(rctx.map[p], f);
+                row_ranks[i] = r;
+                if r != MISSING_RANK {
+                    counts[r as usize] += 1;
+                    n_present += 1;
+                }
+            }
+            // Exclusive prefix sum: counts become bucket write offsets.
+            let mut acc = 0u32;
+            for c in counts.iter_mut() {
+                let n = *c;
+                *c = acc;
+                acc += n;
+            }
+            let mut sorted = vec![(0u32, 0u32); n_present];
+            let mut missing = Vec::new();
+            for (i, &p) in rows.iter().enumerate() {
+                let r = row_ranks[i];
+                if r == MISSING_RANK {
+                    missing.push(p as u32);
+                } else {
+                    let slot = &mut counts[r as usize];
+                    sorted[*slot as usize] = (p as u32, r);
+                    *slot += 1;
+                }
+            }
+            FeatureList { sorted, missing }
+        })
+        .collect()
+}
+
+/// Scan one feature's sorted list for the best boundary, mirroring the
+/// old `scan_feature_exact` float-for-float.
+fn scan_list(
+    feature: usize,
+    list: &FeatureList,
+    distinct: &[f64],
+    rctx: &RoundCtx,
+    total_g: f64,
+    total_h: f64,
+    tracker: &mut BestTracker,
+) {
+    let mut g_miss = 0.0;
+    let mut h_miss = 0.0;
+    for &p in &list.missing {
+        g_miss += rctx.grad[p as usize];
+        h_miss += rctx.hess[p as usize];
+    }
+    if list.sorted.len() < 2 {
+        return;
+    }
+    let mut gl = 0.0;
+    let mut hl = 0.0;
+    for i in 0..list.sorted.len() - 1 {
+        let (p, r) = list.sorted[i];
+        gl += rctx.grad[p as usize];
+        hl += rctx.hess[p as usize];
+        let r_next = list.sorted[i + 1].1;
+        if r_next == r {
+            continue;
+        }
+        let v = distinct[r as usize];
+        let v_next = distinct[r_next as usize];
+        let threshold = v + (v_next - v) * 0.5;
+        tracker.offer_both(feature, threshold, gl, hl, g_miss, h_miss, total_g, total_h);
+    }
+}
+
+fn find_split_exact(
+    index: &ExactIndex,
+    rctx: &RoundCtx,
+    lists: &[FeatureList],
+    node_rows: usize,
+    g: f64,
+    h: f64,
+) -> Option<SplitCandidate> {
+    let cfg = rctx.split_config();
+    let threads = rctx.scan_threads(node_rows);
+    if threads <= 1 || rctx.features.len() < 2 {
+        let mut tracker = BestTracker::new(cfg, g, h);
+        for (fi, &f) in rctx.features.iter().enumerate() {
+            scan_list(f, &lists[fi], index.distinct(f), rctx, g, h, &mut tracker);
+        }
+        return tracker.best;
+    }
+    let threads = threads.min(rctx.features.len());
+    let chunk = rctx.features.len().div_ceil(threads);
+    let results: Vec<Option<SplitCandidate>> = std::thread::scope(|s| {
+        let handles: Vec<_> = rctx
+            .features
+            .chunks(chunk)
+            .zip(lists.chunks(chunk))
+            .map(|(fs, ls)| {
+                s.spawn(move || {
+                    let mut tracker = BestTracker::new(cfg, g, h);
+                    for (&f, list) in fs.iter().zip(ls) {
+                        scan_list(f, list, index.distinct(f), rctx, g, h, &mut tracker);
+                    }
+                    tracker.best
+                })
+            })
+            .collect();
+        handles.into_iter().map(|hd| hd.join().expect("split worker panicked")).collect()
+    });
+    merge_chunks(cfg, g, h, results)
+}
+
+/// Deterministically merge per-chunk winners (same tie-break as serial).
+fn merge_chunks(
+    cfg: SplitConfig,
+    g: f64,
+    h: f64,
+    results: Vec<Option<SplitCandidate>>,
+) -> Option<SplitCandidate> {
+    let mut best = None;
+    for r in results {
+        let mut tracker = BestTracker::new(cfg, g, h);
+        tracker.best = best;
+        best = tracker.merge(r);
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_exact(
+    index: &ExactIndex,
+    rctx: &RoundCtx,
+    tree: &mut Tree,
+    rows: Vec<usize>,
+    lists: Vec<FeatureList>,
+    depth: usize,
+    g: f64,
+    h: f64,
+    side: &mut [bool],
+) -> usize {
+    if depth >= rctx.params.max_depth || rows.len() < 2 {
+        return rctx.leaf(tree, g, h);
+    }
+    let Some(split) = find_split_exact(index, rctx, &lists, rows.len(), g, h) else {
+        return rctx.leaf(tree, g, h);
+    };
+
+    // `rank < boundary` is exactly `value < threshold`: every distinct
+    // value below the threshold has a rank below the partition point.
+    let boundary =
+        index.distinct(split.feature).partition_point(|&v| v < split.threshold) as u32;
+    let mut left_rows = Vec::with_capacity(rows.len() / 2);
+    let mut right_rows = Vec::with_capacity(rows.len() / 2);
+    for &p in &rows {
+        let r = index.rank(rctx.map[p], split.feature);
+        let goes_left = if r == MISSING_RANK { split.default_left } else { r < boundary };
+        side[p] = goes_left;
+        if goes_left {
+            left_rows.push(p);
+        } else {
+            right_rows.push(p);
+        }
+    }
+    // A candidate with an empty side can only arise from numerical
+    // pathology; fall back to a leaf rather than recurse forever.
+    if left_rows.is_empty() || right_rows.is_empty() {
+        return rctx.leaf(tree, g, h);
+    }
+
+    // Children inherit their sorted order by a stable filter of the
+    // parent's lists — no re-sort, and tie order stays node order.
+    let mut left_lists = Vec::with_capacity(lists.len());
+    let mut right_lists = Vec::with_capacity(lists.len());
+    for list in lists {
+        let mut ls = Vec::with_capacity(left_rows.len());
+        let mut rs = Vec::with_capacity(right_rows.len());
+        for pr in list.sorted {
+            if side[pr.0 as usize] {
+                ls.push(pr);
+            } else {
+                rs.push(pr);
+            }
+        }
+        let mut lm = Vec::new();
+        let mut rm = Vec::new();
+        for p in list.missing {
+            if side[p as usize] {
+                lm.push(p);
+            } else {
+                rm.push(p);
+            }
+        }
+        left_lists.push(FeatureList { sorted: ls, missing: lm });
+        right_lists.push(FeatureList { sorted: rs, missing: rm });
+    }
+
+    let node_idx = push_split(tree, &split, h);
+    let left_idx = grow_exact(
+        index, rctx, tree, left_rows, left_lists, depth + 1, split.left_grad,
+        split.left_hess, side,
+    );
+    let right_idx = grow_exact(
+        index, rctx, tree, right_rows, right_lists, depth + 1, split.right_grad,
+        split.right_hess, side,
+    );
+    link_children(tree, node_idx, left_idx, right_idx);
+    node_idx
+}
+
+fn push_split(tree: &mut Tree, split: &SplitCandidate, cover: f64) -> usize {
+    tree.push(Node::Split {
+        feature: split.feature,
+        threshold: split.threshold,
+        default_left: split.default_left,
+        left: usize::MAX,
+        right: usize::MAX,
+        cover,
+        gain: split.gain,
+    })
+}
+
+fn link_children(tree: &mut Tree, node_idx: usize, left_idx: usize, right_idx: usize) {
+    if let Node::Split { left, right, .. } = &mut tree.nodes_mut()[node_idx] {
+        *left = left_idx;
+        *right = right_idx;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram path
+// ---------------------------------------------------------------------
+
+/// Per-node histograms, aligned with the round's feature subsample.
+/// For a feature with `c` cuts the layout is `c + 2` slots: bins
+/// `0..=c` hold `(grad, hess)` sums, and the final slot holds the
+/// missing mass. Features without cuts get an empty vector.
+type NodeHists = Vec<Vec<(f64, f64)>>;
+
+fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize]) -> NodeHists {
+    rctx.features
+        .iter()
+        .map(|&f| {
+            let cuts = binned.cuts(f);
+            if cuts.is_empty() {
+                return Vec::new();
+            }
+            let slots = cuts.len() + 2;
+            let mut hist = vec![(0.0, 0.0); slots];
+            for &p in rows {
+                let slot = match binned.bin(rctx.map[p], f) {
+                    None => slots - 1,
+                    Some(b) => b as usize,
+                };
+                hist[slot].0 += rctx.grad[p];
+                hist[slot].1 += rctx.hess[p];
+            }
+            hist
+        })
+        .collect()
+}
+
+/// The subtraction trick: `parent − child` slot-wise gives the sibling's
+/// histogram without touching its rows. Consumes the parent in place.
+fn subtract_hists(mut parent: NodeHists, child: &NodeHists) -> NodeHists {
+    for (ph, ch) in parent.iter_mut().zip(child) {
+        for (ps, cs) in ph.iter_mut().zip(ch) {
+            ps.0 -= cs.0;
+            ps.1 -= cs.1;
+        }
+    }
+    parent
+}
+
+fn scan_hist(
+    feature: usize,
+    cuts: &[f64],
+    hist: &[(f64, f64)],
+    total_g: f64,
+    total_h: f64,
+    tracker: &mut BestTracker,
+) {
+    if cuts.is_empty() {
+        return;
+    }
+    let (g_miss, h_miss) = hist[hist.len() - 1];
+    let mut gl = 0.0;
+    let mut hl = 0.0;
+    // Boundary after bin i corresponds to threshold cuts[i].
+    for (i, &cut) in cuts.iter().enumerate() {
+        gl += hist[i].0;
+        hl += hist[i].1;
+        tracker.offer_both(feature, cut, gl, hl, g_miss, h_miss, total_g, total_h);
+    }
+}
+
+fn find_split_hist(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    hists: &NodeHists,
+    node_rows: usize,
+    g: f64,
+    h: f64,
+) -> Option<SplitCandidate> {
+    let cfg = rctx.split_config();
+    let threads = rctx.scan_threads(node_rows);
+    if threads <= 1 || rctx.features.len() < 2 {
+        let mut tracker = BestTracker::new(cfg, g, h);
+        for (fi, &f) in rctx.features.iter().enumerate() {
+            scan_hist(f, binned.cuts(f), &hists[fi], g, h, &mut tracker);
+        }
+        return tracker.best;
+    }
+    let threads = threads.min(rctx.features.len());
+    let chunk = rctx.features.len().div_ceil(threads);
+    let results: Vec<Option<SplitCandidate>> = std::thread::scope(|s| {
+        let handles: Vec<_> = rctx
+            .features
+            .chunks(chunk)
+            .zip(hists.chunks(chunk))
+            .map(|(fs, hs)| {
+                s.spawn(move || {
+                    let mut tracker = BestTracker::new(cfg, g, h);
+                    for (&f, hist) in fs.iter().zip(hs) {
+                        scan_hist(f, binned.cuts(f), hist, g, h, &mut tracker);
+                    }
+                    tracker.best
+                })
+            })
+            .collect();
+        handles.into_iter().map(|hd| hd.join().expect("split worker panicked")).collect()
+    });
+    merge_chunks(cfg, g, h, results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_hist(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    tree: &mut Tree,
+    rows: Vec<usize>,
+    hists: NodeHists,
+    depth: usize,
+    g: f64,
+    h: f64,
+) -> usize {
+    if depth >= rctx.params.max_depth || rows.len() < 2 {
+        return rctx.leaf(tree, g, h);
+    }
+    let Some(split) = find_split_hist(binned, rctx, &hists, rows.len(), g, h) else {
+        return rctx.leaf(tree, g, h);
+    };
+
+    // Histogram thresholds are cut values: bins at or below the cut's
+    // index go left, exactly the `value < threshold` routing.
+    let cuts = binned.cuts(split.feature);
+    let boundary = cuts.partition_point(|&c| c < split.threshold);
+    let mut left_rows = Vec::with_capacity(rows.len() / 2);
+    let mut right_rows = Vec::with_capacity(rows.len() / 2);
+    for &p in &rows {
+        let goes_left = match binned.bin(rctx.map[p], split.feature) {
+            None => split.default_left,
+            Some(b) => (b as usize) <= boundary,
+        };
+        if goes_left {
+            left_rows.push(p);
+        } else {
+            right_rows.push(p);
+        }
+    }
+    if left_rows.is_empty() || right_rows.is_empty() {
+        return rctx.leaf(tree, g, h);
+    }
+
+    // Accumulate only the smaller child; derive the larger by
+    // subtraction from the parent.
+    let left_smaller = left_rows.len() <= right_rows.len();
+    let small_rows = if left_smaller { &left_rows } else { &right_rows };
+    let small_hists = build_hists(binned, rctx, small_rows);
+    let large_hists = subtract_hists(hists, &small_hists);
+    let (left_hists, right_hists) = if left_smaller {
+        (small_hists, large_hists)
+    } else {
+        (large_hists, small_hists)
+    };
+
+    let node_idx = push_split(tree, &split, h);
+    let left_idx = grow_hist(
+        binned, rctx, tree, left_rows, left_hists, depth + 1, split.left_grad,
+        split.left_hess,
+    );
+    let right_idx = grow_hist(
+        binned, rctx, tree, right_rows, right_hists, depth + 1, split.right_grad,
+        split.right_hess,
+    );
+    link_children(tree, node_idx, left_idx, right_idx);
+    node_idx
+}

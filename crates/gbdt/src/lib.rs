@@ -39,6 +39,8 @@
 
 pub mod binning;
 pub mod booster;
+pub mod context;
+mod engine;
 pub mod error;
 pub mod importance;
 pub mod objective;
@@ -48,10 +50,11 @@ pub mod split;
 pub mod tree;
 
 pub use booster::{Booster, EvalRecord, TrainReport};
+pub use context::{ExactIndex, TrainingContext, MISSING_RANK};
 pub use error::GbdtError;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;
-pub use params::{Params, TreeMethod};
+pub use params::{Params, TreeMethod, DEFAULT_CONTEXT_BINS};
 pub use tree::{Node, Tree};
 
 /// Crate-wide result alias.

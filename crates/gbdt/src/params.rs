@@ -5,6 +5,11 @@ use crate::objective::Objective;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
+/// Histogram resolution a [`crate::TrainingContext`] uses when the
+/// caller does not specify one. 256 matches XGBoost's `max_bin` default
+/// and is lossless for the reproduction's feature cardinalities.
+pub const DEFAULT_CONTEXT_BINS: u16 = 256;
+
 /// Which split finder grows the trees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TreeMethod {

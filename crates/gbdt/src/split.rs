@@ -47,16 +47,17 @@ pub struct SplitConfig {
     pub min_child_weight: f64,
 }
 
-/// Candidate bookkeeping shared by the exact and histogram scanners:
-/// given left/right statistics for both missing routings, keep the best.
-struct BestTracker {
+/// Candidate bookkeeping shared by the exact and histogram scanners
+/// (and the shared-context engine in `engine.rs`): given left/right
+/// statistics for both missing routings, keep the best.
+pub(crate) struct BestTracker {
     cfg: SplitConfig,
     parent_score: f64,
-    best: Option<SplitCandidate>,
+    pub(crate) best: Option<SplitCandidate>,
 }
 
 impl BestTracker {
-    fn new(cfg: SplitConfig, total_g: f64, total_h: f64) -> Self {
+    pub(crate) fn new(cfg: SplitConfig, total_g: f64, total_h: f64) -> Self {
         BestTracker { cfg, parent_score: score(total_g, total_h, cfg.lambda), best: None }
     }
 
@@ -109,7 +110,7 @@ impl BestTracker {
     /// Offer both missing routings for a present-value prefix `(gl, hl)`.
     #[inline]
     #[allow(clippy::too_many_arguments)]
-    fn offer_both(
+    pub(crate) fn offer_both(
         &mut self,
         feature: usize,
         threshold: f64,
@@ -130,7 +131,7 @@ impl BestTracker {
         }
     }
 
-    fn merge(self, other: Option<SplitCandidate>) -> Option<SplitCandidate> {
+    pub(crate) fn merge(self, other: Option<SplitCandidate>) -> Option<SplitCandidate> {
         match (self.best, other) {
             (None, b) => b,
             (a, None) => a,

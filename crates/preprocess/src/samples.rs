@@ -137,6 +137,15 @@ impl SampleSet {
         self.meta.iter().map(|m| m.patient.0 as u64).collect()
     }
 
+    /// Build a shared training context over the full feature matrix:
+    /// the matrix is indexed and quantised exactly once, after which any
+    /// number of row views (CV folds, the final 80% fit, OOF rotations)
+    /// can be trained via [`msaw_gbdt::Booster::train_on_rows`] without
+    /// re-binning or copying rows.
+    pub fn training_context(&self) -> msaw_gbdt::TrainingContext<'_> {
+        msaw_gbdt::TrainingContext::new(&self.features)
+    }
+
     /// Export as a [`msaw_tabular::Frame`] — provenance columns
     /// (patient, clinic, month, window), every feature, and the label —
     /// so a sample set can be inspected or dumped to CSV with

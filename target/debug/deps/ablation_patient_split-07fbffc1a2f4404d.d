@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_patient_split-07fbffc1a2f4404d.d: crates/bench/src/bin/ablation_patient_split.rs
+
+/root/repo/target/debug/deps/ablation_patient_split-07fbffc1a2f4404d: crates/bench/src/bin/ablation_patient_split.rs
+
+crates/bench/src/bin/ablation_patient_split.rs:

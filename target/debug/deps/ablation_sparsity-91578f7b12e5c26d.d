@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sparsity-91578f7b12e5c26d.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/debug/deps/ablation_sparsity-91578f7b12e5c26d: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_learners-f0350729ceac72be.d: crates/bench/src/bin/baseline_learners.rs
+
+/root/repo/target/debug/deps/baseline_learners-f0350729ceac72be: crates/bench/src/bin/baseline_learners.rs
+
+crates/bench/src/bin/baseline_learners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_grid-d8ed7a835635bec0.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/debug/deps/bench_grid-d8ed7a835635bec0: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-430d7ccbabb8bb8f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-430d7ccbabb8bb8f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

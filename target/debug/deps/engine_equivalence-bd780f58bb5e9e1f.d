@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-bd780f58bb5e9e1f.d: crates/gbdt/tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-bd780f58bb5e9e1f: crates/gbdt/tests/engine_equivalence.rs
+
+crates/gbdt/tests/engine_equivalence.rs:

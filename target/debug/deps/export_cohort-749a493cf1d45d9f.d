@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_cohort-749a493cf1d45d9f.d: crates/bench/src/bin/export_cohort.rs
+
+/root/repo/target/debug/deps/export_cohort-749a493cf1d45d9f: crates/bench/src/bin/export_cohort.rs
+
+crates/bench/src/bin/export_cohort.rs:

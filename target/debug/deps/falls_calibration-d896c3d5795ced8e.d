@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falls_calibration-d896c3d5795ced8e.d: crates/bench/src/bin/falls_calibration.rs
+
+/root/repo/target/debug/deps/falls_calibration-d896c3d5795ced8e: crates/bench/src/bin/falls_calibration.rs
+
+crates/bench/src/bin/falls_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_outcome_distributions-0f55eca0f2974077.d: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+/root/repo/target/debug/deps/fig1_outcome_distributions-0f55eca0f2974077: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_dd_vs_kd-6865b99fbfd7f114.d: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+/root/repo/target/debug/deps/fig4_dd_vs_kd-6865b99fbfd7f114: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+crates/bench/src/bin/fig4_dd_vs_kd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mae_by_clinic-8e4ecdc199ca4b4d.d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+/root/repo/target/debug/deps/fig5_mae_by_clinic-8e4ecdc199ca4b4d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:

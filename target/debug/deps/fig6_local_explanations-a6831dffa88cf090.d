@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_local_explanations-a6831dffa88cf090.d: crates/bench/src/bin/fig6_local_explanations.rs
+
+/root/repo/target/debug/deps/fig6_local_explanations-a6831dffa88cf090: crates/bench/src/bin/fig6_local_explanations.rs
+
+crates/bench/src/bin/fig6_local_explanations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_global_dependence-21fe6ccced9590e5.d: crates/bench/src/bin/fig7_global_dependence.rs
+
+/root/repo/target/debug/deps/fig7_global_dependence-21fe6ccced9590e5: crates/bench/src/bin/fig7_global_dependence.rs
+
+crates/bench/src/bin/fig7_global_dependence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grid_snapshot-56522254ad6d8f70.d: crates/core/tests/grid_snapshot.rs
+
+/root/repo/target/debug/deps/grid_snapshot-56522254ad6d8f70: crates/core/tests/grid_snapshot.rs
+
+crates/core/tests/grid_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msaw_bench-3d364d65267bada2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msaw_bench-3d364d65267bada2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_bench-5843376630096df8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-5843376630096df8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-5843376630096df8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/msaw_gbdt-63c82da04bbdc15b.d: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
+/root/repo/target/debug/deps/msaw_gbdt-63c82da04bbdc15b.d: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
 
-/root/repo/target/debug/deps/msaw_gbdt-63c82da04bbdc15b: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
+/root/repo/target/debug/deps/msaw_gbdt-63c82da04bbdc15b: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
 
 crates/gbdt/src/lib.rs:
 crates/gbdt/src/binning.rs:
 crates/gbdt/src/booster.rs:
+crates/gbdt/src/context.rs:
+crates/gbdt/src/engine.rs:
 crates/gbdt/src/error.rs:
 crates/gbdt/src/importance.rs:
 crates/gbdt/src/objective.rs:

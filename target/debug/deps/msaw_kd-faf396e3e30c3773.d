@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_kd-faf396e3e30c3773.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/msaw_kd-faf396e3e30c3773: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_kd-fb412ae17734ca4b.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/libmsaw_kd-fb412ae17734ca4b.rlib: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/debug/deps/libmsaw_kd-fb412ae17734ca4b.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

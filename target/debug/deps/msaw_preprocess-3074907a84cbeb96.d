@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msaw_preprocess-3074907a84cbeb96.d: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/msaw_preprocess-3074907a84cbeb96: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+crates/preprocess/src/lib.rs:
+crates/preprocess/src/aggregate.rs:
+crates/preprocess/src/interpolate.rs:
+crates/preprocess/src/samples.rs:

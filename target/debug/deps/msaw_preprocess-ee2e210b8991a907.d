@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msaw_preprocess-ee2e210b8991a907.d: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/libmsaw_preprocess-ee2e210b8991a907.rlib: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/debug/deps/libmsaw_preprocess-ee2e210b8991a907.rmeta: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+crates/preprocess/src/lib.rs:
+crates/preprocess/src/aggregate.rs:
+crates/preprocess/src/interpolate.rs:
+crates/preprocess/src/samples.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mysawh_repro-229c2fa709df3ea2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-229c2fa709df3ea2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-229c2fa709df3ea2.rmeta: src/lib.rs
+
+src/lib.rs:

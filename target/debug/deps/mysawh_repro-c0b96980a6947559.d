@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mysawh_repro-c0b96980a6947559.d: src/lib.rs
+
+/root/repo/target/debug/deps/mysawh_repro-c0b96980a6947559: src/lib.rs
+
+src/lib.rs:

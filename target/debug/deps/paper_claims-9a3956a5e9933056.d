@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9a3956a5e9933056.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9a3956a5e9933056: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-77e3dc82a5a578e5.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-77e3dc82a5a578e5: tests/properties.rs
+
+tests/properties.rs:

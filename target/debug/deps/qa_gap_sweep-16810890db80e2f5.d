@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qa_gap_sweep-16810890db80e2f5.d: crates/bench/src/bin/qa_gap_sweep.rs
+
+/root/repo/target/debug/deps/qa_gap_sweep-16810890db80e2f5: crates/bench/src/bin/qa_gap_sweep.rs
+
+crates/bench/src/bin/qa_gap_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_per_clinic-e9762f2c17c68242.d: crates/bench/src/bin/table1_per_clinic.rs
+
+/root/repo/target/debug/deps/table1_per_clinic-e9762f2c17c68242: crates/bench/src/bin/table1_per_clinic.rs
+
+crates/bench/src/bin/table1_per_clinic.rs:
