@@ -163,12 +163,7 @@ impl AdditiveModel {
     /// Raw (untransformed) score for a row.
     pub fn predict_raw_row(&self, row: &[f64]) -> f64 {
         debug_assert_eq!(row.len(), self.shapes.len());
-        self.base_score
-            + row
-                .iter()
-                .zip(&self.shapes)
-                .map(|(&v, s)| s.evaluate(v))
-                .sum::<f64>()
+        self.base_score + row.iter().zip(&self.shapes).map(|(&v, s)| s.evaluate(v)).sum::<f64>()
     }
 
     /// Transformed prediction for a row.
@@ -194,13 +189,10 @@ mod tests {
 
     fn additive_data(n: usize) -> (Matrix, Vec<f64>) {
         // y = step(x0) + linear(x1): perfectly additive — a GAM's home turf.
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i % 10) as f64, ((i * 3) % 7) as f64])
-            .collect();
-        let y: Vec<f64> = rows
-            .iter()
-            .map(|r| if r[0] > 4.0 { 3.0 } else { 0.0 } + 0.5 * r[1])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 10) as f64, ((i * 3) % 7) as f64]).collect();
+        let y: Vec<f64> =
+            rows.iter().map(|r| if r[0] > 4.0 { 3.0 } else { 0.0 } + 0.5 * r[1]).collect();
         (Matrix::from_rows(&rows), y)
     }
 
@@ -227,12 +219,10 @@ mod tests {
 
     #[test]
     fn missing_values_get_their_own_bin() {
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![if i % 4 == 0 { f64::NAN } else { (i % 10) as f64 }])
-            .collect();
-        let y: Vec<f64> = (0..100)
-            .map(|i| if i % 4 == 0 { 9.0 } else { (i % 10) as f64 * 0.1 })
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![if i % 4 == 0 { f64::NAN } else { (i % 10) as f64 }]).collect();
+        let y: Vec<f64> =
+            (0..100).map(|i| if i % 4 == 0 { 9.0 } else { (i % 10) as f64 * 0.1 }).collect();
         let x = Matrix::from_rows(&rows);
         let model = AdditiveModel::train(&GamParams::regression(), &x, &y).unwrap();
         // The missing bin must have learned the elevated target.
@@ -258,13 +248,9 @@ mod tests {
         // y = XOR(x0>0.5, x1>0.5): zero additive signal. The GAM must
         // degenerate to ≈ the mean — this is exactly the capacity gap
         // that makes trees outperform it in the paper.
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
-            .collect();
-        let y: Vec<f64> = rows
-            .iter()
-            .map(|r| f64::from((r[0] > 0.5) != (r[1] > 0.5)))
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| f64::from((r[0] > 0.5) != (r[1] > 0.5))).collect();
         let x = Matrix::from_rows(&rows);
         let model = AdditiveModel::train(&GamParams::regression(), &x, &y).unwrap();
         for i in 0..x.nrows() {
@@ -302,10 +288,9 @@ mod tests {
         let (x, y) = additive_data(150);
         let model = AdditiveModel::train(&GamParams::regression(), &x, &y).unwrap();
         for f in 0..x.ncols() {
-            let mean: f64 = (0..x.nrows())
-                .map(|i| model.shapes[f].evaluate(x.get(i, f)))
-                .sum::<f64>()
-                / x.nrows() as f64;
+            let mean: f64 =
+                (0..x.nrows()).map(|i| model.shapes[f].evaluate(x.get(i, f))).sum::<f64>()
+                    / x.nrows() as f64;
             assert!(mean.abs() < 1e-9, "shape {f} mean {mean}");
         }
     }

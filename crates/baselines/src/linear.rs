@@ -80,8 +80,8 @@ impl LinearModel {
                 continue;
             }
             let mean = present.iter().sum::<f64>() / present.len() as f64;
-            let var = present.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / present.len() as f64;
+            let var =
+                present.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / present.len() as f64;
             means[j] = mean;
             stds[j] = if var > 1e-12 { var.sqrt() } else { 1.0 };
         }
@@ -192,9 +192,8 @@ mod tests {
     use super::*;
 
     fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i % 10) as f64, ((i * 7) % 5) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 10) as f64, ((i * 7) % 5) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
         (Matrix::from_rows(&rows), y)
     }

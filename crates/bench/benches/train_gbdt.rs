@@ -18,11 +18,8 @@ fn synth(nrows: usize, ncols: usize, seed: u64) -> (Matrix, Vec<f64>) {
     for i in 0..nrows {
         let mut target = 0.0;
         for j in 0..ncols {
-            let v: f64 = if rng.random::<f64>() < 0.1 {
-                f64::NAN
-            } else {
-                rng.random_range(0.0..5.0)
-            };
+            let v: f64 =
+                if rng.random::<f64>() < 0.1 { f64::NAN } else { rng.random_range(0.0..5.0) };
             data[i * ncols + j] = v;
             if !v.is_nan() && j < 8 {
                 target += v * (j + 1) as f64 * 0.1;
@@ -42,12 +39,8 @@ fn bench_split_methods(c: &mut Criterion) {
         ("hist_256", TreeMethod::Hist { max_bins: 256 }),
         ("hist_32", TreeMethod::Hist { max_bins: 32 }),
     ] {
-        let params = Params {
-            n_estimators: 50,
-            max_depth: 4,
-            tree_method: method,
-            ..Params::regression()
-        };
+        let params =
+            Params { n_estimators: 50, max_depth: 4, tree_method: method, ..Params::regression() };
         group.bench_function(label, |b| {
             b.iter(|| Booster::train(black_box(&params), black_box(&x), black_box(&y)).unwrap())
         });
@@ -70,12 +63,9 @@ fn bench_depth(c: &mut Criterion) {
 
 fn bench_predict(c: &mut Criterion) {
     let (x, y) = synth(2300, 59, 11);
-    let model = Booster::train(
-        &Params { n_estimators: 250, max_depth: 4, ..Params::regression() },
-        &x,
-        &y,
-    )
-    .unwrap();
+    let model =
+        Booster::train(&Params { n_estimators: 250, max_depth: 4, ..Params::regression() }, &x, &y)
+            .unwrap();
     c.bench_function("predict_2300_rows_250trees", |b| {
         b.iter(|| black_box(model.predict(black_box(&x))))
     });

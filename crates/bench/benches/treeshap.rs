@@ -60,12 +60,9 @@ fn bench_by_depth(c: &mut Criterion) {
 
 fn bench_full_matrix(c: &mut Criterion) {
     let (x, y) = synth(600, 59, 7);
-    let model = Booster::train(
-        &Params { n_estimators: 100, max_depth: 4, ..Params::regression() },
-        &x,
-        &y,
-    )
-    .unwrap();
+    let model =
+        Booster::train(&Params { n_estimators: 100, max_depth: 4, ..Params::regression() }, &x, &y)
+            .unwrap();
     let mut group = c.benchmark_group("treeshap_matrix");
     group.sample_size(10);
     group.bench_function("600rows_100trees", |b| {

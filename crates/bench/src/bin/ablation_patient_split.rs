@@ -25,8 +25,7 @@ fn main() {
     for outcome in OutcomeKind::ALL {
         let set = build_samples(&data, &panel, outcome, &cfg.pipeline);
         let paper_style = run_variant(&set, Approach::DataDriven, false, &cfg).primary_metric();
-        let grouped =
-            run_variant(&set, Approach::DataDriven, false, &grouped_cfg).primary_metric();
+        let grouped = run_variant(&set, Approach::DataDriven, false, &grouped_cfg).primary_metric();
         println!(
             "{:<7} | {:>20} | {:>15} | {:>+14.1}pp",
             outcome.name(),

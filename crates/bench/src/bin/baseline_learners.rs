@@ -13,8 +13,8 @@
 use msaw_baselines::{AdditiveModel, GamParams, LinearModel, LinearParams};
 use msaw_bench::{experiment_config, paper_cohort, pct};
 use msaw_core::{run_variant, Approach};
-use msaw_metrics::{one_minus_mape, ConfusionMatrix};
 use msaw_metrics::train_test_split;
+use msaw_metrics::{one_minus_mape, ConfusionMatrix};
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 
 fn main() {
@@ -35,11 +35,8 @@ fn main() {
 
         let gbdt = run_variant(&set, Approach::DataDriven, false, &cfg).primary_metric();
 
-        let gam_params = if outcome.is_classification() {
-            GamParams::binary()
-        } else {
-            GamParams::regression()
-        };
+        let gam_params =
+            if outcome.is_classification() { GamParams::binary() } else { GamParams::regression() };
         let gam = AdditiveModel::train(&gam_params, &x_train, &y_train).expect("gam trains");
         let gam_preds = gam.predict(&x_test);
 

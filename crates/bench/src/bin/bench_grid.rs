@@ -30,10 +30,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_grid.json".to_string());
     let data = generate(&CohortConfig::small(EXPERIMENT_SEED));
     let cfg = ExperimentConfig { seed: EXPERIMENT_SEED, ..ExperimentConfig::fast() };
-    eprintln!(
-        "timing the 12-model grid on the small cohort ({} patients)...",
-        data.patients.len()
-    );
+    eprintln!("timing the 12-model grid on the small cohort ({} patients)...", data.patients.len());
 
     // Per-variant timings: one fit pipeline per variant, run in the same
     // canonical order the grid uses.

@@ -16,10 +16,7 @@ fn main() {
     let data = paper_cohort();
     let cfg = experiment_config();
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
-    let set = attach_fi(
-        &build_samples(&data, &panel, OutcomeKind::Falls, &cfg.pipeline),
-        &data,
-    );
+    let set = attach_fi(&build_samples(&data, &panel, OutcomeKind::Falls, &cfg.pipeline), &data);
     eprintln!("computing out-of-fold fall probabilities...");
     let probs = oof_predictions(&set, &cfg);
     let labels: Vec<bool> = set.labels.iter().map(|&l| l == 1.0).collect();
@@ -28,10 +25,15 @@ fn main() {
     println!("Falls probability calibration (DD w/ FI, out-of-fold)");
     println!();
     println!("samples: {}   prevalence: {:.1}%", set.len(), 100.0 * prevalence);
-    println!("Brier score: {:.4}  (constant-prevalence baseline: {:.4})",
+    println!(
+        "Brier score: {:.4}  (constant-prevalence baseline: {:.4})",
         brier_score(&labels, &probs),
-        prevalence * (1.0 - prevalence));
-    println!("expected calibration error (10 bins): {:.4}", expected_calibration_error(&labels, &probs, 10));
+        prevalence * (1.0 - prevalence)
+    );
+    println!(
+        "expected calibration error (10 bins): {:.4}",
+        expected_calibration_error(&labels, &probs, 10)
+    );
     println!();
     println!("reliability curve:");
     println!("  bucket      | mean predicted | observed rate |     n");

@@ -25,7 +25,12 @@ fn main() {
     println!();
     println!("(a) QoL distribution");
     for bin in histogram(&qol.labels, 0.0, 1.0, 10) {
-        println!("  {:>8}  {:>6}  {}", bin.label(), bin.count, bar(bin.count, 40.0 / qol.len() as f64));
+        println!(
+            "  {:>8}  {:>6}  {}",
+            bin.label(),
+            bin.count,
+            bar(bin.count, 40.0 / qol.len() as f64)
+        );
     }
 
     let sppb = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline);

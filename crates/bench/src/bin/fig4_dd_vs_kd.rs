@@ -7,8 +7,8 @@
 //! Falls (right).
 
 use msaw_bench::{experiment_config, paper_cohort, pct};
-use msaw_core::{run_full_grid, Approach};
 use msaw_core::grid::find;
+use msaw_core::{run_full_grid, Approach};
 use msaw_preprocess::OutcomeKind;
 
 fn main() {
@@ -28,9 +28,8 @@ fn main() {
         let row: Vec<String> = [OutcomeKind::Qol, OutcomeKind::Sppb]
             .iter()
             .flat_map(|&o| {
-                [Approach::KnowledgeDriven, Approach::DataDriven].map(|a| {
-                    pct(find(&results, o, a, with_fi).primary_metric())
-                })
+                [Approach::KnowledgeDriven, Approach::DataDriven]
+                    .map(|a| pct(find(&results, o, a, with_fi).primary_metric()))
             })
             .collect();
         println!(

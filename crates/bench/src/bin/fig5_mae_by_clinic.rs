@@ -23,7 +23,11 @@ fn main() {
         let set = attach_fi(&build_samples(&data, &panel, outcome, &cfg.pipeline), &data);
         let preds = oof_predictions(&set, &cfg);
         println!();
-        println!("{} (DD w/ FI model, {}-fold out-of-fold predictions)", outcome.name(), cfg.cv_folds);
+        println!(
+            "{} (DD w/ FI model, {}-fold out-of-fold predictions)",
+            outcome.name(),
+            cfg.cv_folds
+        );
         println!("  clinic     |   n |  median |      q1 |      q3 | whiskers          | outliers");
         for (clinic, b) in mae_boxes_by_clinic(&set, &preds) {
             println!(

@@ -21,9 +21,7 @@ fn print_report(report: &LocalReport, tag: &str) {
         let direction = if a.shap >= 0.0 { "+" } else { "-" };
         println!(
             "    [{direction}] {:<42} value {:>8.2}   SHAP {:>+8.4}",
-            a.feature,
-            a.value,
-            a.shap
+            a.feature, a.value, a.shap
         );
     }
 }
@@ -32,10 +30,7 @@ fn main() {
     let data = paper_cohort();
     let cfg = experiment_config();
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
-    let set = attach_fi(
-        &build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline),
-        &data,
-    );
+    let set = attach_fi(&build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline), &data);
     eprintln!("training the SPPB DD w/ FI model and scanning for a contrast pair...");
     let model = fit_final_model(&set, &cfg);
 

@@ -46,10 +46,7 @@ fn main() {
             );
         }
         let n = find(&results, OutcomeKind::Qol, Approach::DataDriven, false);
-        println!(
-            "{:<10} |        | ({} train / {} test samples)",
-            "", n.n_train, n.n_test
-        );
+        println!("{:<10} |        | ({} train / {} test samples)", "", n.n_train, n.n_test);
     }
     println!();
     println!("Expect Hong Kong (33 patients) to be the noisiest stratum, as in the paper.");

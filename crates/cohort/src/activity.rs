@@ -65,8 +65,8 @@ pub fn simulate(
         steps.push(s);
 
         let base_sleep = 5.6 + 2.6 * psych;
-        let sl = (base_sleep + 0.7 * clinic_cfg.observation_noise * normal(&mut rng))
-            .clamp(2.0, 12.0);
+        let sl =
+            (base_sleep + 0.7 * clinic_cfg.observation_noise * normal(&mut rng)).clamp(2.0, 12.0);
         sleep.push(sl);
 
         let cal = (650.0 + 0.09 * s + 250.0 * vita + 60.0 * normal(&mut rng)).max(200.0);

@@ -52,10 +52,7 @@ pub fn clinical_panel() -> Vec<ClinicalVariable> {
             slope: 2.8 + 1.2 * ((i as f64 * 1.31).cos()).abs(),
         });
     }
-    for (i, label) in ["bmi_extreme", "low_muscle_mass", "waist_circumference"]
-        .iter()
-        .enumerate()
-    {
+    for (i, label) in ["bmi_extreme", "low_muscle_mass", "waist_circumference"].iter().enumerate() {
         panel.push(ClinicalVariable {
             name: format!("body_{label}"),
             category: ClinicalCategory::Body,
@@ -185,10 +182,7 @@ mod tests {
             frail_total += assess(&pf, &tf, 0, &panel, 42).deficits.iter().sum::<f64>();
             fit_total += assess(&ph, &th, 0, &panel, 42).deficits.iter().sum::<f64>();
         }
-        assert!(
-            frail_total > fit_total * 1.5,
-            "frail {frail_total} vs fit {fit_total}"
-        );
+        assert!(frail_total > fit_total * 1.5, "frail {frail_total} vs fit {fit_total}");
     }
 
     #[test]

@@ -84,12 +84,7 @@ impl DomainVector {
     pub fn weighted_mean(&self, weights: &DomainVector) -> f64 {
         let wsum: f64 = weights.values.iter().sum();
         assert!(wsum > 0.0, "weights must not all be zero");
-        self.values
-            .iter()
-            .zip(&weights.values)
-            .map(|(v, w)| v * w)
-            .sum::<f64>()
-            / wsum
+        self.values.iter().zip(&weights.values).map(|(v, w)| v * w).sum::<f64>() / wsum
     }
 
     /// Clamp every component to `[0, 1]`.

@@ -9,7 +9,7 @@ use crate::domains::{Domain, DomainVector};
 use crate::missing::inject_gaps;
 use crate::outcomes::{self, OutcomeRecord};
 use crate::patient::{Patient, PatientId};
-use crate::pro::{QUESTION_BANK, N_PRO};
+use crate::pro::{N_PRO, QUESTION_BANK};
 use crate::rng::{normal, substream, Stream};
 use crate::trajectory::{self, Trajectory};
 use crate::{STUDY_MONTHS, VISIT_MONTHS, WEEKS_PER_MONTH};
@@ -31,11 +31,7 @@ impl ProPanel {
 
     /// Number of weekly observation slots.
     pub fn n_weeks(&self) -> usize {
-        self.series
-            .first()
-            .and_then(|p| p.first())
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.series.first().and_then(|p| p.first()).map(|s| s.len()).unwrap_or(0)
     }
 }
 
@@ -68,25 +64,17 @@ impl CohortData {
 
     /// The clinical assessment of a patient at a visit month, if any.
     pub fn assessment(&self, patient: PatientId, month: usize) -> Option<&ClinicalAssessment> {
-        self.clinical
-            .iter()
-            .find(|a| a.patient == patient && a.month == month)
+        self.clinical.iter().find(|a| a.patient == patient && a.month == month)
     }
 
     /// The outcome record of a patient at a visit month, if any.
     pub fn outcome(&self, patient: PatientId, month: usize) -> Option<&OutcomeRecord> {
-        self.outcomes
-            .iter()
-            .find(|o| o.patient == patient && o.month == month)
+        self.outcomes.iter().find(|o| o.patient == patient && o.month == month)
     }
 }
 
 /// Draw a patient's demographics and baseline latent state.
-fn make_patient(
-    id: u32,
-    clinic_cfg: &crate::config::ClinicConfig,
-    seed: u64,
-) -> Patient {
+fn make_patient(id: u32, clinic_cfg: &crate::config::ClinicConfig, seed: u64) -> Patient {
     let mut rng = substream(seed, Stream::Baseline, id as u64, 0);
     // OPLWH: 50+, right-skewed age distribution.
     let age = 50.0 + 14.0 * (normal(&mut rng).abs() * 0.6 + 0.2).min(2.2);
@@ -144,15 +132,10 @@ pub fn generate(config: &CohortConfig) -> CohortData {
                         let domain_theta = traj.capacity[month].get(question.domain);
                         let bl = question.balance_loading;
                         let theta = (1.0 - bl) * domain_theta + bl * balance;
-                        Some(question.answer(
-                            theta,
-                            clinic_cfg.observation_noise,
-                            &mut rng_answers,
-                        ))
+                        Some(question.answer(theta, clinic_cfg.observation_noise, &mut rng_answers))
                     })
                     .collect();
-                let mut rng_gaps =
-                    substream(seed, Stream::Gaps, patient.id.0 as u64, q_idx as u64);
+                let mut rng_gaps = substream(seed, Stream::Gaps, patient.id.0 as u64, q_idx as u64);
                 inject_gaps(&mut series, &config.missingness, &mut rng_gaps);
                 per_question.push(series);
             }
@@ -267,10 +250,7 @@ mod tests {
         }
         let per_patient = total_gaps as f64 / data.patients.len() as f64;
         let mean_len = total_len as f64 / total_gaps as f64;
-        assert!(
-            (80.0..=140.0).contains(&per_patient),
-            "gaps/patient {per_patient} (paper ≈108)"
-        );
+        assert!((80.0..=140.0).contains(&per_patient), "gaps/patient {per_patient} (paper ≈108)");
         assert!((3.5..=6.0).contains(&mean_len), "mean gap {mean_len} (paper ≈5)");
         assert!(max_len <= 17, "max gap {max_len} (paper max 17)");
     }
@@ -280,10 +260,7 @@ mod tests {
         let data = generate(&CohortConfig::paper(11));
         let qols: Vec<f64> = data.outcomes.iter().map(|o| o.qol).collect();
         let high = qols.iter().filter(|&&q| q >= 0.6).count();
-        assert!(
-            high as f64 / qols.len() as f64 > 0.6,
-            "QoL should skew high (Fig 1a)"
-        );
+        assert!(high as f64 / qols.len() as f64 > 0.6, "QoL should skew high (Fig 1a)");
         let sppb_high = data.outcomes.iter().filter(|o| o.sppb >= 9).count();
         assert!(
             sppb_high as f64 / data.outcomes.len() as f64 > 0.5,

@@ -8,7 +8,11 @@ use rand::RngExt;
 /// Punch gaps into a weekly observation series in place: each `Some`
 /// entry may start a gap (geometric length, capped), which overwrites
 /// the following entries with `None`. Returns the number of gaps started.
-pub fn inject_gaps<T>(series: &mut [Option<T>], cfg: &MissingnessConfig, rng: &mut StdRng) -> usize {
+pub fn inject_gaps<T>(
+    series: &mut [Option<T>],
+    cfg: &MissingnessConfig,
+    rng: &mut StdRng,
+) -> usize {
     let mut gaps = 0usize;
     let mut i = 0usize;
     // Geometric success probability giving the requested mean length.

@@ -62,9 +62,8 @@ fn sppb_from_state(capacity: &DomainVector, noise: f64) -> u8 {
 ///   and the reason its Falls model without FI collapses to the
 ///   majority class.
 fn fall_logit(frailty: f64, balance: f64, capacity: &DomainVector) -> f64 {
-    let risk = 3.3 * frailty
-        + 1.7 * (1.0 - balance)
-        + 0.5 * (1.0 - capacity.get(Domain::Locomotion));
+    let risk =
+        3.3 * frailty + 1.7 * (1.0 - balance) + 0.5 * (1.0 - capacity.get(Domain::Locomotion));
     // Sharpen around a level one-plus standard deviation above the
     // population-typical risk, keeping positives a ~13% minority.
     5.0 * (risk - 2.92)
@@ -142,10 +141,7 @@ mod tests {
             frail_falls += usize::from(measure(&pf, &tf, 9, 1.0, 42).falls);
             fit_falls += usize::from(measure(&ph, &th, 9, 1.0, 42).falls);
         }
-        assert!(
-            frail_falls > fit_falls * 3,
-            "frail {frail_falls} vs fit {fit_falls}"
-        );
+        assert!(frail_falls > fit_falls * 3, "frail {frail_falls} vs fit {fit_falls}");
     }
 
     #[test]

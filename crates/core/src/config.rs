@@ -110,14 +110,8 @@ mod tests {
     #[test]
     fn params_for_dispatches_on_outcome() {
         let cfg = ExperimentConfig::default();
-        assert!(matches!(
-            cfg.params_for(OutcomeKind::Falls).objective,
-            Objective::Logistic { .. }
-        ));
-        assert!(matches!(
-            cfg.params_for(OutcomeKind::Qol).objective,
-            Objective::SquaredError
-        ));
+        assert!(matches!(cfg.params_for(OutcomeKind::Falls).objective, Objective::Logistic { .. }));
+        assert!(matches!(cfg.params_for(OutcomeKind::Qol).objective, Objective::SquaredError));
     }
 
     #[test]

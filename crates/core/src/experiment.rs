@@ -2,9 +2,10 @@
 //! approach (DD or KD), and whether the baseline FI is included.
 
 use crate::config::ExperimentConfig;
-use msaw_gbdt::{Booster, Objective, Params, TrainingContext};
-use msaw_metrics::{group_train_test_split, kfold, stratified_kfold, train_test_split,
-    ConfusionMatrix};
+use msaw_gbdt::{Booster, Objective, Params, TrainingContext, TreeMethod};
+use msaw_metrics::{
+    group_train_test_split, kfold, stratified_kfold, train_test_split, ConfusionMatrix,
+};
 use msaw_metrics::{mae, one_minus_mape};
 use msaw_preprocess::{OutcomeKind, SampleSet};
 use serde::{Deserialize, Serialize};
@@ -175,8 +176,11 @@ fn split_train_test(set: &SampleSet, cfg: &ExperimentConfig) -> (Vec<usize>, Vec
 /// classification outcomes (Falls is imbalanced enough that a plain
 /// KFold can hand a fold a lopsided class mix), plain KFold otherwise.
 /// Fold indices are positions into `train_rows`.
-fn cv_folds(set: &SampleSet, train_rows: &[usize], cfg: &ExperimentConfig)
-    -> Vec<msaw_metrics::Fold> {
+fn cv_folds(
+    set: &SampleSet,
+    train_rows: &[usize],
+    cfg: &ExperimentConfig,
+) -> Vec<msaw_metrics::Fold> {
     if set.outcome.is_classification() {
         let labels: Vec<bool> = train_rows.iter().map(|&i| set.labels[i] == 1.0).collect();
         stratified_kfold(&labels, cfg.cv_folds, cfg.seed ^ 0x5eed)
@@ -251,7 +255,13 @@ pub fn plan_variant<'a>(
     } else {
         Vec::new()
     };
-    VariantPlan { set, approach, with_fi, ctx: set.training_context(), train_rows, test_rows, folds }
+    // Honour the configured histogram resolution: the context's shared
+    // cuts are what every fit of this variant will train against.
+    let ctx = match cfg.params_for(set.outcome).tree_method {
+        TreeMethod::Hist { max_bins } => TrainingContext::with_max_bins(&set.features, max_bins),
+        TreeMethod::Exact => set.training_context(),
+    };
+    VariantPlan { set, approach, with_fi, ctx, train_rows, test_rows, folds }
 }
 
 impl VariantPlan<'_> {
@@ -395,8 +405,8 @@ mod tests {
         let r = run_variant(&set, Approach::DataDriven, false, &cfg);
         // Baseline: predict the train mean everywhere.
         let (train_rows, test_rows) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
-        let mean: f64 = train_rows.iter().map(|&i| set.labels[i]).sum::<f64>()
-            / train_rows.len() as f64;
+        let mean: f64 =
+            train_rows.iter().map(|&i| set.labels[i]).sum::<f64>() / train_rows.len() as f64;
         let y: Vec<f64> = test_rows.iter().map(|&i| set.labels[i]).collect();
         let baseline = one_minus_mape(&y, &vec![mean; y.len()]);
         assert!(
@@ -476,11 +486,7 @@ mod tests {
         let total_pos = train_rows.iter().filter(|&&i| set.labels[i] == 1.0).count();
         let overall = total_pos as f64 / train_rows.len() as f64;
         for fold in &folds {
-            let pos = fold
-                .validation
-                .iter()
-                .filter(|&&i| set.labels[train_rows[i]] == 1.0)
-                .count();
+            let pos = fold.validation.iter().filter(|&&i| set.labels[train_rows[i]] == 1.0).count();
             let rate = pos as f64 / fold.validation.len() as f64;
             // Round-robin dealing keeps every fold within one sample of
             // the overall positive rate.

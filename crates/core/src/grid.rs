@@ -78,7 +78,7 @@ fn run_plans(plans: &[VariantPlan<'_>], cfg: &ExperimentConfig) -> Vec<VariantRe
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&(p, job)) = jobs.get(i) else { break };
                 let out = run_fit_job(&plans[p], job, cfg);
-                slots[i].set(out).ok().expect("each job slot is written once");
+                slots[i].set(out).expect("each job slot is written once");
             });
         }
     });

@@ -35,12 +35,7 @@ pub struct LocalReport {
 }
 
 /// Explain one row of a sample set.
-pub fn explain_row(
-    model: &Booster,
-    set: &SampleSet,
-    row: usize,
-    top_k: usize,
-) -> LocalReport {
+pub fn explain_row(model: &Booster, set: &SampleSet, row: usize, top_k: usize) -> LocalReport {
     let explainer = TreeExplainer::new(model);
     let features = set.features.row(row);
     let exp = explainer.shap_values_row(features);
@@ -109,11 +104,7 @@ pub struct DependenceReport {
 }
 
 /// Build the dependence report for `feature_name` over a sample set.
-pub fn dependence_report(
-    model: &Booster,
-    set: &SampleSet,
-    feature_name: &str,
-) -> DependenceReport {
+pub fn dependence_report(model: &Booster, set: &SampleSet, feature_name: &str) -> DependenceReport {
     let feature = set
         .feature_names
         .iter()
@@ -156,11 +147,7 @@ pub fn population_thresholds(model: &Booster, set: &SampleSet) -> Vec<(String, f
 pub fn global_ranking(model: &Booster, set: &SampleSet, top_k: usize) -> Vec<(String, f64)> {
     let explainer = TreeExplainer::new(model);
     let summary = GlobalSummary::compute(&explainer, &set.features);
-    summary
-        .top_k(top_k)
-        .into_iter()
-        .map(|(f, v)| (set.feature_names[f].clone(), v))
-        .collect()
+    summary.top_k(top_k).into_iter().map(|(f, v)| (set.feature_names[f].clone(), v)).collect()
 }
 
 #[cfg(test)]

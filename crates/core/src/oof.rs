@@ -43,10 +43,7 @@ pub fn per_patient_mae(set: &SampleSet, preds: &[f64]) -> BTreeMap<u32, f64> {
 
 /// Fig. 5's statistic: per-clinic box-plot summaries of the per-patient
 /// MAE values.
-pub fn mae_boxes_by_clinic(
-    set: &SampleSet,
-    preds: &[f64],
-) -> Vec<(Clinic, BoxStats)> {
+pub fn mae_boxes_by_clinic(set: &SampleSet, preds: &[f64]) -> Vec<(Clinic, BoxStats)> {
     let per_patient = per_patient_mae(set, preds);
     let clinic_of: BTreeMap<u32, Clinic> =
         set.meta.iter().map(|m| (m.patient.0, m.clinic)).collect();

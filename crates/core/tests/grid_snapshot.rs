@@ -17,8 +17,7 @@ use msaw_cohort::{generate, CohortConfig};
 use msaw_core::{run_full_grid, ExperimentConfig};
 
 fn snapshot_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/snapshots/grid_small_fast.txt")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/grid_small_fast.txt")
 }
 
 #[test]
@@ -36,10 +35,7 @@ fn full_grid_matches_snapshot() {
     }
 
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing snapshot {} ({e}); regenerate with MSAW_REGEN_SNAPSHOT=1",
-            path.display()
-        )
+        panic!("missing snapshot {} ({e}); regenerate with MSAW_REGEN_SNAPSHOT=1", path.display())
     });
     if rendered != expected {
         // Locate the first diverging line so the failure is readable —

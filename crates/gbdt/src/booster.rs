@@ -142,7 +142,10 @@ impl Booster {
     /// feature count disagrees with the training data.
     pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>> {
         if data.ncols() != self.n_features {
-            return Err(GbdtError::FeatureCount { expected: self.n_features, actual: data.ncols() });
+            return Err(GbdtError::FeatureCount {
+                expected: self.n_features,
+                actual: data.ncols(),
+            });
         }
         Ok(data.rows().map(|r| self.predict_row(r)).collect())
     }
@@ -224,8 +227,7 @@ fn train_core(
 
         // Column subsampling per tree.
         let cols: Vec<usize> = if params.colsample_bytree < 1.0 {
-            let n_keep =
-                ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
+            let n_keep = ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
             let mut shuffled = all_cols.clone();
             shuffled.shuffle(&mut rng);
             shuffled.truncate(n_keep);
@@ -300,7 +302,8 @@ mod tests {
                 vec![x0, x1]
             })
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + if r[1] > 6.0 { 5.0 } else { 0.0 }).collect();
+        let y: Vec<f64> =
+            rows.iter().map(|r| 2.0 * r[0] + if r[1] > 6.0 { 5.0 } else { 0.0 }).collect();
         (Matrix::from_rows(&rows), y)
     }
 
@@ -354,11 +357,7 @@ mod tests {
         let yt: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
         let xe = x.take_rows(&eval_idx);
         let ye: Vec<f64> = eval_idx.iter().map(|&i| y[i]).collect();
-        let params = Params {
-            n_estimators: 500,
-            early_stopping_rounds: 5,
-            ..Params::regression()
-        };
+        let params = Params { n_estimators: 500, early_stopping_rounds: 5, ..Params::regression() };
         let report = Booster::train_with_eval(&params, &xt, &yt, Some((&xe, &ye))).unwrap();
         assert!(report.booster.trees().len() < 500, "early stopping never fired");
         assert_eq!(report.booster.trees().len(), report.best_round);
@@ -394,12 +393,8 @@ mod tests {
     #[test]
     fn hist_method_matches_exact_quality() {
         let (x, y) = toy_regression(300);
-        let exact = Booster::train(
-            &Params { n_estimators: 50, ..Params::regression() },
-            &x,
-            &y,
-        )
-        .unwrap();
+        let exact =
+            Booster::train(&Params { n_estimators: 50, ..Params::regression() }, &x, &y).unwrap();
         let hist = Booster::train(
             &Params {
                 n_estimators: 50,
@@ -430,9 +425,8 @@ mod tests {
                 vec![x0]
             })
             .collect();
-        let y: Vec<f64> = (0..200)
-            .map(|i| if i % 10 < 3 { 8.0 } else { (i % 17) as f64 })
-            .collect();
+        let y: Vec<f64> =
+            (0..200).map(|i| if i % 10 < 3 { 8.0 } else { (i % 17) as f64 }).collect();
         let x = Matrix::from_rows(&rows);
         let params = Params { n_estimators: 80, max_depth: 3, ..Params::regression() };
         let model = Booster::train(&params, &x, &y).unwrap();

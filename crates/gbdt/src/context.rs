@@ -143,12 +143,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Matrix {
-        Matrix::from_rows(&[
-            vec![3.0, f64::NAN],
-            vec![1.0, 5.0],
-            vec![3.0, 2.0],
-            vec![2.0, 5.0],
-        ])
+        Matrix::from_rows(&[vec![3.0, f64::NAN], vec![1.0, 5.0], vec![3.0, 2.0], vec![2.0, 5.0]])
     }
 
     #[test]

@@ -282,8 +282,7 @@ fn grow_exact(
 
     // `rank < boundary` is exactly `value < threshold`: every distinct
     // value below the threshold has a rank below the partition point.
-    let boundary =
-        index.distinct(split.feature).partition_point(|&v| v < split.threshold) as u32;
+    let boundary = index.distinct(split.feature).partition_point(|&v| v < split.threshold) as u32;
     let mut left_rows = Vec::with_capacity(rows.len() / 2);
     let mut right_rows = Vec::with_capacity(rows.len() / 2);
     for &p in &rows {
@@ -331,12 +330,26 @@ fn grow_exact(
 
     let node_idx = push_split(tree, &split, h);
     let left_idx = grow_exact(
-        index, rctx, tree, left_rows, left_lists, depth + 1, split.left_grad,
-        split.left_hess, side,
+        index,
+        rctx,
+        tree,
+        left_rows,
+        left_lists,
+        depth + 1,
+        split.left_grad,
+        split.left_hess,
+        side,
     );
     let right_idx = grow_exact(
-        index, rctx, tree, right_rows, right_lists, depth + 1, split.right_grad,
-        split.right_hess, side,
+        index,
+        rctx,
+        tree,
+        right_rows,
+        right_lists,
+        depth + 1,
+        split.right_grad,
+        split.right_hess,
+        side,
     );
     link_children(tree, node_idx, left_idx, right_idx);
     node_idx
@@ -512,19 +525,28 @@ fn grow_hist(
     let small_rows = if left_smaller { &left_rows } else { &right_rows };
     let small_hists = build_hists(binned, rctx, small_rows);
     let large_hists = subtract_hists(hists, &small_hists);
-    let (left_hists, right_hists) = if left_smaller {
-        (small_hists, large_hists)
-    } else {
-        (large_hists, small_hists)
-    };
+    let (left_hists, right_hists) =
+        if left_smaller { (small_hists, large_hists) } else { (large_hists, small_hists) };
 
     let node_idx = push_split(tree, &split, h);
     let left_idx = grow_hist(
-        binned, rctx, tree, left_rows, left_hists, depth + 1, split.left_grad,
+        binned,
+        rctx,
+        tree,
+        left_rows,
+        left_hists,
+        depth + 1,
+        split.left_grad,
         split.left_hess,
     );
     let right_idx = grow_hist(
-        binned, rctx, tree, right_rows, right_hists, depth + 1, split.right_grad,
+        binned,
+        rctx,
+        tree,
+        right_rows,
+        right_hists,
+        depth + 1,
+        split.right_grad,
         split.right_hess,
     );
     link_children(tree, node_idx, left_idx, right_idx);

@@ -92,8 +92,7 @@ mod tests {
     fn frequency_counts_splits() {
         let model = model_with_one_informative_feature();
         let imp = FeatureImportance::of(&model, ImportanceKind::Frequency);
-        let total_splits: usize =
-            model.trees().iter().map(|t| t.len() - t.n_leaves()).sum();
+        let total_splits: usize = model.trees().iter().map(|t| t.len() - t.n_leaves()).sum();
         assert_eq!(imp.scores.iter().sum::<f64>() as usize, total_splits);
     }
 

@@ -18,7 +18,12 @@
 //!   supports both; they form one of our ablation benches);
 //! * early stopping against a held-out evaluation set;
 //! * gain / cover / frequency feature importances;
-//! * binary model (de)serialisation.
+//! * binary model (de)serialisation;
+//! * a shared-preparation engine: [`TrainingContext`] indexes and bins a
+//!   matrix once, then [`Booster::train_on_rows`] trains any number of
+//!   models on row-index views of it — bit-for-bit identical (exact
+//!   method) to copying the rows out and training from scratch, which
+//!   is what makes repeated CV/grid fits cheap (see `context`/`engine`).
 //!
 //! The tree layout (flat node arrays carrying per-node covers) is chosen
 //! so `msaw-shap` can run exact path-dependent TreeSHAP over it.

@@ -90,12 +90,7 @@ impl Objective {
         let n = labels.len() as f64;
         match self {
             Objective::SquaredError => {
-                labels
-                    .iter()
-                    .zip(raw)
-                    .map(|(y, r)| 0.5 * (y - r) * (y - r))
-                    .sum::<f64>()
-                    / n
+                labels.iter().zip(raw).map(|(y, r)| 0.5 * (y - r) * (y - r)).sum::<f64>() / n
             }
             Objective::Logistic { scale_pos_weight } => {
                 labels

@@ -80,10 +80,7 @@ impl Params {
 
     /// Sensible defaults for the imbalanced Falls classification.
     pub fn binary(scale_pos_weight: f64) -> Self {
-        Params {
-            objective: Objective::Logistic { scale_pos_weight },
-            ..Params::regression()
-        }
+        Params { objective: Objective::Logistic { scale_pos_weight }, ..Params::regression() }
     }
 
     /// Validate ranges; called once at the top of training.
@@ -105,11 +102,7 @@ impl Params {
         check(self.lambda >= 0.0, "lambda", "must be non-negative")?;
         check(self.gamma >= 0.0, "gamma", "must be non-negative")?;
         check(self.min_child_weight >= 0.0, "min_child_weight", "must be non-negative")?;
-        check(
-            self.subsample > 0.0 && self.subsample <= 1.0,
-            "subsample",
-            "must be in (0, 1]",
-        )?;
+        check(self.subsample > 0.0 && self.subsample <= 1.0, "subsample", "must be in (0, 1]")?;
         check(
             self.colsample_bytree > 0.0 && self.colsample_bytree <= 1.0,
             "colsample_bytree",

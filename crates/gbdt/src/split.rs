@@ -77,8 +77,7 @@ impl BestTracker {
             return;
         }
         let gain = 0.5
-            * (score(lg, lh, self.cfg.lambda) + score(rg, rh, self.cfg.lambda)
-                - self.parent_score)
+            * (score(lg, lh, self.cfg.lambda) + score(rg, rh, self.cfg.lambda) - self.parent_score)
             - self.cfg.gamma;
         if gain <= 0.0 {
             return;
@@ -256,7 +255,17 @@ pub fn find_best_exact(
         let mut tracker = BestTracker::new(cfg, total_g, total_h);
         let mut scratch = Vec::with_capacity(rows.len());
         for &f in features {
-            scan_feature_exact(data, rows, grad, hess, f, total_g, total_h, &mut tracker, &mut scratch);
+            scan_feature_exact(
+                data,
+                rows,
+                grad,
+                hess,
+                f,
+                total_g,
+                total_h,
+                &mut tracker,
+                &mut scratch,
+            );
         }
         return tracker.best;
     }
@@ -271,7 +280,14 @@ pub fn find_best_exact(
                     let mut scratch = Vec::with_capacity(rows.len());
                     for &f in fs {
                         scan_feature_exact(
-                            data, rows, grad, hess, f, total_g, total_h, &mut tracker,
+                            data,
+                            rows,
+                            grad,
+                            hess,
+                            f,
+                            total_g,
+                            total_h,
+                            &mut tracker,
                             &mut scratch,
                         );
                     }

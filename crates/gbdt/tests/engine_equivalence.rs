@@ -86,12 +86,7 @@ fn exact_view_equals_copy_regression() {
 
 #[test]
 fn exact_view_equals_copy_logistic() {
-    let params = Params {
-        n_estimators: 25,
-        max_depth: 3,
-        subsample: 0.7,
-        ..Params::binary(2.0)
-    };
+    let params = Params { n_estimators: 25, max_depth: 3, subsample: 0.7, ..Params::binary(2.0) };
     check_exact_equivalence(&params, true);
 }
 
@@ -130,8 +125,7 @@ fn hist_view_is_deterministic_and_learns() {
     let b = Booster::train_on_rows(&params, &ctx, &rows, &y).unwrap();
     assert_eq!(a, b, "hist view training must be deterministic");
     let preds: Vec<f64> = rows.iter().map(|&r| a.predict_row(data.row(r))).collect();
-    let mae: f64 =
-        y.iter().zip(&preds).map(|(t, p)| (t - p).abs()).sum::<f64>() / y.len() as f64;
+    let mae: f64 = y.iter().zip(&preds).map(|(t, p)| (t - p).abs()).sum::<f64>() / y.len() as f64;
     let mean = y.iter().sum::<f64>() / y.len() as f64;
     let base: f64 = y.iter().map(|t| (t - mean).abs()).sum::<f64>() / y.len() as f64;
     assert!(mae < base, "hist view failed to learn: mae {mae} vs baseline {base}");
@@ -170,8 +164,7 @@ fn objective_is_still_validated_on_the_view_path() {
 /// Strategy: a random matrix (with missing cells and heavy value ties)
 /// plus a random non-empty row subset (duplicates allowed — a view may
 /// legitimately repeat rows, e.g. bootstrap-style callers).
-fn matrix_and_subset(
-) -> impl Strategy<Value = (usize, usize, Vec<f64>, Vec<usize>)> {
+fn matrix_and_subset() -> impl Strategy<Value = (usize, usize, Vec<f64>, Vec<usize>)> {
     (2usize..24, 1usize..5).prop_flat_map(|(nrows, ncols)| {
         let cell = prop_oneof![
             9 => (0u32..9).prop_map(|v| v as f64 * 0.5 - 1.0),

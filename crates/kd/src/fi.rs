@@ -30,11 +30,8 @@ pub fn fi_at_window_start(data: &CohortData, patient: PatientId, window: u8) -> 
 /// Append the window-baseline FI to every sample of a set, producing
 /// the paper's `Sample^FI_o` variant.
 pub fn attach_fi(set: &SampleSet, data: &CohortData) -> SampleSet {
-    let fi: Vec<f64> = set
-        .meta
-        .iter()
-        .map(|m| fi_at_window_start(data, m.patient, m.window))
-        .collect();
+    let fi: Vec<f64> =
+        set.meta.iter().map(|m| fi_at_window_start(data, m.patient, m.window)).collect();
     set.with_extra_feature("fi_baseline", &fi)
 }
 

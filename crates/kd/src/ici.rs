@@ -114,18 +114,14 @@ pub fn compute_ici_row(
 /// same rows, labels and provenance, with the 59 features collapsed
 /// into a single `ici` column.
 pub fn ici_sample_set(set: &SampleSet, spec: &[IciVariable]) -> SampleSet {
-    let positions: Vec<Option<usize>> = spec
-        .iter()
-        .map(|v| set.feature_names.iter().position(|n| n == &v.feature))
-        .collect();
+    let positions: Vec<Option<usize>> =
+        spec.iter().map(|v| set.feature_names.iter().position(|n| n == &v.feature)).collect();
     assert!(
         positions.iter().any(|p| p.is_some()),
         "none of the ICI spec variables exist in the sample set"
     );
     let ici: Vec<f64> = (0..set.len())
-        .map(|i| {
-            compute_ici_row(set.features.row(i), &positions, spec).unwrap_or(f64::NAN)
-        })
+        .map(|i| compute_ici_row(set.features.row(i), &positions, spec).unwrap_or(f64::NAN))
         .collect();
     SampleSet {
         features: msaw_tabular::Matrix::from_vec(ici.clone(), set.len(), 1),
@@ -158,11 +154,7 @@ mod tests {
     fn default_spec_covers_all_domains() {
         let spec = default_ici_spec();
         for d in Domain::ALL {
-            assert!(
-                spec.iter().any(|v| v.domain == d),
-                "domain {} unrepresented",
-                d.name()
-            );
+            assert!(spec.iter().any(|v| v.domain == d), "domain {} unrepresented", d.name());
         }
     }
 

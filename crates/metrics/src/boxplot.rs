@@ -42,17 +42,10 @@ impl BoxStats {
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
         let whisker_low = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
-        let whisker_high = v
-            .iter()
-            .rev()
-            .copied()
-            .find(|&x| x <= hi_fence)
-            .unwrap_or(v[v.len() - 1]);
-        let outliers: Vec<f64> = v
-            .iter()
-            .copied()
-            .filter(|&x| x < lo_fence || x > hi_fence)
-            .collect();
+        let whisker_high =
+            v.iter().rev().copied().find(|&x| x <= hi_fence).unwrap_or(v[v.len() - 1]);
+        let outliers: Vec<f64> =
+            v.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
         Some(BoxStats {
             count: v.len(),
             min: v[0],

@@ -117,11 +117,7 @@ fn chunks_to_folds(shuffled: &[usize], k: usize) -> Vec<Fold> {
     }
     for &(lo, hi) in &boundaries {
         let validation: Vec<usize> = shuffled[lo..hi].to_vec();
-        let train: Vec<usize> = shuffled[..lo]
-            .iter()
-            .chain(&shuffled[hi..])
-            .copied()
-            .collect();
+        let train: Vec<usize> = shuffled[..lo].iter().chain(&shuffled[hi..]).copied().collect();
         folds.push(Fold { train, validation });
     }
     folds

@@ -40,11 +40,7 @@ pub fn one_minus_mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
     assert!(!y_true.is_empty(), "empty input");
-    let ss: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let ss: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
     (ss / y_true.len() as f64).sqrt()
 }
 
@@ -55,11 +51,7 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert!(!y_true.is_empty(), "empty input");
     let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
     let ss_tot: f64 = y_true.iter().map(|&t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }

@@ -5,10 +5,7 @@
 /// gaps touching either end of the series (no flanking value), stay
 /// missing. Returns an `f64` series with `NaN` for still-missing slots.
 pub fn interpolate(series: &[Option<f64>], max_gap: usize) -> Vec<f64> {
-    let mut out: Vec<f64> = series
-        .iter()
-        .map(|v| v.unwrap_or(f64::NAN))
-        .collect();
+    let mut out: Vec<f64> = series.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
     let mut i = 0usize;
     while i < out.len() {
         if !out[i].is_nan() {
@@ -39,10 +36,7 @@ mod tests {
     use super::*;
 
     fn s(values: &[f64]) -> Vec<Option<f64>> {
-        values
-            .iter()
-            .map(|&v| if v.is_nan() { None } else { Some(v) })
-            .collect()
+        values.iter().map(|&v| if v.is_nan() { None } else { Some(v) }).collect()
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use crate::aggregate::monthly_means;
 use crate::interpolate::interpolate;
-use msaw_cohort::{CohortData, Clinic, PatientId, N_PRO, QUESTION_BANK, STUDY_MONTHS,
-    WEEKS_PER_MONTH};
+use msaw_cohort::{
+    Clinic, CohortData, PatientId, N_PRO, QUESTION_BANK, STUDY_MONTHS, WEEKS_PER_MONTH,
+};
 use msaw_tabular::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -159,11 +160,8 @@ impl SampleSet {
                 Column::from_i64(self.meta.iter().map(|m| Some(m.patient.0 as i64)).collect()),
             )
             .expect("fresh frame");
-        let clinics: Vec<Option<&str>> =
-            self.meta.iter().map(|m| Some(m.clinic.name())).collect();
-        frame
-            .push_column("clinic", Column::from_labels(&clinics))
-            .expect("row counts match");
+        let clinics: Vec<Option<&str>> = self.meta.iter().map(|m| Some(m.clinic.name())).collect();
+        frame.push_column("clinic", Column::from_labels(&clinics)).expect("row counts match");
         frame
             .push_column(
                 "month",
@@ -182,7 +180,10 @@ impl SampleSet {
                 .expect("feature names are unique");
         }
         frame
-            .push_column(format!("label_{}", self.outcome.name()), Column::from_f64(self.labels.clone()))
+            .push_column(
+                format!("label_{}", self.outcome.name()),
+                Column::from_f64(self.labels.clone()),
+            )
             .expect("label name cannot collide with features");
         frame
     }
@@ -208,10 +209,8 @@ impl FeaturePanel {
         for p in 0..n {
             let mut per_question = Vec::with_capacity(N_PRO);
             for q in 0..N_PRO {
-                let weekly: Vec<Option<f64>> = data.pro.series[p][q]
-                    .iter()
-                    .map(|a| a.map(|v| v as f64))
-                    .collect();
+                let weekly: Vec<Option<f64>> =
+                    data.pro.series[p][q].iter().map(|a| a.map(|v| v as f64)).collect();
                 let filled = interpolate(&weekly, cfg.max_interpolation_gap);
                 per_question.push(monthly_means(&filled, WEEKS_PER_MONTH));
             }
@@ -283,16 +282,18 @@ pub fn build_samples(
                 }
                 rows.push(row);
                 labels.push(label);
-                meta.push(SampleMeta { patient: patient.id, clinic: patient.clinic, month, window });
+                meta.push(SampleMeta {
+                    patient: patient.id,
+                    clinic: patient.clinic,
+                    month,
+                    window,
+                });
             }
         }
     }
 
-    let features = if rows.is_empty() {
-        Matrix::zeros(0, n_features)
-    } else {
-        Matrix::from_rows(&rows)
-    };
+    let features =
+        if rows.is_empty() { Matrix::zeros(0, n_features) } else { Matrix::from_rows(&rows) };
     SampleSet { features, feature_names, labels, meta, outcome }
 }
 
@@ -385,10 +386,7 @@ mod tests {
         let cfg = PipelineConfig::default();
         let panel = FeaturePanel::build(&data, &cfg);
         let set = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg);
-        assert!(set
-            .labels
-            .iter()
-            .all(|&l| (0.0..=12.0).contains(&l) && l.fract() == 0.0));
+        assert!(set.labels.iter().all(|&l| (0.0..=12.0).contains(&l) && l.fract() == 0.0));
     }
 
     #[test]
@@ -415,13 +413,9 @@ mod tests {
         let data = generate(&CohortConfig::small(42));
         let strict = PipelineConfig { max_interpolation_gap: 0, ..Default::default() };
         let lax = PipelineConfig { max_interpolation_gap: 10, ..Default::default() };
-        let n_strict = build_samples(
-            &data,
-            &FeaturePanel::build(&data, &strict),
-            OutcomeKind::Qol,
-            &strict,
-        )
-        .len();
+        let n_strict =
+            build_samples(&data, &FeaturePanel::build(&data, &strict), OutcomeKind::Qol, &strict)
+                .len();
         let n_lax =
             build_samples(&data, &FeaturePanel::build(&data, &lax), OutcomeKind::Qol, &lax).len();
         assert!(n_strict < n_lax, "strict {n_strict} !< lax {n_lax}");
@@ -437,12 +431,7 @@ mod tests {
         let mut buf = Vec::new();
         msaw_tabular::csv::write_csv(&frame, &mut buf).unwrap();
         let schema = msaw_tabular::csv::CsvSchema {
-            columns: frame
-                .schema()
-                .fields()
-                .iter()
-                .map(|f| (f.name.clone(), f.dtype))
-                .collect(),
+            columns: frame.schema().fields().iter().map(|f| (f.name.clone(), f.dtype)).collect(),
         };
         let back = msaw_tabular::csv::read_csv(std::io::Cursor::new(buf), &schema).unwrap();
         assert_eq!(back.nrows(), set.len());

@@ -21,8 +21,7 @@ fn exp_value(tree: &Tree, row: &[f64], mask: u32, idx: usize) -> f64 {
             } else {
                 let cl = tree.nodes()[*left].cover();
                 let cr = tree.nodes()[*right].cover();
-                (cl * exp_value(tree, row, mask, *left)
-                    + cr * exp_value(tree, row, mask, *right))
+                (cl * exp_value(tree, row, mask, *left) + cr * exp_value(tree, row, mask, *right))
                     / cover
             }
         }
@@ -31,8 +30,7 @@ fn exp_value(tree: &Tree, row: &[f64], mask: u32, idx: usize) -> f64 {
 
 /// Coalition value of the whole model for feature subset `mask`.
 fn coalition_value(model: &Booster, row: &[f64], mask: u32) -> f64 {
-    model.base_score()
-        + model.trees().iter().map(|t| exp_value(t, row, mask, 0)).sum::<f64>()
+    model.base_score() + model.trees().iter().map(|t| exp_value(t, row, mask, 0)).sum::<f64>()
 }
 
 fn factorial(n: usize) -> f64 {
@@ -113,12 +111,8 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64, (i % 3) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
         let x = Matrix::from_rows(&rows);
-        let model = Booster::train(
-            &Params { n_estimators: 5, ..Params::regression() },
-            &x,
-            &y,
-        )
-        .unwrap();
+        let model =
+            Booster::train(&Params { n_estimators: 5, ..Params::regression() }, &x, &y).unwrap();
         let row = x.row(11);
         let phi = brute_force_shap(&model, row);
         let fx = model.predict_raw_row(row);
@@ -131,12 +125,8 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let x = Matrix::from_rows(&rows);
-        let model = Booster::train(
-            &Params { n_estimators: 3, ..Params::regression() },
-            &x,
-            &y,
-        )
-        .unwrap();
+        let model =
+            Booster::train(&Params { n_estimators: 3, ..Params::regression() }, &x, &y).unwrap();
         let row = x.row(7);
         assert!((coalition_value(&model, row, 1) - model.predict_raw_row(row)).abs() < 1e-12);
     }

@@ -33,11 +33,7 @@ pub fn dependence_curve(data: &Matrix, shap: &Matrix, feature: usize) -> Vec<Dep
             }
         })
         .collect();
-    points.sort_by(|a, b| {
-        a.feature_value
-            .partial_cmp(&b.feature_value)
-            .expect("NaNs filtered")
-    });
+    points.sort_by(|a, b| a.feature_value.partial_cmp(&b.feature_value).expect("NaNs filtered"));
     points
 }
 

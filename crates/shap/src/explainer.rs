@@ -152,7 +152,8 @@ fn unwind_path(path: &mut Vec<PathElement>, index: usize) {
     for i in (0..depth).rev() {
         if one_fraction != 0.0 {
             let tmp = path[i].pweight;
-            path[i].pweight = next_one_portion * (depth + 1) as f64 / ((i + 1) as f64 * one_fraction);
+            path[i].pweight =
+                next_one_portion * (depth + 1) as f64 / ((i + 1) as f64 * one_fraction);
             next_one_portion =
                 tmp - path[i].pweight * zero_fraction * (depth - i) as f64 / (depth + 1) as f64;
         } else {
@@ -390,10 +391,7 @@ mod tests {
             let fast = explainer.shap_values_row(x.row(i));
             let slow = brute::brute_force_shap(&model, x.row(i));
             for (f, (a, b)) in fast.values.iter().zip(&slow).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-8,
-                    "row {i} feature {f}: treeshap {a} vs brute {b}"
-                );
+                assert!((a - b).abs() < 1e-8, "row {i} feature {f}: treeshap {a} vs brute {b}");
             }
         }
     }
@@ -438,12 +436,8 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 10) as f64, 7.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let x = Matrix::from_rows(&rows);
-        let model = Booster::train(
-            &Params { n_estimators: 10, ..Params::regression() },
-            &x,
-            &y,
-        )
-        .unwrap();
+        let model =
+            Booster::train(&Params { n_estimators: 10, ..Params::regression() }, &x, &y).unwrap();
         let explainer = TreeExplainer::new(&model);
         let exp = explainer.shap_values_row(&[3.0, 7.0]);
         assert_eq!(exp.values[1], 0.0);
@@ -452,11 +446,7 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_absolute_value() {
-        let exp = Explanation {
-            values: vec![0.1, -0.9, 0.5],
-            base_value: 0.0,
-            prediction: -0.3,
-        };
+        let exp = Explanation { values: vec![0.1, -0.9, 0.5], base_value: 0.0, prediction: -0.3 };
         assert_eq!(exp.ranking(), vec![1, 2, 0]);
         assert_eq!(exp.top_k(2), vec![(1, -0.9), (2, 0.5)]);
     }

@@ -67,17 +67,12 @@ mod tests {
     #[test]
     fn informative_feature_ranks_first_globally() {
         // y depends strongly on x0, weakly on x1, never on x2.
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![(i % 10) as f64, (i % 4) as f64, 1.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 10) as f64, (i % 4) as f64, 1.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] + 0.5 * r[1]).collect();
         let x = Matrix::from_rows(&rows);
-        let model = Booster::train(
-            &Params { n_estimators: 30, ..Params::regression() },
-            &x,
-            &y,
-        )
-        .unwrap();
+        let model =
+            Booster::train(&Params { n_estimators: 30, ..Params::regression() }, &x, &y).unwrap();
         let explainer = TreeExplainer::new(&model);
         let summary = GlobalSummary::compute(&explainer, &x);
         assert_eq!(summary.ranking()[0], 0);

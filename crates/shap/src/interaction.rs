@@ -28,9 +28,7 @@ impl InteractionValues {
 
     /// Row sums — by construction the ordinary SHAP values.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n_features)
-            .map(|i| (0..self.n_features).map(|j| self.get(i, j)).sum())
-            .collect()
+        (0..self.n_features).map(|i| (0..self.n_features).map(|j| self.get(i, j)).sum()).collect()
     }
 
     /// The `k` strongest off-diagonal pairs by |interaction|, each pair
@@ -97,18 +95,9 @@ mod tests {
     /// y has a strong x0·x1 interaction plus additive x2.
     fn interacting_model() -> (Booster, Matrix) {
         let rows: Vec<Vec<f64>> = (0..160)
-            .map(|i| {
-                vec![
-                    (i % 2) as f64,
-                    ((i / 2) % 2) as f64,
-                    ((i / 4) % 5) as f64,
-                ]
-            })
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64, ((i / 4) % 5) as f64])
             .collect();
-        let y: Vec<f64> = rows
-            .iter()
-            .map(|r| 4.0 * r[0] * r[1] + 0.5 * r[2])
-            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] * r[1] + 0.5 * r[2]).collect();
         let x = Matrix::from_rows(&rows);
         let model = Booster::train(
             &Params { n_estimators: 20, max_depth: 3, ..Params::regression() },
@@ -161,9 +150,7 @@ mod tests {
     fn interacting_pair_dominates() {
         let (model, x) = interacting_model();
         // Pick a row where the x0·x1 term is active.
-        let active = (0..x.nrows())
-            .find(|&i| x.get(i, 0) == 1.0 && x.get(i, 1) == 1.0)
-            .unwrap();
+        let active = (0..x.nrows()).find(|&i| x.get(i, 0) == 1.0 && x.get(i, 1) == 1.0).unwrap();
         let inter = shap_interaction_values(&model, x.row(active));
         let top = inter.top_pairs(1);
         assert_eq!((top[0].0, top[0].1), (0, 1), "x0–x1 must be the top pair");

@@ -137,9 +137,7 @@ impl Column {
             Column::Float(v) => v[row],
             Column::Int(v) => v[row].map(|x| x as f64).unwrap_or(f64::NAN),
             Column::Bool(v) => v[row].map(|x| if x { 1.0 } else { 0.0 }).unwrap_or(f64::NAN),
-            Column::Categorical { codes, .. } => {
-                codes[row].map(|c| c as f64).unwrap_or(f64::NAN)
-            }
+            Column::Categorical { codes, .. } => codes[row].map(|c| c as f64).unwrap_or(f64::NAN),
         }
     }
 
@@ -155,21 +153,15 @@ impl Column {
     /// `self.len()` (enforced by [`crate::Frame::filter`]).
     pub fn filter(&self, mask: &[bool]) -> Column {
         fn keep<T: Clone>(values: &[T], mask: &[bool]) -> Vec<T> {
-            values
-                .iter()
-                .zip(mask)
-                .filter(|(_, &m)| m)
-                .map(|(v, _)| v.clone())
-                .collect()
+            values.iter().zip(mask).filter(|(_, &m)| m).map(|(v, _)| v.clone()).collect()
         }
         match self {
             Column::Float(v) => Column::Float(keep(v, mask)),
             Column::Int(v) => Column::Int(keep(v, mask)),
             Column::Bool(v) => Column::Bool(keep(v, mask)),
-            Column::Categorical { codes, categories } => Column::Categorical {
-                codes: keep(codes, mask),
-                categories: categories.clone(),
-            },
+            Column::Categorical { codes, categories } => {
+                Column::Categorical { codes: keep(codes, mask), categories: categories.clone() }
+            }
         }
     }
 
@@ -237,10 +229,9 @@ impl Column {
             }
             Column::Int(v) => v[row].map(|x| x.to_string()).unwrap_or_default(),
             Column::Bool(v) => v[row].map(|x| x.to_string()).unwrap_or_default(),
-            Column::Categorical { codes, categories } => codes[row]
-                .and_then(|c| categories.get(c as usize))
-                .cloned()
-                .unwrap_or_default(),
+            Column::Categorical { codes, categories } => {
+                codes[row].and_then(|c| categories.get(c as usize)).cloned().unwrap_or_default()
+            }
         }
     }
 }

@@ -40,7 +40,9 @@ impl fmt::Display for TabularError {
             TabularError::UnknownCategory { column, code } => {
                 write!(f, "categorical column `{column}` has no category for code {code}")
             }
-            TabularError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TabularError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             TabularError::MaskLength { expected, actual } => {
                 write!(f, "filter mask length mismatch: expected {expected}, got {actual}")
             }

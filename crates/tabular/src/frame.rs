@@ -46,7 +46,10 @@ impl Frame {
         if self.columns.is_empty() {
             self.nrows = column.len();
         } else if column.len() != self.nrows {
-            return Err(TabularError::LengthMismatch { expected: self.nrows, actual: column.len() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.nrows,
+                actual: column.len(),
+            });
         }
         self.schema.push(Field::new(name, column.dtype()));
         self.columns.push(column);
@@ -184,10 +187,7 @@ impl Frame {
     /// (missing values become `NaN`). This is the hand-off format for
     /// `msaw-gbdt`.
     pub fn to_matrix(&self, names: &[&str]) -> Result<Matrix> {
-        let cols: Vec<&Column> = names
-            .iter()
-            .map(|&n| self.column(n))
-            .collect::<Result<_>>()?;
+        let cols: Vec<&Column> = names.iter().map(|&n| self.column(n)).collect::<Result<_>>()?;
         let ncols = cols.len();
         let mut data = vec![0.0f64; self.nrows * ncols];
         for (j, col) in cols.iter().enumerate() {
@@ -287,7 +287,10 @@ mod tests {
     #[test]
     fn take_out_of_bounds() {
         let f = sample();
-        assert!(matches!(f.take(&[0, 3]), Err(TabularError::RowOutOfBounds { index: 3, nrows: 3 })));
+        assert!(matches!(
+            f.take(&[0, 3]),
+            Err(TabularError::RowOutOfBounds { index: 3, nrows: 3 })
+        ));
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl Schema {
     /// in the lookup index; [`crate::Frame`] rejects duplicates before they
     /// reach this point.
     pub fn from_fields(fields: Vec<Field>) -> Self {
-        let index = fields
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.clone(), i))
-            .collect();
+        let index = fields.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
         Schema { fields, index }
     }
 
@@ -111,12 +107,7 @@ impl Schema {
     /// Rebuild the name index (needed after deserialisation, since the
     /// index is skipped by serde).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .fields
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.clone(), i))
-            .collect();
+        self.index = self.fields.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
     }
 
     /// Names of all fields in order.

@@ -40,11 +40,8 @@ impl Summary {
         }
         let mean = if count > 0 { sum / count as f64 } else { f64::NAN };
         let std = if count > 1 {
-            let ss: f64 = values
-                .iter()
-                .filter(|v| !v.is_nan())
-                .map(|&v| (v - mean) * (v - mean))
-                .sum();
+            let ss: f64 =
+                values.iter().filter(|v| !v.is_nan()).map(|&v| (v - mean) * (v - mean)).sum();
             (ss / (count as f64 - 1.0)).sqrt()
         } else {
             f64::NAN

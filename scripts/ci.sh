@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repository's tier-1 gate: formatting, lints, build, tests.
+# Run from the workspace root; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "CI green."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_learners-d5d17f299db8979d.d: crates/bench/src/bin/baseline_learners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_learners-d5d17f299db8979d.rmeta: crates/bench/src/bin/baseline_learners.rs Cargo.toml
+
+crates/bench/src/bin/baseline_learners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_grid-21f86d335cab2f2b.d: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_grid-21f86d335cab2f2b.rmeta: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+crates/bench/src/bin/bench_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

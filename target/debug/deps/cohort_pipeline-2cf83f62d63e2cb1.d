@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cohort_pipeline-2cf83f62d63e2cb1.d: crates/bench/benches/cohort_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcohort_pipeline-2cf83f62d63e2cb1.rmeta: crates/bench/benches/cohort_pipeline.rs Cargo.toml
+
+crates/bench/benches/cohort_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

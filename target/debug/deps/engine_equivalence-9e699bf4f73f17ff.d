@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-9e699bf4f73f17ff.d: crates/gbdt/tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-9e699bf4f73f17ff.rmeta: crates/gbdt/tests/engine_equivalence.rs Cargo.toml
+
+crates/gbdt/tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_outcome_distributions-fa26625d6b1cae2b.d: crates/bench/src/bin/fig1_outcome_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_outcome_distributions-fa26625d6b1cae2b.rmeta: crates/bench/src/bin/fig1_outcome_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_global_dependence-eb1da58828363781.d: crates/bench/src/bin/fig7_global_dependence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_global_dependence-eb1da58828363781.rmeta: crates/bench/src/bin/fig7_global_dependence.rs Cargo.toml
+
+crates/bench/src/bin/fig7_global_dependence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_baselines-a5b041017dd47b06.d: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_baselines-a5b041017dd47b06.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gam.rs crates/baselines/src/linear.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gam.rs:
+crates/baselines/src/linear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_bench-0655ef8c18c0cc86.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_bench-0655ef8c18c0cc86.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

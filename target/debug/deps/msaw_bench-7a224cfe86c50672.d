@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_bench-7a224cfe86c50672.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_bench-7a224cfe86c50672.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/msaw_cohort-b562f1da776735a8.d: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_cohort-b562f1da776735a8.rmeta: crates/cohort/src/lib.rs crates/cohort/src/activity.rs crates/cohort/src/clinical.rs crates/cohort/src/config.rs crates/cohort/src/domains.rs crates/cohort/src/generator.rs crates/cohort/src/missing.rs crates/cohort/src/outcomes.rs crates/cohort/src/patient.rs crates/cohort/src/pro.rs crates/cohort/src/rng.rs crates/cohort/src/trajectory.rs Cargo.toml
+
+crates/cohort/src/lib.rs:
+crates/cohort/src/activity.rs:
+crates/cohort/src/clinical.rs:
+crates/cohort/src/config.rs:
+crates/cohort/src/domains.rs:
+crates/cohort/src/generator.rs:
+crates/cohort/src/missing.rs:
+crates/cohort/src/outcomes.rs:
+crates/cohort/src/patient.rs:
+crates/cohort/src/pro.rs:
+crates/cohort/src/rng.rs:
+crates/cohort/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

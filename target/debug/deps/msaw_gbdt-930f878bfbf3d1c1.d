@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/msaw_gbdt-930f878bfbf3d1c1.d: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_gbdt-930f878bfbf3d1c1.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs Cargo.toml
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/binning.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/context.rs:
+crates/gbdt/src/engine.rs:
+crates/gbdt/src/error.rs:
+crates/gbdt/src/importance.rs:
+crates/gbdt/src/objective.rs:
+crates/gbdt/src/params.rs:
+crates/gbdt/src/serialize.rs:
+crates/gbdt/src/split.rs:
+crates/gbdt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

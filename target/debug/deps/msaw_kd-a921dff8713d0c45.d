@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_kd-a921dff8713d0c45.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_kd-a921dff8713d0c45.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs Cargo.toml
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

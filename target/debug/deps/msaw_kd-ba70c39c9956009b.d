@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_kd-ba70c39c9956009b.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_kd-ba70c39c9956009b.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs Cargo.toml
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

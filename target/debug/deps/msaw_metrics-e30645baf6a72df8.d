@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msaw_metrics-e30645baf6a72df8.d: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_metrics-e30645baf6a72df8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/boxplot.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/cv.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msaw_shap-50d0ea0b7a87a425.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_shap-50d0ea0b7a87a425.rmeta: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs Cargo.toml
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msaw_tabular-b97b58f799a0180d.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_tabular-b97b58f799a0180d.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/csv.rs crates/tabular/src/error.rs crates/tabular/src/frame.rs crates/tabular/src/matrix.rs crates/tabular/src/schema.rs crates/tabular/src/stats.rs Cargo.toml
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/frame.rs:
+crates/tabular/src/matrix.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

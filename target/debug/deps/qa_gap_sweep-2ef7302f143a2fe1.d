@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qa_gap_sweep-2ef7302f143a2fe1.d: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqa_gap_sweep-2ef7302f143a2fe1.rmeta: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+crates/bench/src/bin/qa_gap_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

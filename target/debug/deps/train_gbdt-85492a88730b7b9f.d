@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train_gbdt-85492a88730b7b9f.d: crates/bench/benches/train_gbdt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain_gbdt-85492a88730b7b9f.rmeta: crates/bench/benches/train_gbdt.rs Cargo.toml
+
+crates/bench/benches/train_gbdt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/treeshap-00657d30f3e8b567.d: crates/bench/benches/treeshap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtreeshap-00657d30f3e8b567.rmeta: crates/bench/benches/treeshap.rs Cargo.toml
+
+crates/bench/benches/treeshap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_patient_split-bfdd7b84e42506db.d: crates/bench/src/bin/ablation_patient_split.rs
+
+/root/repo/target/release/deps/ablation_patient_split-bfdd7b84e42506db: crates/bench/src/bin/ablation_patient_split.rs
+
+crates/bench/src/bin/ablation_patient_split.rs:

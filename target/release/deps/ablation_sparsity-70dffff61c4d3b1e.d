@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sparsity-70dffff61c4d3b1e.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/release/deps/ablation_sparsity-70dffff61c4d3b1e: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_learners-3f9e3b45917b703f.d: crates/bench/src/bin/baseline_learners.rs
+
+/root/repo/target/release/deps/baseline_learners-3f9e3b45917b703f: crates/bench/src/bin/baseline_learners.rs
+
+crates/bench/src/bin/baseline_learners.rs:

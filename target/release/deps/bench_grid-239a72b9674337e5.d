@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_grid-239a72b9674337e5.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/release/deps/bench_grid-239a72b9674337e5: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

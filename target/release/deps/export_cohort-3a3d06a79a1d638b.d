@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_cohort-3a3d06a79a1d638b.d: crates/bench/src/bin/export_cohort.rs
+
+/root/repo/target/release/deps/export_cohort-3a3d06a79a1d638b: crates/bench/src/bin/export_cohort.rs
+
+crates/bench/src/bin/export_cohort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/falls_calibration-2a552cf615fb5286.d: crates/bench/src/bin/falls_calibration.rs
+
+/root/repo/target/release/deps/falls_calibration-2a552cf615fb5286: crates/bench/src/bin/falls_calibration.rs
+
+crates/bench/src/bin/falls_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_outcome_distributions-7e411b4b5a605472.d: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+/root/repo/target/release/deps/fig1_outcome_distributions-7e411b4b5a605472: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:

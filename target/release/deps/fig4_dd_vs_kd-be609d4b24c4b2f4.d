@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_dd_vs_kd-be609d4b24c4b2f4.d: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+/root/repo/target/release/deps/fig4_dd_vs_kd-be609d4b24c4b2f4: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+crates/bench/src/bin/fig4_dd_vs_kd.rs:

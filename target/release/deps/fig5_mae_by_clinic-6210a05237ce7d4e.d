@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mae_by_clinic-6210a05237ce7d4e.d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+/root/repo/target/release/deps/fig5_mae_by_clinic-6210a05237ce7d4e: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_local_explanations-5b6941ac710d3b17.d: crates/bench/src/bin/fig6_local_explanations.rs
+
+/root/repo/target/release/deps/fig6_local_explanations-5b6941ac710d3b17: crates/bench/src/bin/fig6_local_explanations.rs
+
+crates/bench/src/bin/fig6_local_explanations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_global_dependence-e0946d048f9b6e49.d: crates/bench/src/bin/fig7_global_dependence.rs
+
+/root/repo/target/release/deps/fig7_global_dependence-e0946d048f9b6e49: crates/bench/src/bin/fig7_global_dependence.rs
+
+crates/bench/src/bin/fig7_global_dependence.rs:

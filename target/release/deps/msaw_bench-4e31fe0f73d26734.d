@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msaw_bench-4e31fe0f73d26734.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-4e31fe0f73d26734.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-4e31fe0f73d26734.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/msaw_gbdt-2ce9914728944781.d: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
+/root/repo/target/release/deps/msaw_gbdt-2ce9914728944781.d: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
 
-/root/repo/target/release/deps/libmsaw_gbdt-2ce9914728944781.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
+/root/repo/target/release/deps/libmsaw_gbdt-2ce9914728944781.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
 
-/root/repo/target/release/deps/libmsaw_gbdt-2ce9914728944781.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
+/root/repo/target/release/deps/libmsaw_gbdt-2ce9914728944781.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/binning.rs crates/gbdt/src/booster.rs crates/gbdt/src/context.rs crates/gbdt/src/engine.rs crates/gbdt/src/error.rs crates/gbdt/src/importance.rs crates/gbdt/src/objective.rs crates/gbdt/src/params.rs crates/gbdt/src/serialize.rs crates/gbdt/src/split.rs crates/gbdt/src/tree.rs
 
 crates/gbdt/src/lib.rs:
 crates/gbdt/src/binning.rs:
 crates/gbdt/src/booster.rs:
+crates/gbdt/src/context.rs:
+crates/gbdt/src/engine.rs:
 crates/gbdt/src/error.rs:
 crates/gbdt/src/importance.rs:
 crates/gbdt/src/objective.rs:

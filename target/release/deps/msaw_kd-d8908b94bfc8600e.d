@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msaw_kd-d8908b94bfc8600e.d: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/release/deps/libmsaw_kd-d8908b94bfc8600e.rlib: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+/root/repo/target/release/deps/libmsaw_kd-d8908b94bfc8600e.rmeta: crates/kd/src/lib.rs crates/kd/src/fi.rs crates/kd/src/ici.rs
+
+crates/kd/src/lib.rs:
+crates/kd/src/fi.rs:
+crates/kd/src/ici.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msaw_preprocess-0ff2e6e64ca870f7.d: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/release/deps/libmsaw_preprocess-0ff2e6e64ca870f7.rlib: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+/root/repo/target/release/deps/libmsaw_preprocess-0ff2e6e64ca870f7.rmeta: crates/preprocess/src/lib.rs crates/preprocess/src/aggregate.rs crates/preprocess/src/interpolate.rs crates/preprocess/src/samples.rs
+
+crates/preprocess/src/lib.rs:
+crates/preprocess/src/aggregate.rs:
+crates/preprocess/src/interpolate.rs:
+crates/preprocess/src/samples.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mysawh_repro-9cf4400f369b4087.d: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-9cf4400f369b4087.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-9cf4400f369b4087.rmeta: src/lib.rs
+
+src/lib.rs:

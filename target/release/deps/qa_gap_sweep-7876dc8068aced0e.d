@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qa_gap_sweep-7876dc8068aced0e.d: crates/bench/src/bin/qa_gap_sweep.rs
+
+/root/repo/target/release/deps/qa_gap_sweep-7876dc8068aced0e: crates/bench/src/bin/qa_gap_sweep.rs
+
+crates/bench/src/bin/qa_gap_sweep.rs:

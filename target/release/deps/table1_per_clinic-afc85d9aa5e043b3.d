@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_per_clinic-afc85d9aa5e043b3.d: crates/bench/src/bin/table1_per_clinic.rs
+
+/root/repo/target/release/deps/table1_per_clinic-afc85d9aa5e043b3: crates/bench/src/bin/table1_per_clinic.rs
+
+crates/bench/src/bin/table1_per_clinic.rs:

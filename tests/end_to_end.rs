@@ -9,11 +9,7 @@ use mysawh_repro::kd::attach_fi;
 use mysawh_repro::preprocess::{build_samples, FeaturePanel, OutcomeKind};
 use mysawh_repro::shap::TreeExplainer;
 
-fn fast_setup() -> (
-    mysawh_repro::cohort::CohortData,
-    ExperimentConfig,
-    FeaturePanel,
-) {
+fn fast_setup() -> (mysawh_repro::cohort::CohortData, ExperimentConfig, FeaturePanel) {
     let data = generate(&CohortConfig::small(7));
     let cfg = ExperimentConfig::fast();
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
@@ -28,11 +24,7 @@ fn pipeline_runs_for_every_outcome() {
         assert!(set.len() > 100, "{}: only {} samples", outcome.name(), set.len());
         let result = run_variant(&set, Approach::DataDriven, false, &cfg);
         let metric = result.primary_metric();
-        assert!(
-            (0.0..=1.0).contains(&metric),
-            "{}: metric {metric} out of range",
-            outcome.name()
-        );
+        assert!((0.0..=1.0).contains(&metric), "{}: metric {metric} out of range", outcome.name());
     }
 }
 
@@ -41,10 +33,7 @@ fn shap_local_accuracy_holds_on_the_real_pipeline() {
     // The TreeSHAP efficiency axiom must survive the full stack:
     // missing values, FI column, real monthly aggregates.
     let (data, cfg, panel) = fast_setup();
-    let set = attach_fi(
-        &build_samples(&data, &panel, OutcomeKind::Qol, &cfg.pipeline),
-        &data,
-    );
+    let set = attach_fi(&build_samples(&data, &panel, OutcomeKind::Qol, &cfg.pipeline), &data);
     let model = fit_final_model(&set, &cfg);
     let explainer = TreeExplainer::new(&model);
     for row in (0..set.len()).step_by(37) {
@@ -86,10 +75,7 @@ fn whole_run_is_reproducible() {
 #[test]
 fn fi_column_is_present_and_bounded() {
     let (data, cfg, panel) = fast_setup();
-    let set = attach_fi(
-        &build_samples(&data, &panel, OutcomeKind::Falls, &cfg.pipeline),
-        &data,
-    );
+    let set = attach_fi(&build_samples(&data, &panel, OutcomeKind::Falls, &cfg.pipeline), &data);
     assert_eq!(set.feature_names.last().unwrap(), "fi_baseline");
     let fi = set.features.column(set.features.ncols() - 1);
     assert!(fi.iter().all(|&v| (0.0..=1.0).contains(&v)));

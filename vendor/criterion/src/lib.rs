@@ -95,9 +95,7 @@ impl BenchmarkGroup {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id.label), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_bench(&format!("{}/{}", self.name, id.label), self.sample_size, |b| f(b, input));
         self
     }
 

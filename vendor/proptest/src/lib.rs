@@ -70,10 +70,7 @@ pub mod strategy {
 
         /// Generate a value, then generate from the strategy `f` builds
         /// out of it (dependent generation).
-        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F>
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {
@@ -311,13 +308,18 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
     };
     ($cond:expr, $($fmt:tt)*) => {
-        if !$cond {
-            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
-                "{} at {}:{}",
-                format!($($fmt)*),
-                file!(),
-                line!()
-            )));
+        // `match` instead of `if !cond` keeps clippy's
+        // `neg_cmp_op_on_partial_ord` quiet for float conditions.
+        match $cond {
+            true => {}
+            false => {
+                return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                    "{} at {}:{}",
+                    format!($($fmt)*),
+                    file!(),
+                    line!()
+                )));
+            }
         }
     };
 }
