@@ -5,7 +5,7 @@
 
 use msaw_bench::{experiment_config, paper_cohort};
 use msaw_core::experiment::fit_final_model;
-use msaw_core::interpret::{find_contrast_pair, LocalReport};
+use msaw_core::interpret::{LocalReport, ShapReport};
 use msaw_kd::attach_fi;
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 use msaw_shap::shap_interaction_values;
@@ -35,7 +35,8 @@ fn main() {
     let model = fit_final_model(&set, &cfg);
 
     println!("Figure 6 — local explanations of two patients' SPPB predictions");
-    match find_contrast_pair(&model, &set, 0.15, 5) {
+    let shap = ShapReport::new(&model, &set);
+    match shap.find_contrast_pair(0.15, 5) {
         Some((a, b)) => {
             print_report(&a, "Patient A");
             print_report(&b, "Patient B");

@@ -6,7 +6,7 @@
 
 use msaw_bench::{experiment_config, paper_cohort};
 use msaw_core::experiment::fit_final_model;
-use msaw_core::interpret::{dependence_report, global_ranking};
+use msaw_core::interpret::ShapReport;
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 
 fn main() {
@@ -16,11 +16,14 @@ fn main() {
     let set = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline);
     eprintln!("training the SPPB DD model and computing SHAP dependence...");
     let model = fit_final_model(&set, &cfg);
+    // One explainer + one SHAP matrix feed both the ranking and the
+    // dependence curve below.
+    let shap = ShapReport::new(&model, &set);
 
     println!("Figure 7 — global SHAP dependence for one PRO question");
     println!();
     println!("Globally most influential features (mean |SHAP|):");
-    let ranking = global_ranking(&model, &set, 8);
+    let ranking = shap.global_ranking(8);
     for (name, value) in &ranking {
         println!("  {:<42} {:>8.4}", name, value);
     }
@@ -32,7 +35,7 @@ fn main() {
         .find(|n| n.starts_with("pro_"))
         .expect("a PRO item ranks among the top features")
         .clone();
-    let report = dependence_report(&model, &set, &feature);
+    let report = shap.dependence_report(&feature);
 
     println!();
     println!("Dependence of `{feature}` (mean SHAP per answer bucket):");

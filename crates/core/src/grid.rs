@@ -9,8 +9,6 @@ use crate::experiment::{
 use msaw_cohort::{Clinic, CohortData};
 use msaw_kd::{attach_fi, default_ici_spec, ici_sample_set};
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 /// The four sample-set variants for one outcome, ready to train on.
 pub struct VariantSets {
@@ -49,44 +47,39 @@ pub fn run_grid_for_samples(sets: &VariantSets, cfg: &ExperimentConfig) -> Vec<V
     ]
 }
 
-/// The bounded size of the grid's worker pool: one worker per available
-/// core, never more than there are jobs.
-fn worker_pool_size(n_jobs: usize) -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, n_jobs.max(1))
-}
-
-/// Run every fit job of every plan across one bounded worker pool and
-/// reassemble the results in the plans' canonical order.
+/// Run every fit job of every plan across the shared bounded worker
+/// pool (`msaw-parallel`) and reassemble the results in the plans'
+/// canonical order.
 ///
-/// The queue is a single atomic cursor over the flattened job list;
-/// each worker claims the next unclaimed job and writes its output into
-/// that job's dedicated slot. Because every job is a pure function of
-/// its plan (see [`run_fit_job`]) and reassembly is keyed by job index,
-/// the result is byte-identical regardless of worker count or
-/// interleaving.
+/// Every job is a pure function of its plan (see [`run_fit_job`]) and
+/// reassembly is keyed by job index, so the result is byte-identical
+/// regardless of worker count or interleaving.
 fn run_plans(plans: &[VariantPlan<'_>], cfg: &ExperimentConfig) -> Vec<VariantResult> {
     let jobs: Vec<(usize, FitJob)> = plans
         .iter()
         .enumerate()
         .flat_map(|(p, plan)| plan.jobs().map(move |job| (p, job)))
         .collect();
-    let slots: Vec<OnceLock<FitOutput>> = jobs.iter().map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..worker_pool_size(jobs.len()) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(p, job)) = jobs.get(i) else { break };
-                let out = run_fit_job(&plans[p], job, cfg);
-                slots[i].set(out).expect("each job slot is written once");
-            });
-        }
+    let results = msaw_parallel::run_indexed(jobs.len(), |i| {
+        let (p, job) = jobs[i];
+        run_fit_job(&plans[p], job, cfg)
     });
     let mut outputs: Vec<Vec<FitOutput>> = plans.iter().map(|_| Vec::new()).collect();
-    for (&(p, _), slot) in jobs.iter().zip(slots) {
-        outputs[p].push(slot.into_inner().expect("worker pool completed every job"));
+    for (&(p, _), out) in jobs.iter().zip(results) {
+        outputs[p].push(out);
     }
     plans.iter().zip(outputs).map(|(plan, out)| finish_variant(plan, out)).collect()
+}
+
+/// The canonical four (set, approach, FI) variants of one outcome's
+/// sample sets, in the grid's fixed KD, KD+FI, DD, DD+FI order.
+fn variant_specs(sets: &VariantSets) -> [(&SampleSet, Approach, bool); 4] {
+    [
+        (&sets.kd, Approach::KnowledgeDriven, false),
+        (&sets.kd_fi, Approach::KnowledgeDriven, true),
+        (&sets.dd, Approach::DataDriven, false),
+        (&sets.dd_fi, Approach::DataDriven, true),
+    ]
 }
 
 /// Run the full 12-model grid over a cohort (Fig. 4).
@@ -103,38 +96,61 @@ pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantRe
         .collect();
     let plans: Vec<VariantPlan<'_>> = all_sets
         .iter()
-        .flat_map(|sets| {
-            [
-                (&sets.kd, Approach::KnowledgeDriven, false),
-                (&sets.kd_fi, Approach::KnowledgeDriven, true),
-                (&sets.dd, Approach::DataDriven, false),
-                (&sets.dd_fi, Approach::DataDriven, true),
-            ]
-        })
+        .flat_map(variant_specs)
         .map(|(set, approach, with_fi)| plan_variant(set, approach, with_fi, cfg))
         .collect();
     run_plans(&plans, cfg)
 }
 
-/// Run the grid restricted to one clinic's patients (Table 1 rows).
+/// Run the grid restricted to one clinic's patients (Table 1 rows),
+/// through the same shared-binning engine and worker pool as
+/// [`run_full_grid`]. For several clinics prefer [`run_clinic_grids`],
+/// which builds the full-cohort variant sets only once.
 pub fn run_clinic_grid(
     data: &CohortData,
     clinic: Clinic,
     cfg: &ExperimentConfig,
 ) -> Vec<VariantResult> {
+    let (_, results) =
+        run_clinic_grids(data, &[clinic], cfg).pop().expect("one clinic in, one result set out");
+    results
+}
+
+/// Run the per-clinic grids of Table 1: each outcome's four variant
+/// sets are built from the full cohort exactly once, then filtered to
+/// each clinic, planned (one quantisation per filtered set) and fanned
+/// across the bounded worker pool. Results are per clinic, in input
+/// order, each in the grid's canonical variant order.
+pub fn run_clinic_grids(
+    data: &CohortData,
+    clinics: &[Clinic],
+    cfg: &ExperimentConfig,
+) -> Vec<(Clinic, Vec<VariantResult>)> {
     let panel = FeaturePanel::build(data, &cfg.pipeline);
-    let mut out = Vec::new();
-    for outcome in OutcomeKind::ALL {
-        let sets = build_variant_sets(data, &panel, outcome, cfg);
-        let restricted = VariantSets {
-            dd: sets.dd.filter_clinic(clinic),
-            dd_fi: sets.dd_fi.filter_clinic(clinic),
-            kd: sets.kd.filter_clinic(clinic),
-            kd_fi: sets.kd_fi.filter_clinic(clinic),
-        };
-        out.extend(run_grid_for_samples(&restricted, cfg));
-    }
-    out
+    let all_sets: Vec<VariantSets> = OutcomeKind::ALL
+        .iter()
+        .map(|&outcome| build_variant_sets(data, &panel, outcome, cfg))
+        .collect();
+    clinics
+        .iter()
+        .map(|&clinic| {
+            let restricted: Vec<VariantSets> = all_sets
+                .iter()
+                .map(|sets| VariantSets {
+                    dd: sets.dd.filter_clinic(clinic),
+                    dd_fi: sets.dd_fi.filter_clinic(clinic),
+                    kd: sets.kd.filter_clinic(clinic),
+                    kd_fi: sets.kd_fi.filter_clinic(clinic),
+                })
+                .collect();
+            let plans: Vec<VariantPlan<'_>> = restricted
+                .iter()
+                .flat_map(variant_specs)
+                .map(|(set, approach, with_fi)| plan_variant(set, approach, with_fi, cfg))
+                .collect();
+            (clinic, run_plans(&plans, cfg))
+        })
+        .collect()
 }
 
 /// Look up one variant in a result list.
@@ -219,6 +235,63 @@ mod tests {
             msaw_gbdt::binning::fit_count() - before,
             12,
             "run_full_grid must quantise each of the 12 variant sets exactly once"
+        );
+    }
+
+    #[test]
+    fn clinic_grid_matches_per_variant_serial_path() {
+        // The rerouted clinic grid (shared sets, plan + pooled jobs)
+        // must reproduce the retired per-clinic path — rebuild the
+        // variant sets, filter, run each variant serially — exactly.
+        let data = generate(&CohortConfig::small(42));
+        let cfg = ExperimentConfig::fast();
+        let new = run_clinic_grid(&data, Clinic::Modena, &cfg);
+
+        let panel = FeaturePanel::build(&data, &cfg.pipeline);
+        let mut old = Vec::new();
+        for outcome in OutcomeKind::ALL {
+            let sets = build_variant_sets(&data, &panel, outcome, &cfg);
+            let restricted = VariantSets {
+                dd: sets.dd.filter_clinic(Clinic::Modena),
+                dd_fi: sets.dd_fi.filter_clinic(Clinic::Modena),
+                kd: sets.kd.filter_clinic(Clinic::Modena),
+                kd_fi: sets.kd_fi.filter_clinic(Clinic::Modena),
+            };
+            old.extend(run_grid_for_samples(&restricted, &cfg));
+        }
+
+        assert_eq!(new.len(), old.len());
+        for (a, b) in new.iter().zip(&old) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.approach, b.approach);
+            assert_eq!(a.with_fi, b.with_fi);
+            assert_eq!(a.regression, b.regression, "{} {}", a.outcome.name(), a.approach.label());
+            assert_eq!(a.classification, b.classification);
+            assert_eq!(a.cv_scores, b.cv_scores);
+            assert_eq!(a.n_train, b.n_train);
+            assert_eq!(a.n_test, b.n_test);
+        }
+    }
+
+    #[test]
+    fn clinic_grids_bin_once_per_clinic_variant() {
+        // Shared full-cohort sets, one quantisation per filtered
+        // variant set: 12 per clinic, nothing extra for the shared
+        // build. (plan_variant runs on the calling thread, so the
+        // thread-local counter sees every fit.)
+        let data = generate(&CohortConfig::small(42));
+        let cfg = ExperimentConfig::fast();
+        let clinics = [Clinic::HongKong, Clinic::Sydney];
+        let before = msaw_gbdt::binning::fit_count();
+        let per_clinic = run_clinic_grids(&data, &clinics, &cfg);
+        assert_eq!(per_clinic.len(), 2);
+        assert_eq!(per_clinic[0].0, Clinic::HongKong);
+        assert_eq!(per_clinic[1].0, Clinic::Sydney);
+        assert!(per_clinic.iter().all(|(_, r)| r.len() == 12));
+        assert_eq!(
+            msaw_gbdt::binning::fit_count() - before,
+            24,
+            "two clinics must cost exactly 2 x 12 quantisation passes"
         );
     }
 

@@ -4,10 +4,18 @@
 //! two patients with (nearly) the same prediction but different
 //! explanations, the paper's Fig. 6 argument for personalised medicine.
 //! Global: dependence curves with data-driven thresholds (Fig. 7).
+//!
+//! All reports over the same `(model, sample set)` pair share one
+//! explainer and one SHAP matrix through [`ShapReport`]; the free
+//! functions remain as one-shot conveniences and produce bit-identical
+//! results.
 
 use msaw_gbdt::Booster;
 use msaw_preprocess::SampleSet;
-use msaw_shap::{dependence_curve, sign_change_threshold, GlobalSummary, TreeExplainer};
+use msaw_shap::{
+    dependence_curve, sign_change_threshold, Explanation, GlobalSummary, TreeExplainer,
+};
+use msaw_tabular::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// A named SHAP attribution.
@@ -34,11 +42,15 @@ pub struct LocalReport {
     pub top: Vec<Attribution>,
 }
 
-/// Explain one row of a sample set.
-pub fn explain_row(model: &Booster, set: &SampleSet, row: usize, top_k: usize) -> LocalReport {
-    let explainer = TreeExplainer::new(model);
+/// Build a [`LocalReport`] from one row's already-computed explanation.
+fn local_report(
+    model: &Booster,
+    set: &SampleSet,
+    row: usize,
+    exp: &Explanation,
+    top_k: usize,
+) -> LocalReport {
     let features = set.features.row(row);
-    let exp = explainer.shap_values_row(features);
     let top = exp
         .top_k(top_k)
         .into_iter()
@@ -56,39 +68,31 @@ pub fn explain_row(model: &Booster, set: &SampleSet, row: usize, top_k: usize) -
     }
 }
 
+/// Explain one row of a sample set.
+///
+/// One-shot convenience: builds one explainer and explains one row. To
+/// explain many rows of the same set — or mix local and global reports —
+/// build a [`ShapReport`] once instead.
+pub fn explain_row(model: &Booster, set: &SampleSet, row: usize, top_k: usize) -> LocalReport {
+    let explainer = TreeExplainer::new(model);
+    let exp = explainer.shap_values_row(set.features.row(row));
+    local_report(model, set, row, &exp, top_k)
+}
+
 /// Find two samples from *different patients* whose predictions agree
 /// within `tolerance` but whose top-1 explanation differs — the paper's
 /// Fig. 6 scenario ("same SPPB, different drivers → different
 /// interventions"). Returns `None` when no such pair exists.
+///
+/// One-shot convenience over [`ShapReport::find_contrast_pair`]; the
+/// SHAP matrix it needs is computed once, on the shared worker pool.
 pub fn find_contrast_pair(
     model: &Booster,
     set: &SampleSet,
     tolerance: f64,
     top_k: usize,
 ) -> Option<(LocalReport, LocalReport)> {
-    let explainer = TreeExplainer::new(model);
-    // Precompute predictions and top features for every row.
-    let rows: Vec<(usize, f64, usize)> = (0..set.len())
-        .map(|i| {
-            let features = set.features.row(i);
-            let exp = explainer.shap_values_row(features);
-            (i, model.predict_row(features), exp.ranking()[0])
-        })
-        .collect();
-    for (a_pos, &(a, pred_a, top_a)) in rows.iter().enumerate() {
-        for &(b, pred_b, top_b) in &rows[a_pos + 1..] {
-            if set.meta[a].patient == set.meta[b].patient {
-                continue;
-            }
-            if (pred_a - pred_b).abs() <= tolerance && top_a != top_b {
-                return Some((
-                    explain_row(model, set, a, top_k),
-                    explain_row(model, set, b, top_k),
-                ));
-            }
-        }
-    }
-    None
+    ShapReport::new(model, set).find_contrast_pair(tolerance, top_k)
 }
 
 /// Global dependence report for one feature (Fig. 7): the SHAP-vs-value
@@ -104,21 +108,13 @@ pub struct DependenceReport {
 }
 
 /// Build the dependence report for `feature_name` over a sample set.
+///
+/// One-shot convenience over [`ShapReport::dependence_report`]. For
+/// several features — or a dependence report alongside a ranking, as in
+/// Fig. 7 — build a [`ShapReport`] once; each one-shot call here pays
+/// for a full SHAP matrix.
 pub fn dependence_report(model: &Booster, set: &SampleSet, feature_name: &str) -> DependenceReport {
-    let feature = set
-        .feature_names
-        .iter()
-        .position(|n| n == feature_name)
-        .unwrap_or_else(|| panic!("unknown feature `{feature_name}`"));
-    let explainer = TreeExplainer::new(model);
-    let shap = explainer.shap_values(&set.features);
-    let curve = dependence_curve(&set.features, &shap, feature);
-    let threshold = sign_change_threshold(&curve);
-    DependenceReport {
-        feature: feature_name.to_string(),
-        points: curve.iter().map(|p| (p.feature_value, p.shap_value)).collect(),
-        threshold,
-    }
+    ShapReport::new(model, set).dependence_report(feature_name)
 }
 
 /// Extract data-driven thresholds for *every* PRO feature of a model —
@@ -128,26 +124,137 @@ pub fn dependence_report(model: &Booster, set: &SampleSet, feature_name: &str) -
 /// counterpart of the KD cutoff table. Features without a sign change
 /// (monotone or inert) are omitted.
 pub fn population_thresholds(model: &Booster, set: &SampleSet) -> Vec<(String, f64)> {
-    let explainer = TreeExplainer::new(model);
-    let shap = explainer.shap_values(&set.features);
-    let mut out = Vec::new();
-    for (f, name) in set.feature_names.iter().enumerate() {
-        if !name.starts_with("pro_") {
-            continue;
-        }
-        let curve = dependence_curve(&set.features, &shap, f);
-        if let Some(t) = sign_change_threshold(&curve) {
-            out.push((name.clone(), t));
-        }
-    }
-    out
+    ShapReport::new(model, set).population_thresholds()
 }
 
 /// Global importance ranking (mean |SHAP|) with feature names attached.
+///
+/// One-shot convenience over [`ShapReport::global_ranking`].
 pub fn global_ranking(model: &Booster, set: &SampleSet, top_k: usize) -> Vec<(String, f64)> {
-    let explainer = TreeExplainer::new(model);
-    let summary = GlobalSummary::compute(&explainer, &set.features);
-    summary.top_k(top_k).into_iter().map(|(f, v)| (set.feature_names[f].clone(), v)).collect()
+    ShapReport::new(model, set).global_ranking(top_k)
+}
+
+/// Shared interpretation state for one `(model, sample set)` pair: one
+/// [`TreeExplainer`] and one SHAP matrix over every row of the set,
+/// computed once on the shared worker pool and reused by every report.
+///
+/// The free functions in this module each rebuilt this state per call —
+/// Fig. 7 alone paid for two full SHAP matrices (ranking + dependence)
+/// and `find_contrast_pair` for three explainers plus a re-explained
+/// pair. A `ShapReport` makes the sharing explicit; every method is
+/// bit-identical to its free-function counterpart.
+pub struct ShapReport<'a> {
+    model: &'a Booster,
+    set: &'a SampleSet,
+    explainer: TreeExplainer<'a>,
+    shap: Matrix,
+}
+
+impl<'a> ShapReport<'a> {
+    /// Build the shared state: one explainer, one SHAP matrix over all
+    /// rows of `set` (fanned across the worker pool).
+    pub fn new(model: &'a Booster, set: &'a SampleSet) -> Self {
+        let explainer = TreeExplainer::new(model);
+        let shap = explainer.shap_values(&set.features);
+        ShapReport { model, set, explainer, shap }
+    }
+
+    /// The shared explainer.
+    pub fn explainer(&self) -> &TreeExplainer<'a> {
+        &self.explainer
+    }
+
+    /// The cached SHAP matrix (rows × features, raw-score space).
+    pub fn shap_matrix(&self) -> &Matrix {
+        &self.shap
+    }
+
+    /// One row's cached attributions as an [`Explanation`].
+    fn explanation(&self, row: usize) -> Explanation {
+        Explanation {
+            values: self.shap.row(row).to_vec(),
+            base_value: self.explainer.expected_value(),
+            prediction: self.model.predict_raw_row(self.set.features.row(row)),
+        }
+    }
+
+    /// Explain one row from the cached matrix (cf. [`explain_row`]).
+    pub fn explain_row(&self, row: usize, top_k: usize) -> LocalReport {
+        local_report(self.model, self.set, row, &self.explanation(row), top_k)
+    }
+
+    /// Find a Fig. 6 contrast pair from the cached matrix (cf. the free
+    /// [`find_contrast_pair`]): same prediction within `tolerance`,
+    /// different patients, different top-1 driver.
+    pub fn find_contrast_pair(
+        &self,
+        tolerance: f64,
+        top_k: usize,
+    ) -> Option<(LocalReport, LocalReport)> {
+        // Predictions and top drivers for every row, off the cache.
+        let rows: Vec<(usize, f64, usize)> = (0..self.set.len())
+            .map(|i| {
+                let pred = self.model.predict_row(self.set.features.row(i));
+                (i, pred, self.explanation(i).ranking()[0])
+            })
+            .collect();
+        for (a_pos, &(a, pred_a, top_a)) in rows.iter().enumerate() {
+            for &(b, pred_b, top_b) in &rows[a_pos + 1..] {
+                if self.set.meta[a].patient == self.set.meta[b].patient {
+                    continue;
+                }
+                if (pred_a - pred_b).abs() <= tolerance && top_a != top_b {
+                    return Some((self.explain_row(a, top_k), self.explain_row(b, top_k)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Dependence report for one feature from the cached matrix (cf. the
+    /// free [`dependence_report`]).
+    pub fn dependence_report(&self, feature_name: &str) -> DependenceReport {
+        let feature = self
+            .set
+            .feature_names
+            .iter()
+            .position(|n| n == feature_name)
+            .unwrap_or_else(|| panic!("unknown feature `{feature_name}`"));
+        let curve = dependence_curve(&self.set.features, &self.shap, feature);
+        let threshold = sign_change_threshold(&curve);
+        DependenceReport {
+            feature: feature_name.to_string(),
+            points: curve.iter().map(|p| (p.feature_value, p.shap_value)).collect(),
+            threshold,
+        }
+    }
+
+    /// Sign-flip thresholds of every PRO feature from the cached matrix
+    /// (cf. the free [`population_thresholds`]).
+    pub fn population_thresholds(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (f, name) in self.set.feature_names.iter().enumerate() {
+            if !name.starts_with("pro_") {
+                continue;
+            }
+            let curve = dependence_curve(&self.set.features, &self.shap, f);
+            if let Some(t) = sign_change_threshold(&curve) {
+                out.push((name.clone(), t));
+            }
+        }
+        out
+    }
+
+    /// Global mean-|SHAP| ranking from the cached matrix (cf. the free
+    /// [`global_ranking`]).
+    pub fn global_ranking(&self, top_k: usize) -> Vec<(String, f64)> {
+        let summary = GlobalSummary::from_shap_matrix(&self.shap);
+        summary
+            .top_k(top_k)
+            .into_iter()
+            .map(|(f, v)| (self.set.feature_names[f].clone(), v))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +337,50 @@ mod tests {
     fn unknown_feature_panics() {
         let (set, model) = setup();
         dependence_report(&model, &set, "not_a_feature");
+    }
+
+    /// Bitwise LocalReport equality — `PartialEq` would reject reports
+    /// whose attributions carry `NaN` (missing) feature values.
+    fn assert_reports_bits_eq(a: &LocalReport, b: &LocalReport) {
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.patient, b.patient);
+        assert_eq!(a.prediction.to_bits(), b.prediction.to_bits());
+        assert_eq!(a.top.len(), b.top.len());
+        for (x, y) in a.top.iter().zip(&b.top) {
+            assert_eq!(x.feature, y.feature);
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+            assert_eq!(x.shap.to_bits(), y.shap.to_bits());
+        }
+    }
+
+    #[test]
+    fn shap_report_matches_free_functions_exactly() {
+        // The cached-matrix API must be a pure refactor: every report it
+        // produces equals its one-shot counterpart, bit for bit.
+        let (set, model) = setup();
+        let report = ShapReport::new(&model, &set);
+
+        for row in [0usize, 3, set.len() - 1] {
+            assert_reports_bits_eq(&report.explain_row(row, 5), &explain_row(&model, &set, row, 5));
+        }
+        let (a, b) = report.find_contrast_pair(0.5, 5).expect("pair exists");
+        let (fa, fb) = find_contrast_pair(&model, &set, 0.5, 5).expect("pair exists");
+        assert_reports_bits_eq(&a, &fa);
+        assert_reports_bits_eq(&b, &fb);
+        let feature = "pro_locomotion_walk_distance";
+        assert_eq!(report.dependence_report(feature), dependence_report(&model, &set, feature));
+        assert_eq!(report.population_thresholds(), population_thresholds(&model, &set));
+        assert_eq!(report.global_ranking(10), global_ranking(&model, &set, 10));
+    }
+
+    #[test]
+    fn shap_report_caches_one_matrix_of_set_shape() {
+        let (set, model) = setup();
+        let report = ShapReport::new(&model, &set);
+        assert_eq!(report.shap_matrix().nrows(), set.len());
+        assert_eq!(report.shap_matrix().ncols(), set.features.ncols());
+        // The cached matrix is the explainer's own output.
+        let direct = report.explainer().shap_values(&set.features);
+        assert_eq!(report.shap_matrix().as_slice(), direct.as_slice());
     }
 }

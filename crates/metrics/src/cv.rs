@@ -16,10 +16,10 @@ pub struct Fold {
     pub validation: Vec<usize>,
 }
 
-/// Shuffled train/test split. `test_fraction` in (0,1); at least one row
-/// lands on each side when `n >= 2`.
+/// Shuffled train/test split. `test_fraction` must lie strictly in
+/// (0,1); at least one row lands on each side when `n >= 2`.
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0,1)");
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0,1)");
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
@@ -33,13 +33,14 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
 
 /// Train/test split that keeps all rows of a group (e.g. one patient) on
 /// the same side, preventing within-patient leakage across the boundary.
-/// `groups[i]` is the group id of row `i`.
+/// `groups[i]` is the group id of row `i`; `test_fraction` must lie
+/// strictly in (0,1).
 pub fn group_train_test_split(
     groups: &[u64],
     test_fraction: f64,
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0,1)");
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0,1)");
     let mut unique: Vec<u64> = groups.to_vec();
     unique.sort_unstable();
     unique.dedup();
@@ -77,8 +78,10 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
 /// Stratified K-fold for binary labels: each fold receives a near-equal
 /// share of positives and negatives. Falls (≈15% positive) needs this —
 /// a plain split can leave a fold with no positive cases at all.
+/// Panics when `k < 2` or `k > labels.len()`, mirroring [`kfold`].
 pub fn stratified_kfold(labels: &[bool], k: usize, seed: u64) -> Vec<Fold> {
     assert!(k >= 2, "k must be at least 2");
+    assert!(k <= labels.len(), "k must not exceed the number of rows");
     let mut pos: Vec<usize> = Vec::new();
     let mut neg: Vec<usize> = Vec::new();
     for (i, &l) in labels.iter().enumerate() {
@@ -172,6 +175,45 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "test_fraction must be in (0,1)")]
+    fn split_rejects_zero_fraction() {
+        train_test_split(10, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction must be in (0,1)")]
+    fn split_rejects_unit_fraction() {
+        train_test_split(10, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction must be in (0,1)")]
+    fn split_rejects_nan_fraction() {
+        train_test_split(10, f64::NAN, 1);
+    }
+
+    #[test]
+    fn split_accepts_fractions_just_inside_the_open_interval() {
+        // The clamp guarantees a nonempty side even at the extremes.
+        let (train, test) = train_test_split(10, 1e-12, 1);
+        assert_eq!((train.len(), test.len()), (9, 1));
+        let (train, test) = train_test_split(10, 1.0 - 1e-12, 1);
+        assert_eq!((train.len(), test.len()), (1, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction must be in (0,1)")]
+    fn group_split_rejects_zero_fraction() {
+        group_train_test_split(&[0, 0, 1, 1], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction must be in (0,1)")]
+    fn group_split_rejects_unit_fraction() {
+        group_train_test_split(&[0, 0, 1, 1], 1.0, 1);
+    }
+
+    #[test]
     fn group_split_never_splits_a_group() {
         // 10 groups × 4 rows.
         let groups: Vec<u64> = (0..40).map(|i| (i / 4) as u64).collect();
@@ -221,6 +263,20 @@ mod tests {
             let pos = f.validation.iter().filter(|&&i| labels[i]).count();
             assert_eq!(pos, 2, "stratification must balance positives");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed the number of rows")]
+    fn stratified_kfold_rejects_k_beyond_n() {
+        // Mirrors kfold's guard: more folds than rows would silently
+        // produce folds with empty validation sets.
+        stratified_kfold(&[true, false, true], 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed the number of rows")]
+    fn kfold_rejects_k_beyond_n() {
+        kfold(3, 4, 0);
     }
 
     #[test]

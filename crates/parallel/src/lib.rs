@@ -1,0 +1,165 @@
+//! # msaw-parallel
+//!
+//! The workspace's one parallel execution primitive: a bounded worker
+//! pool draining an indexed job list through a single atomic cursor,
+//! with each output written into its job's dedicated slot.
+//!
+//! The contract that makes results *byte-identical at any worker count*:
+//! every job must be a pure function of its index (no shared mutable
+//! state, no RNG, no time), and reassembly is keyed by job index rather
+//! than by completion order. Under that contract the pool only changes
+//! *when* a job runs, never *what* it computes, so
+//! `run_indexed_on(1, n, f) == run_indexed_on(k, n, f)` for every `k`.
+//!
+//! Extracted from `msaw-core`'s grid runner (which fans ~72 fold/final
+//! fits) so the SHAP engine can fan row batches and conditional passes
+//! across the same machinery.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers the machine can usefully run: one per core.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The bounded default pool size: one worker per available core, never
+/// more than there are jobs, always at least one.
+pub fn default_workers(n_jobs: usize) -> usize {
+    available_workers().clamp(1, n_jobs.max(1))
+}
+
+/// Run jobs `0..n_jobs` across the default bounded pool and return the
+/// outputs in job-index order.
+pub fn run_indexed<T, F>(n_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_on(default_workers(n_jobs), n_jobs, job)
+}
+
+/// Run jobs `0..n_jobs` across exactly `workers` threads (clamped to
+/// the job count) and return the outputs in job-index order.
+pub fn run_indexed_on<T, F>(workers: usize, n_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_scratch_on(workers, n_jobs, || (), |(), i| job(i))
+}
+
+/// [`run_scratch_on`] with the default bounded pool size.
+pub fn run_scratch<S, T, G, F>(n_jobs: usize, scratch: G, job: F) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_scratch_on(default_workers(n_jobs), n_jobs, scratch, job)
+}
+
+/// Like [`run_indexed_on`], but each worker owns a reusable scratch
+/// value built by `scratch()` — the hook that lets e.g. a SHAP worker
+/// keep one traversal arena alive across all the rows it claims.
+///
+/// The scratch must be a pure buffer: outputs may not depend on which
+/// jobs previously touched it, or determinism across worker counts is
+/// lost.
+pub fn run_scratch_on<S, T, G, F>(workers: usize, n_jobs: usize, scratch: G, job: F) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n_jobs.max(1));
+    if workers == 1 {
+        // Serial fast path: no threads, one scratch, same outputs.
+        let mut s = scratch();
+        return (0..n_jobs).map(|i| job(&mut s, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut s = scratch();
+                    let mut claimed: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        claimed.push((i, job(&mut s, i)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out) in handle.join().expect("pool worker panicked") {
+                debug_assert!(slots[i].is_none(), "each job slot is written once");
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("worker pool completed every job")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn outputs_are_in_index_order_at_any_worker_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_indexed_on(workers, 97, |i| i * i);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_output() {
+        let got: Vec<usize> = run_indexed(0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed_on(4, 50, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        // Each worker's scratch counts the jobs it claimed; the total
+        // must cover every job no matter how they were distributed.
+        let claimed = AtomicUsize::new(0);
+        let out = run_scratch_on(
+            3,
+            40,
+            || 0usize,
+            |s, i| {
+                *s += 1;
+                claimed.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        assert_eq!(claimed.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_jobs() {
+        assert_eq!(default_workers(0), 1);
+        assert!(default_workers(1000) >= 1);
+        // More workers than jobs must still complete correctly.
+        let got = run_indexed_on(32, 3, |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

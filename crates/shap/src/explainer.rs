@@ -7,6 +7,15 @@
 //! mass that flows down it ("zero fraction", derived from training
 //! covers). The bookkeeping makes the Shapley summation over all 2^M
 //! feature subsets collapse into an O(L·D²) scan per tree.
+//!
+//! The traversal runs inside a [`PathArena`]: one preallocated buffer
+//! holding every recursion level's unique-feature path as a contiguous
+//! segment, so descending into a branch is a `copy_within` instead of a
+//! fresh `Vec` allocation per split node. The arithmetic is untouched —
+//! output is bit-identical to the clone-per-branch recursion retained in
+//! [`crate::reference`], and batch entry points fan rows across the
+//! shared `msaw-parallel` pool with slot-indexed reassembly, so results
+//! are byte-identical at any worker count.
 
 use msaw_gbdt::{Booster, Node, Tree};
 use msaw_tabular::Matrix;
@@ -66,25 +75,49 @@ impl<'m> TreeExplainer<'m> {
 
     /// SHAP values for one row (raw-score space).
     pub fn shap_values_row(&self, row: &[f64]) -> Explanation {
-        assert_eq!(row.len(), self.model.n_features(), "feature count mismatch");
-        let mut values = vec![0.0; row.len()];
-        for tree in self.model.trees() {
-            tree_shap(tree, row, &mut values);
-        }
+        self.shap_values_row_with(row, &mut PathArena::new())
+    }
+
+    /// [`Self::shap_values_row`] reusing a caller-owned traversal arena —
+    /// the allocation-free path for callers explaining many rows.
+    pub fn shap_values_row_with(&self, row: &[f64], arena: &mut PathArena) -> Explanation {
         Explanation {
-            values,
+            values: self.shap_row_values(row, arena),
             base_value: self.expected_value,
             prediction: self.model.predict_raw_row(row),
         }
     }
 
+    /// Just the per-feature attributions for one row, into a fresh vec.
+    fn shap_row_values(&self, row: &[f64], arena: &mut PathArena) -> Vec<f64> {
+        assert_eq!(row.len(), self.model.n_features(), "feature count mismatch");
+        let mut values = vec![0.0; row.len()];
+        for tree in self.model.trees() {
+            tree_shap_conditional_with(tree, row, &mut values, Condition::None, 0, arena);
+        }
+        values
+    }
+
     /// SHAP values for every row of a matrix; returns a matrix of the
     /// same shape.
+    ///
+    /// Rows are fanned across the shared bounded worker pool (each
+    /// worker reusing one traversal arena) and reassembled by row
+    /// index, so the matrix is byte-identical at any worker count.
     pub fn shap_values(&self, data: &Matrix) -> Matrix {
+        self.shap_values_with_workers(data, msaw_parallel::default_workers(data.nrows()))
+    }
+
+    /// [`Self::shap_values`] with an explicit worker count — the hook the
+    /// equivalence suite uses to pin determinism across pool sizes.
+    pub fn shap_values_with_workers(&self, data: &Matrix, workers: usize) -> Matrix {
+        let rows =
+            msaw_parallel::run_scratch_on(workers, data.nrows(), PathArena::new, |arena, i| {
+                self.shap_row_values(data.row(i), arena)
+            });
         let mut out = Matrix::zeros(data.nrows(), data.ncols());
-        for i in 0..data.nrows() {
-            let exp = self.shap_values_row(data.row(i));
-            for (j, v) in exp.values.iter().enumerate() {
+        for (i, values) in rows.iter().enumerate() {
+            for (j, v) in values.iter().enumerate() {
                 out.set(i, j, *v);
             }
         }
@@ -114,29 +147,61 @@ pub fn tree_expected_value(tree: &Tree) -> f64 {
 }
 
 /// One element of the unique-feature path.
-#[derive(Debug, Clone, Copy)]
-struct PathElement {
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PathElement {
     /// Feature index; `usize::MAX` marks the artificial root element.
-    feature: usize,
+    pub(crate) feature: usize,
     /// Fraction of background (cover) mass flowing down this branch.
-    zero_fraction: f64,
+    pub(crate) zero_fraction: f64,
     /// 1 when the instance follows the branch, 0 otherwise.
-    one_fraction: f64,
+    pub(crate) one_fraction: f64,
     /// Permutation-weight accumulator.
-    pweight: f64,
+    pub(crate) pweight: f64,
 }
 
-const ROOT_FEATURE: usize = usize::MAX;
+pub(crate) const ROOT_FEATURE: usize = usize::MAX;
 
-/// Grow the path by one split (EXTEND).
-fn extend_path(path: &mut Vec<PathElement>, zero_fraction: f64, one_fraction: f64, feature: usize) {
-    let depth = path.len();
-    path.push(PathElement {
+/// A reusable traversal arena: every recursion level's unique-feature
+/// path lives as a contiguous segment of one flat buffer.
+///
+/// Level `d`'s segment starts where level `d-1`'s ends, so descending
+/// into a branch copies the parent segment forward (`copy_within`)
+/// instead of cloning a `Vec` — the buffer peaks at the
+/// `(depth+1)(depth+2)/2` triangular bound once and is then reused for
+/// every subsequent tree and row. The element values and the order of
+/// operations on them are exactly those of the clone-based recursion
+/// (see [`crate::reference`]), so attributions are bit-identical.
+#[derive(Debug, Default)]
+pub struct PathArena {
+    elements: Vec<PathElement>,
+}
+
+impl PathArena {
+    /// An empty arena; it grows to a tree's triangular bound on first
+    /// use and is reused across trees and rows thereafter.
+    pub fn new() -> Self {
+        PathArena { elements: Vec::new() }
+    }
+
+    /// Make room for a traversal of a tree of the given depth.
+    fn prepare(&mut self, depth: usize) {
+        let cap = (depth + 2) * (depth + 3) / 2;
+        if self.elements.len() < cap {
+            self.elements.resize(cap, PathElement::default());
+        }
+    }
+}
+
+/// Grow the path by one split (EXTEND). `path` holds the previous
+/// elements plus one uninitialised slot at the end, which this writes.
+fn extend_path(path: &mut [PathElement], zero_fraction: f64, one_fraction: f64, feature: usize) {
+    let depth = path.len() - 1;
+    path[depth] = PathElement {
         feature,
         zero_fraction,
         one_fraction,
         pweight: if depth == 0 { 1.0 } else { 0.0 },
-    });
+    };
     for i in (0..depth).rev() {
         path[i + 1].pweight += one_fraction * path[i].pweight * (i + 1) as f64 / (depth + 1) as f64;
         path[i].pweight = zero_fraction * path[i].pweight * (depth - i) as f64 / (depth + 1) as f64;
@@ -144,7 +209,8 @@ fn extend_path(path: &mut Vec<PathElement>, zero_fraction: f64, one_fraction: f6
 }
 
 /// Remove element `index` from the path, undoing its EXTEND (UNWIND).
-fn unwind_path(path: &mut Vec<PathElement>, index: usize) {
+/// The caller shrinks its length bookkeeping by one afterwards.
+fn unwind_path(path: &mut [PathElement], index: usize) {
     let depth = path.len() - 1;
     let one_fraction = path[index].one_fraction;
     let zero_fraction = path[index].zero_fraction;
@@ -166,7 +232,6 @@ fn unwind_path(path: &mut Vec<PathElement>, index: usize) {
         path[i].zero_fraction = path[i + 1].zero_fraction;
         path[i].one_fraction = path[i + 1].one_fraction;
     }
-    path.pop();
 }
 
 /// Total permutation weight if element `index` were unwound, without
@@ -218,13 +283,26 @@ pub fn tree_shap_conditional(
     condition: Condition,
     condition_feature: usize,
 ) {
-    let mut path = Vec::with_capacity(tree.depth() + 2);
+    tree_shap_conditional_with(tree, row, phi, condition, condition_feature, &mut PathArena::new());
+}
+
+/// [`tree_shap_conditional`] reusing a caller-owned traversal arena.
+pub fn tree_shap_conditional_with(
+    tree: &Tree,
+    row: &[f64],
+    phi: &mut [f64],
+    condition: Condition,
+    condition_feature: usize,
+    arena: &mut PathArena,
+) {
+    arena.prepare(tree.depth());
     recurse(
         tree,
         row,
         phi,
         0,
-        &mut path,
+        &mut arena.elements,
+        Segment { start: 0, len: 0 },
         1.0,
         1.0,
         ROOT_FEATURE,
@@ -234,13 +312,28 @@ pub fn tree_shap_conditional(
     );
 }
 
+/// One recursion level's live path: `len` elements at `arena[start..]`.
+#[derive(Clone, Copy)]
+struct Segment {
+    start: usize,
+    len: usize,
+}
+
+impl Segment {
+    /// The next free arena index — where a child level's copy begins.
+    fn end(self) -> usize {
+        self.start + self.len
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     tree: &Tree,
     row: &[f64],
     phi: &mut [f64],
     node_idx: usize,
-    path: &mut Vec<PathElement>,
+    arena: &mut [PathElement],
+    mut seg: Segment,
     parent_zero_fraction: f64,
     parent_one_fraction: f64,
     parent_feature: usize,
@@ -254,10 +347,17 @@ fn recurse(
     // The conditioned feature never joins the path: it is fixed, not
     // attributed.
     if condition == Condition::None || parent_feature != condition_feature {
-        extend_path(path, parent_zero_fraction, parent_one_fraction, parent_feature);
+        seg.len += 1;
+        extend_path(
+            &mut arena[seg.start..seg.end()],
+            parent_zero_fraction,
+            parent_one_fraction,
+            parent_feature,
+        );
     }
     match &tree.nodes()[node_idx] {
         Node::Leaf { weight, .. } => {
+            let path = &arena[seg.start..seg.end()];
             for i in 1..path.len() {
                 let w = unwound_path_sum(path, i);
                 let el = path[i];
@@ -276,10 +376,13 @@ fn recurse(
             // fractions are consumed and the old element removed.
             let mut incoming_zero = 1.0;
             let mut incoming_one = 1.0;
-            if let Some(k) = path.iter().position(|el| el.feature == *feature) {
-                incoming_zero = path[k].zero_fraction;
-                incoming_one = path[k].one_fraction;
-                unwind_path(path, k);
+            if let Some(k) =
+                arena[seg.start..seg.end()].iter().position(|el| el.feature == *feature)
+            {
+                incoming_zero = arena[seg.start + k].zero_fraction;
+                incoming_one = arena[seg.start + k].one_fraction;
+                unwind_path(&mut arena[seg.start..seg.end()], k);
+                seg.len -= 1;
             }
 
             // Split the condition mass between the branches.
@@ -297,14 +400,18 @@ fn recurse(
             }
 
             // Hot branch (the one the instance follows) then cold branch,
-            // each with its own copy of the path.
-            let mut hot_path = path.clone();
+            // each on its own forward copy of this level's path. A child
+            // only writes at or beyond `seg.end()`, so the parent segment
+            // is intact when the cold branch re-copies it.
+            let child = Segment { start: seg.end(), len: seg.len };
+            arena.copy_within(seg.start..seg.end(), child.start);
             recurse(
                 tree,
                 row,
                 phi,
                 hot,
-                &mut hot_path,
+                arena,
+                child,
                 incoming_zero * hot_zero,
                 incoming_one,
                 *feature,
@@ -312,13 +419,14 @@ fn recurse(
                 condition_feature,
                 hot_fraction,
             );
-            let mut cold_path = path.clone();
+            arena.copy_within(seg.start..seg.end(), child.start);
             recurse(
                 tree,
                 row,
                 phi,
                 cold,
-                &mut cold_path,
+                arena,
+                child,
                 incoming_zero * cold_zero,
                 0.0,
                 *feature,

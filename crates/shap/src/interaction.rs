@@ -8,7 +8,7 @@
 //! Computed via *conditional* TreeSHAP: `Φ[i][j] = (φ_i(x | j follows
 //! the instance's branch) − φ_i(x | j follows the background)) / 2`.
 
-use crate::explainer::{tree_shap_conditional, Condition};
+use crate::explainer::{tree_shap_conditional_with, Condition, PathArena};
 use msaw_gbdt::Booster;
 
 /// The interaction matrix for one explained row.
@@ -48,31 +48,68 @@ impl InteractionValues {
 
 /// Compute SHAP interaction values for one row (raw-score space).
 ///
-/// Cost is `n_features + 1` full TreeSHAP passes, so reserve this for
-/// selected instances rather than whole datasets.
+/// Cost is `n_features + 1` full TreeSHAP passes; they are mutually
+/// independent, so the passes fan across the shared bounded worker
+/// pool. Reassembly is keyed by conditioned feature, making the matrix
+/// byte-identical at any worker count.
 pub fn shap_interaction_values(model: &Booster, row: &[f64]) -> InteractionValues {
+    shap_interaction_values_with_workers(
+        model,
+        row,
+        msaw_parallel::default_workers(model.n_features() + 1),
+    )
+}
+
+/// One conditional pass's accumulators: either the unconditional φ, or
+/// a feature's (fixed-present, fixed-absent) pair.
+enum Pass {
+    Phi(Vec<f64>),
+    OnOff(Vec<f64>, Vec<f64>),
+}
+
+/// [`shap_interaction_values`] with an explicit worker count — the hook
+/// the equivalence suite uses to pin determinism across pool sizes.
+pub fn shap_interaction_values_with_workers(
+    model: &Booster,
+    row: &[f64],
+    workers: usize,
+) -> InteractionValues {
     let m = model.n_features();
     assert_eq!(row.len(), m, "feature count mismatch");
-    // Ordinary SHAP values (for the diagonal).
-    let mut phi = vec![0.0; m];
-    for tree in model.trees() {
-        tree_shap_conditional(tree, row, &mut phi, Condition::None, 0);
-    }
+    // Jobs 0..m: feature j's FixedPresent/FixedAbsent pair. Job m: the
+    // ordinary (unconditional) pass for the diagonal.
+    let passes = msaw_parallel::run_scratch_on(workers, m + 1, PathArena::new, |arena, j| {
+        if j == m {
+            let mut phi = vec![0.0; m];
+            for tree in model.trees() {
+                tree_shap_conditional_with(tree, row, &mut phi, Condition::None, 0, arena);
+            }
+            Pass::Phi(phi)
+        } else {
+            let mut on = vec![0.0; m];
+            let mut off = vec![0.0; m];
+            for tree in model.trees() {
+                tree_shap_conditional_with(tree, row, &mut on, Condition::FixedPresent, j, arena);
+                tree_shap_conditional_with(tree, row, &mut off, Condition::FixedAbsent, j, arena);
+            }
+            Pass::OnOff(on, off)
+        }
+    });
 
     let mut values = vec![0.0; m * m];
-    for j in 0..m {
-        let mut on = vec![0.0; m];
-        let mut off = vec![0.0; m];
-        for tree in model.trees() {
-            tree_shap_conditional(tree, row, &mut on, Condition::FixedPresent, j);
-            tree_shap_conditional(tree, row, &mut off, Condition::FixedAbsent, j);
-        }
-        for i in 0..m {
-            if i == j {
-                continue;
+    let mut phi = Vec::new();
+    for (j, pass) in passes.into_iter().enumerate() {
+        match pass {
+            Pass::Phi(p) => phi = p,
+            Pass::OnOff(on, off) => {
+                for i in 0..m {
+                    if i == j {
+                        continue;
+                    }
+                    let v = (on[i] - off[i]) / 2.0;
+                    values[i * m + j] = v;
+                }
             }
-            let v = (on[i] - off[i]) / 2.0;
-            values[i * m + j] = v;
         }
     }
     // Diagonal: the main effect is what remains of φ_i after all

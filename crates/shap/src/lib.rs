@@ -26,11 +26,14 @@ pub mod dependence;
 pub mod explainer;
 pub mod global;
 pub mod interaction;
+pub mod reference;
 
 pub use dependence::{dependence_curve, sign_change_threshold, DependencePoint};
-pub use explainer::{Explanation, TreeExplainer};
+pub use explainer::{Explanation, PathArena, TreeExplainer};
 pub use global::GlobalSummary;
-pub use interaction::{shap_interaction_values, InteractionValues};
+pub use interaction::{
+    shap_interaction_values, shap_interaction_values_with_workers, InteractionValues,
+};
 
 #[cfg(test)]
 pub(crate) mod brute;

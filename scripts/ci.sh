@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release -p msaw-bench --bins"
+cargo build --release -p msaw-bench --bins   # every figure/table binary + bench_grid & bench_shap
+
 echo "==> cargo test"
 cargo test --workspace --quiet
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_patient_split-10d9268ec03b0d61.d: crates/bench/src/bin/ablation_patient_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_patient_split-10d9268ec03b0d61.rmeta: crates/bench/src/bin/ablation_patient_split.rs Cargo.toml
+
+crates/bench/src/bin/ablation_patient_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_patient_split-743df80161681e0f.d: crates/bench/src/bin/ablation_patient_split.rs
+
+/root/repo/target/debug/deps/ablation_patient_split-743df80161681e0f: crates/bench/src/bin/ablation_patient_split.rs
+
+crates/bench/src/bin/ablation_patient_split.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_patient_split-b0db1431199c856a.d: crates/bench/src/bin/ablation_patient_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_patient_split-b0db1431199c856a.rmeta: crates/bench/src/bin/ablation_patient_split.rs Cargo.toml
+
+crates/bench/src/bin/ablation_patient_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

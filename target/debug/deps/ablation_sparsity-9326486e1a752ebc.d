@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sparsity-9326486e1a752ebc.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/debug/deps/ablation_sparsity-9326486e1a752ebc: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

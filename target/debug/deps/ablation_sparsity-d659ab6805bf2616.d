@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sparsity-d659ab6805bf2616.d: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sparsity-d659ab6805bf2616.rmeta: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sparsity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

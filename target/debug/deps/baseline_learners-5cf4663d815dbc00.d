@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_learners-5cf4663d815dbc00.d: crates/bench/src/bin/baseline_learners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_learners-5cf4663d815dbc00.rmeta: crates/bench/src/bin/baseline_learners.rs Cargo.toml
+
+crates/bench/src/bin/baseline_learners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

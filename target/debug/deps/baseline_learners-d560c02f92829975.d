@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_learners-d560c02f92829975.d: crates/bench/src/bin/baseline_learners.rs
+
+/root/repo/target/debug/deps/baseline_learners-d560c02f92829975: crates/bench/src/bin/baseline_learners.rs
+
+crates/bench/src/bin/baseline_learners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_grid-7ac35f4e98595278.d: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_grid-7ac35f4e98595278.rmeta: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+crates/bench/src/bin/bench_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

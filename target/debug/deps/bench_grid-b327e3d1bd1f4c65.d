@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_grid-b327e3d1bd1f4c65.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/debug/deps/bench_grid-b327e3d1bd1f4c65: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_grid-e9206b8183bb559b.d: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_grid-e9206b8183bb559b.rmeta: crates/bench/src/bin/bench_grid.rs Cargo.toml
+
+crates/bench/src/bin/bench_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

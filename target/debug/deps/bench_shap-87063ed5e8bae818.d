@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_shap-87063ed5e8bae818.d: crates/bench/src/bin/bench_shap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_shap-87063ed5e8bae818.rmeta: crates/bench/src/bin/bench_shap.rs Cargo.toml
+
+crates/bench/src/bin/bench_shap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

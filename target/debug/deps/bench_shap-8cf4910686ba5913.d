@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_shap-8cf4910686ba5913.d: crates/bench/src/bin/bench_shap.rs
+
+/root/repo/target/debug/deps/bench_shap-8cf4910686ba5913: crates/bench/src/bin/bench_shap.rs
+
+crates/bench/src/bin/bench_shap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cohort_pipeline-31945dc9539c5adf.d: crates/bench/benches/cohort_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcohort_pipeline-31945dc9539c5adf.rmeta: crates/bench/benches/cohort_pipeline.rs Cargo.toml
+
+crates/bench/benches/cohort_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7d4371d673e1236b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7d4371d673e1236b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

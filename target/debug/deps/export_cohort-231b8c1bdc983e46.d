@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_cohort-231b8c1bdc983e46.d: crates/bench/src/bin/export_cohort.rs
+
+/root/repo/target/debug/deps/export_cohort-231b8c1bdc983e46: crates/bench/src/bin/export_cohort.rs
+
+crates/bench/src/bin/export_cohort.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_cohort-b0ecdd23e828e55c.d: crates/bench/src/bin/export_cohort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_cohort-b0ecdd23e828e55c.rmeta: crates/bench/src/bin/export_cohort.rs Cargo.toml
+
+crates/bench/src/bin/export_cohort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

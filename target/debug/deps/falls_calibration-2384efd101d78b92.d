@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/falls_calibration-2384efd101d78b92.d: crates/bench/src/bin/falls_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfalls_calibration-2384efd101d78b92.rmeta: crates/bench/src/bin/falls_calibration.rs Cargo.toml
+
+crates/bench/src/bin/falls_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

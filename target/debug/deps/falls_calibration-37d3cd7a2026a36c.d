@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falls_calibration-37d3cd7a2026a36c.d: crates/bench/src/bin/falls_calibration.rs
+
+/root/repo/target/debug/deps/falls_calibration-37d3cd7a2026a36c: crates/bench/src/bin/falls_calibration.rs
+
+crates/bench/src/bin/falls_calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_outcome_distributions-727b7da5bff356fd.d: crates/bench/src/bin/fig1_outcome_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_outcome_distributions-727b7da5bff356fd.rmeta: crates/bench/src/bin/fig1_outcome_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_outcome_distributions-b673b9fc330a0758.d: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+/root/repo/target/debug/deps/fig1_outcome_distributions-b673b9fc330a0758: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_dd_vs_kd-3d2b8ee51d62c7af.d: crates/bench/src/bin/fig4_dd_vs_kd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_dd_vs_kd-3d2b8ee51d62c7af.rmeta: crates/bench/src/bin/fig4_dd_vs_kd.rs Cargo.toml
+
+crates/bench/src/bin/fig4_dd_vs_kd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_dd_vs_kd-8bcfb700d725a594.d: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+/root/repo/target/debug/deps/fig4_dd_vs_kd-8bcfb700d725a594: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+crates/bench/src/bin/fig4_dd_vs_kd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mae_by_clinic-56c48f29af222ab0.d: crates/bench/src/bin/fig5_mae_by_clinic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mae_by_clinic-56c48f29af222ab0.rmeta: crates/bench/src/bin/fig5_mae_by_clinic.rs Cargo.toml
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mae_by_clinic-bdf34603e94365e6.d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+/root/repo/target/debug/deps/fig5_mae_by_clinic-bdf34603e94365e6: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:

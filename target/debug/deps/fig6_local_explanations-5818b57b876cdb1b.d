@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_local_explanations-5818b57b876cdb1b.d: crates/bench/src/bin/fig6_local_explanations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_local_explanations-5818b57b876cdb1b.rmeta: crates/bench/src/bin/fig6_local_explanations.rs Cargo.toml
+
+crates/bench/src/bin/fig6_local_explanations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

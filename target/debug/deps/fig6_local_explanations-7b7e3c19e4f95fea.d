@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_local_explanations-7b7e3c19e4f95fea.d: crates/bench/src/bin/fig6_local_explanations.rs
+
+/root/repo/target/debug/deps/fig6_local_explanations-7b7e3c19e4f95fea: crates/bench/src/bin/fig6_local_explanations.rs
+
+crates/bench/src/bin/fig6_local_explanations.rs:

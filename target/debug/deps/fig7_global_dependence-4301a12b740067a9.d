@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_global_dependence-4301a12b740067a9.d: crates/bench/src/bin/fig7_global_dependence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_global_dependence-4301a12b740067a9.rmeta: crates/bench/src/bin/fig7_global_dependence.rs Cargo.toml
+
+crates/bench/src/bin/fig7_global_dependence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_global_dependence-666b5495a0b180b6.d: crates/bench/src/bin/fig7_global_dependence.rs
+
+/root/repo/target/debug/deps/fig7_global_dependence-666b5495a0b180b6: crates/bench/src/bin/fig7_global_dependence.rs
+
+crates/bench/src/bin/fig7_global_dependence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grid_snapshot-7a478628c325b590.d: crates/core/tests/grid_snapshot.rs
+
+/root/repo/target/debug/deps/grid_snapshot-7a478628c325b590: crates/core/tests/grid_snapshot.rs
+
+crates/core/tests/grid_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

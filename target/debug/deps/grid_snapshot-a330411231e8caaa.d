@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/grid_snapshot-a330411231e8caaa.d: crates/core/tests/grid_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_snapshot-a330411231e8caaa.rmeta: crates/core/tests/grid_snapshot.rs Cargo.toml
+
+crates/core/tests/grid_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_bench-7ac771eedb6e8deb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-7ac771eedb6e8deb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_bench-7ac771eedb6e8deb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

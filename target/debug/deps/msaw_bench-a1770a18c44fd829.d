@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msaw_bench-a1770a18c44fd829.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msaw_bench-a1770a18c44fd829: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_bench-a92940f816dc25f1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_bench-a92940f816dc25f1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

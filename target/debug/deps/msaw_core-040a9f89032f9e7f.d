@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msaw_core-040a9f89032f9e7f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/debug/deps/msaw_core-040a9f89032f9e7f: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/grid.rs:
+crates/core/src/interpret.rs:
+crates/core/src/oof.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msaw_core-66638148106cf9b7.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/debug/deps/libmsaw_core-66638148106cf9b7.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/debug/deps/libmsaw_core-66638148106cf9b7.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/grid.rs:
+crates/core/src/interpret.rs:
+crates/core/src/oof.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msaw_core-9409f438c976170a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_core-9409f438c976170a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/grid.rs:
+crates/core/src/interpret.rs:
+crates/core/src/oof.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

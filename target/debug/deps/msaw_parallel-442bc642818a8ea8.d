@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msaw_parallel-442bc642818a8ea8.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/msaw_parallel-442bc642818a8ea8: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

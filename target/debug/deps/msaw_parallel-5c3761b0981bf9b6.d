@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msaw_parallel-5c3761b0981bf9b6.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_parallel-5c3761b0981bf9b6.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libmsaw_parallel-5c3761b0981bf9b6.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msaw_parallel-ff33a38383d7c5b2.d: crates/parallel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_parallel-ff33a38383d7c5b2.rmeta: crates/parallel/src/lib.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

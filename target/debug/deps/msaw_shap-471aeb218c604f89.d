@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msaw_shap-471aeb218c604f89.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_shap-471aeb218c604f89.rmeta: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs Cargo.toml
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+crates/shap/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

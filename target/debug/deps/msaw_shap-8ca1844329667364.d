@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msaw_shap-8ca1844329667364.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs
+
+/root/repo/target/debug/deps/msaw_shap-8ca1844329667364: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+crates/shap/src/reference.rs:
+crates/shap/src/brute.rs:

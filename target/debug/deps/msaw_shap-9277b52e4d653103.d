@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msaw_shap-9277b52e4d653103.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsaw_shap-9277b52e4d653103.rmeta: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs Cargo.toml
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+crates/shap/src/reference.rs:
+crates/shap/src/brute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mysawh_repro-0cb1554c153941f9.d: src/lib.rs
+
+/root/repo/target/debug/deps/mysawh_repro-0cb1554c153941f9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mysawh_repro-e873edc40bf557be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-e873edc40bf557be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmysawh_repro-e873edc40bf557be.rmeta: src/lib.rs
+
+src/lib.rs:

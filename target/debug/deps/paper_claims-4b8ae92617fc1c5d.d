@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4b8ae92617fc1c5d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4b8ae92617fc1c5d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

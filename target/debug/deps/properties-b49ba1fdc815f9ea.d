@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b49ba1fdc815f9ea.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b49ba1fdc815f9ea: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qa_gap_sweep-42511337a8974f37.d: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqa_gap_sweep-42511337a8974f37.rmeta: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+crates/bench/src/bin/qa_gap_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qa_gap_sweep-db04a4dbb563bf0c.d: crates/bench/src/bin/qa_gap_sweep.rs
+
+/root/repo/target/debug/deps/qa_gap_sweep-db04a4dbb563bf0c: crates/bench/src/bin/qa_gap_sweep.rs
+
+crates/bench/src/bin/qa_gap_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qa_gap_sweep-eca686a7072848a0.d: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqa_gap_sweep-eca686a7072848a0.rmeta: crates/bench/src/bin/qa_gap_sweep.rs Cargo.toml
+
+crates/bench/src/bin/qa_gap_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

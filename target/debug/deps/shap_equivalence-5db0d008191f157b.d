@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shap_equivalence-5db0d008191f157b.d: crates/shap/tests/shap_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshap_equivalence-5db0d008191f157b.rmeta: crates/shap/tests/shap_equivalence.rs Cargo.toml
+
+crates/shap/tests/shap_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

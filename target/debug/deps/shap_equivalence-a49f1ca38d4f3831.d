@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shap_equivalence-a49f1ca38d4f3831.d: crates/shap/tests/shap_equivalence.rs
+
+/root/repo/target/debug/deps/shap_equivalence-a49f1ca38d4f3831: crates/shap/tests/shap_equivalence.rs
+
+crates/shap/tests/shap_equivalence.rs:

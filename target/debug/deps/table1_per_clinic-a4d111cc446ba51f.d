@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_per_clinic-a4d111cc446ba51f.d: crates/bench/src/bin/table1_per_clinic.rs
+
+/root/repo/target/debug/deps/table1_per_clinic-a4d111cc446ba51f: crates/bench/src/bin/table1_per_clinic.rs
+
+crates/bench/src/bin/table1_per_clinic.rs:

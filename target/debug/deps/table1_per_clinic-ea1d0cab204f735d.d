@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_per_clinic-ea1d0cab204f735d.d: crates/bench/src/bin/table1_per_clinic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_per_clinic-ea1d0cab204f735d.rmeta: crates/bench/src/bin/table1_per_clinic.rs Cargo.toml
+
+crates/bench/src/bin/table1_per_clinic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

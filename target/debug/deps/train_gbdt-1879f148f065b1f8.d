@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train_gbdt-1879f148f065b1f8.d: crates/bench/benches/train_gbdt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain_gbdt-1879f148f065b1f8.rmeta: crates/bench/benches/train_gbdt.rs Cargo.toml
+
+crates/bench/benches/train_gbdt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/treeshap-e942f4f1b6af9c4a.d: crates/bench/benches/treeshap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtreeshap-e942f4f1b6af9c4a.rmeta: crates/bench/benches/treeshap.rs Cargo.toml
+
+crates/bench/benches/treeshap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_patient_split-c26ed59498a0bc47.d: crates/bench/src/bin/ablation_patient_split.rs
+
+/root/repo/target/release/deps/ablation_patient_split-c26ed59498a0bc47: crates/bench/src/bin/ablation_patient_split.rs
+
+crates/bench/src/bin/ablation_patient_split.rs:

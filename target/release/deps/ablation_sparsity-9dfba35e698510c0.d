@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sparsity-9dfba35e698510c0.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/release/deps/ablation_sparsity-9dfba35e698510c0: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_learners-3d70552f15eae2ff.d: crates/bench/src/bin/baseline_learners.rs
+
+/root/repo/target/release/deps/baseline_learners-3d70552f15eae2ff: crates/bench/src/bin/baseline_learners.rs
+
+crates/bench/src/bin/baseline_learners.rs:

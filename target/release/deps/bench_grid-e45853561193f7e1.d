@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_grid-e45853561193f7e1.d: crates/bench/src/bin/bench_grid.rs
+
+/root/repo/target/release/deps/bench_grid-e45853561193f7e1: crates/bench/src/bin/bench_grid.rs
+
+crates/bench/src/bin/bench_grid.rs:

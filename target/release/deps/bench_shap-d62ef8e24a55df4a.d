@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_shap-d62ef8e24a55df4a.d: crates/bench/src/bin/bench_shap.rs
+
+/root/repo/target/release/deps/bench_shap-d62ef8e24a55df4a: crates/bench/src/bin/bench_shap.rs
+
+crates/bench/src/bin/bench_shap.rs:

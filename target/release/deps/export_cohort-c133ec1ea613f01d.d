@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_cohort-c133ec1ea613f01d.d: crates/bench/src/bin/export_cohort.rs
+
+/root/repo/target/release/deps/export_cohort-c133ec1ea613f01d: crates/bench/src/bin/export_cohort.rs
+
+crates/bench/src/bin/export_cohort.rs:

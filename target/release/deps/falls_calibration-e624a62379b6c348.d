@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/falls_calibration-e624a62379b6c348.d: crates/bench/src/bin/falls_calibration.rs
+
+/root/repo/target/release/deps/falls_calibration-e624a62379b6c348: crates/bench/src/bin/falls_calibration.rs
+
+crates/bench/src/bin/falls_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_outcome_distributions-1d78eb268056adb2.d: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+/root/repo/target/release/deps/fig1_outcome_distributions-1d78eb268056adb2: crates/bench/src/bin/fig1_outcome_distributions.rs
+
+crates/bench/src/bin/fig1_outcome_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_dd_vs_kd-91e3aaef27681d1b.d: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+/root/repo/target/release/deps/fig4_dd_vs_kd-91e3aaef27681d1b: crates/bench/src/bin/fig4_dd_vs_kd.rs
+
+crates/bench/src/bin/fig4_dd_vs_kd.rs:

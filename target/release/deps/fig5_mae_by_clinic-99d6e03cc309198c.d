@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mae_by_clinic-99d6e03cc309198c.d: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+/root/repo/target/release/deps/fig5_mae_by_clinic-99d6e03cc309198c: crates/bench/src/bin/fig5_mae_by_clinic.rs
+
+crates/bench/src/bin/fig5_mae_by_clinic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_local_explanations-3e286e6f2a51b0ff.d: crates/bench/src/bin/fig6_local_explanations.rs
+
+/root/repo/target/release/deps/fig6_local_explanations-3e286e6f2a51b0ff: crates/bench/src/bin/fig6_local_explanations.rs
+
+crates/bench/src/bin/fig6_local_explanations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_global_dependence-5cccbf20f424e6b9.d: crates/bench/src/bin/fig7_global_dependence.rs
+
+/root/repo/target/release/deps/fig7_global_dependence-5cccbf20f424e6b9: crates/bench/src/bin/fig7_global_dependence.rs
+
+crates/bench/src/bin/fig7_global_dependence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msaw_bench-b54ae818d9f9cbd5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-b54ae818d9f9cbd5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_bench-b54ae818d9f9cbd5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/msaw_core-878a382bc2df1f49.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/release/deps/libmsaw_core-878a382bc2df1f49.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/release/deps/libmsaw_core-878a382bc2df1f49.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/grid.rs:
+crates/core/src/interpret.rs:
+crates/core/src/oof.rs:

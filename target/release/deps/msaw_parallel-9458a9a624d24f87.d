@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msaw_parallel-9458a9a624d24f87.d: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_parallel-9458a9a624d24f87.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libmsaw_parallel-9458a9a624d24f87.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/msaw_shap-6e368dc95fb5d868.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs
+
+/root/repo/target/release/deps/libmsaw_shap-6e368dc95fb5d868.rlib: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs
+
+/root/repo/target/release/deps/libmsaw_shap-6e368dc95fb5d868.rmeta: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+crates/shap/src/reference.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mysawh_repro-200d3f5c2d0e5adf.d: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-200d3f5c2d0e5adf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmysawh_repro-200d3f5c2d0e5adf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qa_gap_sweep-ee370b6cf0c7101f.d: crates/bench/src/bin/qa_gap_sweep.rs
+
+/root/repo/target/release/deps/qa_gap_sweep-ee370b6cf0c7101f: crates/bench/src/bin/qa_gap_sweep.rs
+
+crates/bench/src/bin/qa_gap_sweep.rs:

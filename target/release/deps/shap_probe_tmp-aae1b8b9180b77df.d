@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shap_probe_tmp-aae1b8b9180b77df.d: crates/bench/src/bin/shap_probe_tmp.rs
+
+/root/repo/target/release/deps/shap_probe_tmp-aae1b8b9180b77df: crates/bench/src/bin/shap_probe_tmp.rs
+
+crates/bench/src/bin/shap_probe_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shap_probe_tmp-d77ed0d112223234.d: crates/bench/src/bin/shap_probe_tmp.rs
+
+/root/repo/target/release/deps/shap_probe_tmp-d77ed0d112223234: crates/bench/src/bin/shap_probe_tmp.rs
+
+crates/bench/src/bin/shap_probe_tmp.rs:

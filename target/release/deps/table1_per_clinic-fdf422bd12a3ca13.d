@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_per_clinic-fdf422bd12a3ca13.d: crates/bench/src/bin/table1_per_clinic.rs
+
+/root/repo/target/release/deps/table1_per_clinic-fdf422bd12a3ca13: crates/bench/src/bin/table1_per_clinic.rs
+
+crates/bench/src/bin/table1_per_clinic.rs:
