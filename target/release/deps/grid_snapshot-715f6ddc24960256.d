@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/grid_snapshot-715f6ddc24960256.d: crates/core/tests/grid_snapshot.rs
+
+/root/repo/target/release/deps/grid_snapshot-715f6ddc24960256: crates/core/tests/grid_snapshot.rs
+
+crates/core/tests/grid_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

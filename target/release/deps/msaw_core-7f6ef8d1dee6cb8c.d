@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msaw_core-7f6ef8d1dee6cb8c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+/root/repo/target/release/deps/msaw_core-7f6ef8d1dee6cb8c: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/grid.rs crates/core/src/interpret.rs crates/core/src/oof.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/grid.rs:
+crates/core/src/interpret.rs:
+crates/core/src/oof.rs:

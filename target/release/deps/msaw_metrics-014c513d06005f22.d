@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msaw_metrics-014c513d06005f22.d: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+/root/repo/target/release/deps/msaw_metrics-014c513d06005f22: crates/metrics/src/lib.rs crates/metrics/src/boxplot.rs crates/metrics/src/calibration.rs crates/metrics/src/classification.rs crates/metrics/src/cv.rs crates/metrics/src/histogram.rs crates/metrics/src/regression.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/boxplot.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/cv.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/regression.rs:

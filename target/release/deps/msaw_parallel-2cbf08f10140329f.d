@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msaw_parallel-2cbf08f10140329f.d: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/msaw_parallel-2cbf08f10140329f: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msaw_shap-4354757adf13056f.d: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs
+
+/root/repo/target/release/deps/msaw_shap-4354757adf13056f: crates/shap/src/lib.rs crates/shap/src/dependence.rs crates/shap/src/explainer.rs crates/shap/src/global.rs crates/shap/src/interaction.rs crates/shap/src/reference.rs crates/shap/src/brute.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/dependence.rs:
+crates/shap/src/explainer.rs:
+crates/shap/src/global.rs:
+crates/shap/src/interaction.rs:
+crates/shap/src/reference.rs:
+crates/shap/src/brute.rs:

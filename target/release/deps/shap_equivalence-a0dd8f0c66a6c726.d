@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shap_equivalence-a0dd8f0c66a6c726.d: crates/shap/tests/shap_equivalence.rs
+
+/root/repo/target/release/deps/shap_equivalence-a0dd8f0c66a6c726: crates/shap/tests/shap_equivalence.rs
+
+crates/shap/tests/shap_equivalence.rs:
