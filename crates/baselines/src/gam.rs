@@ -171,9 +171,12 @@ impl AdditiveModel {
         self.objective.transform(self.predict_raw_row(row))
     }
 
-    /// Transformed predictions for a matrix.
+    /// Transformed predictions for a matrix, fanned across the shared
+    /// worker pool in row blocks (per-row values unchanged).
     pub fn predict(&self, data: &Matrix) -> Vec<f64> {
-        data.rows().map(|r| self.predict_row(r)).collect()
+        msaw_parallel::run_blocks(data.nrows(), 256, |range| {
+            range.map(|i| self.predict_row(data.row(i))).collect()
+        })
     }
 
     /// Exact per-feature contributions for a row (raw-score space):

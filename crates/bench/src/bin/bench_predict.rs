@@ -1,0 +1,101 @@
+//! Performance tracking for the flat-forest prediction engine: times
+//! raw-score batch prediction on the paper cohort's SPPB DD model —
+//! the node-walk loop (`predict_raw_row` per row) against the compiled
+//! [`FlatForest`], single-core and multi-worker — and writes
+//! `BENCH_predict.json` so the engine's perf trajectory is recorded
+//! from run to run.
+//!
+//! Usage: `cargo run --release -p msaw-bench --bin bench_predict [out.json]`
+
+use std::time::Instant;
+
+use msaw_bench::{experiment_config, paper_cohort, EXPERIMENT_SEED};
+use msaw_core::experiment::fit_final_model;
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
+
+/// Median of at least one timed repetition, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_predict.json".to_string());
+    let data = paper_cohort();
+    let cfg = experiment_config();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    let set = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline);
+    eprintln!(
+        "training the SPPB DD model ({} rows x {} features)...",
+        set.len(),
+        set.features.ncols()
+    );
+    let model = fit_final_model(&set, &cfg);
+    let flat = model.flat_forest();
+    let workers = msaw_parallel::available_workers();
+
+    // The engine swap must be invisible in the outputs before its
+    // timings are comparable: flat == node walk, bit for bit.
+    let walk: Vec<f64> = set.features.rows().map(|r| model.predict_raw_row(r)).collect();
+    for (a, b) in flat.predict_raw_batch(&set.features).iter().zip(&walk) {
+        assert_eq!(a.to_bits(), b.to_bits(), "flat forest diverged from the node walk");
+    }
+
+    // Repeat each timed batch so one pass is long enough to measure.
+    const PASSES: usize = 20;
+    let walk_secs = time_median(5, || {
+        for _ in 0..PASSES {
+            let preds: Vec<f64> = set.features.rows().map(|r| model.predict_raw_row(r)).collect();
+            std::hint::black_box(preds);
+        }
+    }) / PASSES as f64;
+    eprintln!("node walk (single core):   {:.3}ms/batch", walk_secs * 1e3);
+
+    let flat_single_secs = time_median(5, || {
+        for _ in 0..PASSES {
+            std::hint::black_box(flat.predict_raw_batch_on(1, &set.features));
+        }
+    }) / PASSES as f64;
+    eprintln!("flat forest (single core): {:.3}ms/batch", flat_single_secs * 1e3);
+
+    let flat_multi_secs = time_median(5, || {
+        for _ in 0..PASSES {
+            std::hint::black_box(flat.predict_raw_batch_on(workers, &set.features));
+        }
+    }) / PASSES as f64;
+    eprintln!("flat forest ({workers} workers):   {:.3}ms/batch", flat_multi_secs * 1e3);
+    eprintln!(
+        "speedups: {:.2}x single-core, {:.2}x with {workers} workers",
+        walk_secs / flat_single_secs,
+        walk_secs / flat_multi_secs
+    );
+
+    let json = format!(
+        "{{\n  \"cohort\": \"paper\",\n  \"patients\": {},\n  \"seed\": {},\n  \
+         \"rows\": {},\n  \"features\": {},\n  \"trees\": {},\n  \"nodes\": {},\n  \
+         \"walk_single_core_secs\": {:.9},\n  \"flat_single_core_secs\": {:.9},\n  \
+         \"flat_multi_worker_secs\": {:.9},\n  \"workers\": {},\n  \
+         \"flat_single_core_speedup\": {:.3},\n  \"flat_multi_worker_speedup\": {:.3}\n}}\n",
+        data.patients.len(),
+        EXPERIMENT_SEED,
+        set.len(),
+        set.features.ncols(),
+        model.trees().len(),
+        flat.n_nodes(),
+        walk_secs,
+        flat_single_secs,
+        flat_multi_secs,
+        workers,
+        walk_secs / flat_single_secs,
+        walk_secs / flat_multi_secs,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_predict.json");
+    println!("wrote {out_path}");
+}

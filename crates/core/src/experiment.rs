@@ -145,9 +145,11 @@ fn fit_rows(
     Booster::train_on_rows(&params, ctx, rows, &y).expect("training failed on valid inputs")
 }
 
-/// Predict a row view in place — no materialised sub-matrix.
+/// Predict a row view through the flat engine — no materialised
+/// sub-matrix. Runs on one worker: fit jobs already execute inside the
+/// grid's pool, and nesting thread fan-out there would oversubscribe.
 fn predict_rows(model: &Booster, set: &SampleSet, rows: &[usize]) -> Vec<f64> {
-    rows.iter().map(|&i| model.predict_row(set.features.row(i))).collect()
+    model.flat_forest().predict_rows_on(1, &set.features, rows)
 }
 
 /// Score a fitted model on the given rows: the primary metric.

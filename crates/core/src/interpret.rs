@@ -148,15 +148,20 @@ pub struct ShapReport<'a> {
     set: &'a SampleSet,
     explainer: TreeExplainer<'a>,
     shap: Matrix,
+    /// Raw score of every row, batch-computed by the flat engine
+    /// (bit-identical to `predict_raw_row`).
+    raw: Vec<f64>,
 }
 
 impl<'a> ShapReport<'a> {
-    /// Build the shared state: one explainer, one SHAP matrix over all
-    /// rows of `set` (fanned across the worker pool).
+    /// Build the shared state: one explainer, one SHAP matrix and one
+    /// raw-prediction vector over all rows of `set` (fanned across the
+    /// worker pool).
     pub fn new(model: &'a Booster, set: &'a SampleSet) -> Self {
         let explainer = TreeExplainer::new(model);
         let shap = explainer.shap_values(&set.features);
-        ShapReport { model, set, explainer, shap }
+        let raw = model.flat_forest().predict_raw_batch(&set.features);
+        ShapReport { model, set, explainer, shap, raw }
     }
 
     /// The shared explainer.
@@ -174,7 +179,7 @@ impl<'a> ShapReport<'a> {
         Explanation {
             values: self.shap.row(row).to_vec(),
             base_value: self.explainer.expected_value(),
-            prediction: self.model.predict_raw_row(self.set.features.row(row)),
+            prediction: self.raw[row],
         }
     }
 
@@ -191,10 +196,10 @@ impl<'a> ShapReport<'a> {
         tolerance: f64,
         top_k: usize,
     ) -> Option<(LocalReport, LocalReport)> {
-        // Predictions and top drivers for every row, off the cache.
+        // Predictions and top drivers for every row, off the caches.
         let rows: Vec<(usize, f64, usize)> = (0..self.set.len())
             .map(|i| {
-                let pred = self.model.predict_row(self.set.features.row(i));
+                let pred = self.model.objective().transform(self.raw[i]);
                 (i, pred, self.explanation(i).ranking()[0])
             })
             .collect();

@@ -21,8 +21,10 @@ pub fn oof_predictions(set: &SampleSet, cfg: &ExperimentConfig) -> Vec<f64> {
         let y_train: Vec<f64> = fold.train.iter().map(|&i| set.labels[i]).collect();
         let model = Booster::train_on_rows(params, &ctx, &fold.train, &y_train)
             .expect("training failed on valid inputs");
-        for &row in &fold.validation {
-            preds[row] = model.predict_row(set.features.row(row));
+        // Batch-predict the held-out rows through the flat engine.
+        let fold_preds = model.flat_forest().predict_rows(&set.features, &fold.validation);
+        for (&row, &p) in fold.validation.iter().zip(&fold_preds) {
+            preds[row] = p;
         }
     }
     debug_assert!(preds.iter().all(|p| !p.is_nan()));

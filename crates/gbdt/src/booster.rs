@@ -4,6 +4,7 @@ use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, TrainingContext};
 use crate::engine::{grow_tree, Backend, RoundCtx};
 use crate::error::GbdtError;
+use crate::forest::FlatForest;
 use crate::objective::Objective;
 use crate::params::{Params, TreeMethod};
 use crate::tree::Tree;
@@ -138,16 +139,29 @@ impl Booster {
         self.objective.transform(self.predict_raw_row(row))
     }
 
-    /// Transformed predictions for a matrix. Returns an error when the
-    /// feature count disagrees with the training data.
-    pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>> {
+    /// Compile the ensemble into a [`FlatForest`] for batched
+    /// prediction. Cache the result when predicting repeatedly — the
+    /// batch methods below compile a fresh one per call.
+    pub fn flat_forest(&self) -> FlatForest {
+        FlatForest::from_booster(self)
+    }
+
+    fn check_feature_count(&self, data: &Matrix) -> Result<()> {
         if data.ncols() != self.n_features {
             return Err(GbdtError::FeatureCount {
                 expected: self.n_features,
                 actual: data.ncols(),
             });
         }
-        Ok(data.rows().map(|r| self.predict_row(r)).collect())
+        Ok(())
+    }
+
+    /// Transformed predictions for a matrix via the flat engine.
+    /// Returns an error when the feature count disagrees with the
+    /// training data.
+    pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>> {
+        self.check_feature_count(data)?;
+        Ok(self.flat_forest().predict_batch(data))
     }
 
     /// Transformed predictions; panics on feature-count mismatch.
@@ -155,9 +169,18 @@ impl Booster {
         self.try_predict(data).expect("feature count mismatch")
     }
 
-    /// Raw-score predictions for a matrix.
+    /// Raw-score predictions for a matrix via the flat engine, with the
+    /// same feature-count check as [`Self::try_predict`].
+    pub fn try_predict_raw(&self, data: &Matrix) -> Result<Vec<f64>> {
+        self.check_feature_count(data)?;
+        Ok(self.flat_forest().predict_raw_batch(data))
+    }
+
+    /// Raw-score predictions; panics on feature-count mismatch (it used
+    /// to be silently accepted in release builds and crash or garbage
+    /// out downstream).
     pub fn predict_raw(&self, data: &Matrix) -> Vec<f64> {
-        data.rows().map(|r| self.predict_raw_row(r)).collect()
+        self.try_predict_raw(data).expect("feature count mismatch")
     }
 
     /// The ensemble's trees.
@@ -211,6 +234,13 @@ fn train_core(
     let all_rows: Vec<usize> = (0..nrows).collect();
     let all_cols: Vec<usize> = (0..data.ncols()).collect();
 
+    // Leaf cache: `grow_tree` records the leaf weight each routed
+    // position landed in, so the ensemble update below adds cached
+    // weights instead of re-walking the tree (bit-identical — training
+    // partitions rows with exactly `predict_row`'s routing).
+    let mut leaf_of = vec![0.0; nrows];
+    let mut routed = vec![false; nrows];
+
     for round in 0..params.n_estimators {
         params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
 
@@ -236,19 +266,43 @@ fn train_core(
             all_cols.clone()
         };
 
+        let subsampled = rows.len() < nrows;
+        if subsampled {
+            routed.fill(false);
+            for &p in &rows {
+                routed[p] = true;
+            }
+        }
+
         let rctx = RoundCtx { map, grad: &grad, hess: &hess, features: &cols, params };
-        let tree = grow_tree(backend, &rctx, rows);
+        let tree = grow_tree(backend, &rctx, rows, &mut leaf_of);
+
+        // Single-tree flat compile for the rows training didn't route
+        // (subsample remainder) and the eval set.
+        let single = FlatForest::from_trees(
+            std::slice::from_ref(&tree),
+            0.0,
+            params.objective,
+            data.ncols(),
+        );
 
         // Update raw predictions on every training row (standard GBM:
-        // subsampling affects fitting, not the ensemble update).
-        for (p, r) in raw.iter_mut().enumerate() {
-            *r += tree.predict_row(data.row(map[p]));
+        // subsampling affects fitting, not the ensemble update) — from
+        // the leaf cache where available, the flat engine otherwise.
+        if subsampled {
+            for (p, r) in raw.iter_mut().enumerate() {
+                *r += if routed[p] { leaf_of[p] } else { single.sum_row(data.row(map[p])) };
+            }
+        } else {
+            for (p, r) in raw.iter_mut().enumerate() {
+                *r += leaf_of[p];
+            }
         }
         let train_loss = params.objective.loss(labels, &raw);
 
         let eval_loss = if let (Some((ed, el)), Some(eraw)) = (eval, eval_raw.as_mut()) {
             for (i, r) in eraw.iter_mut().enumerate() {
-                *r += tree.predict_row(ed.row(i));
+                *r += single.sum_row(ed.row(i));
             }
             Some(params.objective.loss(el, eraw))
         } else {

@@ -50,7 +50,7 @@
 use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, MISSING_RANK};
 use crate::params::Params;
-use crate::split::{BestTracker, SplitCandidate, SplitConfig};
+use crate::split::{merge_chunks, BestTracker, SplitCandidate, SplitConfig};
 use crate::tree::{Node, Tree};
 
 /// Which precomputed index drives split finding.
@@ -89,14 +89,27 @@ impl RoundCtx<'_> {
         }
     }
 
-    fn leaf(&self, tree: &mut Tree, g: f64, h: f64) -> usize {
+    /// Emit a leaf and record its weight as the leaf assignment of every
+    /// position that reached it — the cache `train_core` adds to `raw`
+    /// instead of re-walking the finished tree.
+    fn leaf(&self, tree: &mut Tree, rows: &[usize], leaf_of: &mut [f64], g: f64, h: f64) -> usize {
         let weight = -g / (h + self.params.lambda) * self.params.learning_rate;
+        for &p in rows {
+            leaf_of[p] = weight;
+        }
         tree.push(Node::Leaf { weight, cover: h })
     }
 }
 
-/// Grow one tree over the given positions (in round order).
-pub(crate) fn grow_tree(backend: &Backend, rctx: &RoundCtx, rows: Vec<usize>) -> Tree {
+/// Grow one tree over the given positions (in round order), writing each
+/// position's leaf weight into `leaf_of` (position-indexed, only the
+/// entries named by `rows` are touched).
+pub(crate) fn grow_tree(
+    backend: &Backend,
+    rctx: &RoundCtx,
+    rows: Vec<usize>,
+    leaf_of: &mut [f64],
+) -> Tree {
     let mut tree = Tree::new();
     let g: f64 = rows.iter().map(|&p| rctx.grad[p]).sum();
     let h: f64 = rows.iter().map(|&p| rctx.hess[p]).sum();
@@ -104,11 +117,11 @@ pub(crate) fn grow_tree(backend: &Backend, rctx: &RoundCtx, rows: Vec<usize>) ->
         Backend::Exact(index) => {
             let lists = root_lists(index, rctx, &rows);
             let mut side = vec![false; rctx.map.len()];
-            grow_exact(index, rctx, &mut tree, rows, lists, 0, g, h, &mut side);
+            grow_exact(index, rctx, &mut tree, rows, lists, 0, g, h, &mut side, leaf_of);
         }
         Backend::Hist(binned) => {
             let hists = build_hists(binned, rctx, &rows);
-            grow_hist(binned, rctx, &mut tree, rows, hists, 0, g, h);
+            grow_hist(binned, rctx, &mut tree, rows, hists, 0, g, h, leaf_of);
         }
     }
     tree
@@ -245,22 +258,6 @@ fn find_split_exact(
     merge_chunks(cfg, g, h, results)
 }
 
-/// Deterministically merge per-chunk winners (same tie-break as serial).
-fn merge_chunks(
-    cfg: SplitConfig,
-    g: f64,
-    h: f64,
-    results: Vec<Option<SplitCandidate>>,
-) -> Option<SplitCandidate> {
-    let mut best = None;
-    for r in results {
-        let mut tracker = BestTracker::new(cfg, g, h);
-        tracker.best = best;
-        best = tracker.merge(r);
-    }
-    best
-}
-
 #[allow(clippy::too_many_arguments)]
 fn grow_exact(
     index: &ExactIndex,
@@ -272,12 +269,13 @@ fn grow_exact(
     g: f64,
     h: f64,
     side: &mut [bool],
+    leaf_of: &mut [f64],
 ) -> usize {
     if depth >= rctx.params.max_depth || rows.len() < 2 {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     }
     let Some(split) = find_split_exact(index, rctx, &lists, rows.len(), g, h) else {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     };
 
     // `rank < boundary` is exactly `value < threshold`: every distinct
@@ -298,7 +296,7 @@ fn grow_exact(
     // A candidate with an empty side can only arise from numerical
     // pathology; fall back to a leaf rather than recurse forever.
     if left_rows.is_empty() || right_rows.is_empty() {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     }
 
     // Children inherit their sorted order by a stable filter of the
@@ -339,6 +337,7 @@ fn grow_exact(
         split.left_grad,
         split.left_hess,
         side,
+        leaf_of,
     );
     let right_idx = grow_exact(
         index,
@@ -350,6 +349,7 @@ fn grow_exact(
         split.right_grad,
         split.right_hess,
         side,
+        leaf_of,
     );
     link_children(tree, node_idx, left_idx, right_idx);
     node_idx
@@ -490,12 +490,13 @@ fn grow_hist(
     depth: usize,
     g: f64,
     h: f64,
+    leaf_of: &mut [f64],
 ) -> usize {
     if depth >= rctx.params.max_depth || rows.len() < 2 {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     }
     let Some(split) = find_split_hist(binned, rctx, &hists, rows.len(), g, h) else {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     };
 
     // Histogram thresholds are cut values: bins at or below the cut's
@@ -516,7 +517,7 @@ fn grow_hist(
         }
     }
     if left_rows.is_empty() || right_rows.is_empty() {
-        return rctx.leaf(tree, g, h);
+        return rctx.leaf(tree, &rows, leaf_of, g, h);
     }
 
     // Accumulate only the smaller child; derive the larger by
@@ -538,6 +539,7 @@ fn grow_hist(
         depth + 1,
         split.left_grad,
         split.left_hess,
+        leaf_of,
     );
     let right_idx = grow_hist(
         binned,
@@ -548,6 +550,7 @@ fn grow_hist(
         depth + 1,
         split.right_grad,
         split.right_hess,
+        leaf_of,
     );
     link_children(tree, node_idx, left_idx, right_idx);
     node_idx

@@ -1,0 +1,350 @@
+//! The flat-forest batched prediction engine.
+//!
+//! [`Tree::predict_row`] pointer-chases a `Vec<Node>` of 7-field enums —
+//! every hop loads a large enum variant, matches on its tag, and follows
+//! a `usize` child index, with the next load depending on the previous
+//! one. Fine for one row, wasteful for the paper's evaluation loop,
+//! which predicts whole matrices over and over (CV folds, early-stopping
+//! eval, OOF rotations, SHAP baselines).
+//!
+//! [`FlatForest`] compiles an ensemble **once** into a contiguous array
+//! of 24-byte nodes (the cache-conscious layout argument of the XGBoost
+//! system paper, Chen & Guestrin KDD'16 §4):
+//!
+//! * `threshold: f64` — split threshold, **or the leaf weight** for
+//!   leaves (the two are never needed at once);
+//! * `children: [u32; 2]` — absolute `[left, right]` indices; a leaf
+//!   points both at itself, making it a harmless self-loop;
+//! * `feature_and_default: u32` — split feature with the NaN default
+//!   direction folded into the top bit.
+//!
+//! Trees are concatenated with child indices rebased. The leaf
+//! self-loops buy the real speedup: a tree of depth `d` is walked with a
+//! **fixed** `d`-iteration loop (rows that reach a leaf early just spin
+//! on it), so the batch kernel can walk 8 rows per tree in lockstep —
+//! eight independent load chains the CPU pipelines where the node walk
+//! serialises on one — with no per-hop "am I at a leaf?" branch. Batch
+//! entry points fan row blocks across the `msaw_parallel` pool with
+//! index-keyed reassembly.
+//!
+//! ## Bit-identity contract
+//!
+//! Every entry point reproduces [`Booster::predict_raw_row`] exactly:
+//! the same `v < threshold` / NaN-default routing, leaf weights summed
+//! in tree order, added to the same `base_score`. The accumulation
+//! order per row is `base + ((w0 + w1) + …)` — identical operands in
+//! identical order — so outputs are bit-for-bit equal to the node walk
+//! at any worker count (locked by `tests/flat_forest.rs`).
+
+use crate::booster::Booster;
+use crate::objective::Objective;
+use crate::tree::{Node, Tree};
+use msaw_tabular::Matrix;
+
+/// Top bit of `feature_and_default`: set → missing values go left.
+const DEFAULT_LEFT_BIT: u32 = 1 << 31;
+
+/// Rows per parallel block: small enough that a block's outputs live in
+/// cache while the tree loop revisits them, large enough to amortise a
+/// pool claim.
+const BLOCK_ROWS: usize = 256;
+
+/// Rows walked in lockstep per tree — independent traversal chains the
+/// CPU can pipeline. 8 keeps the lane state in registers.
+const LANES: usize = 8;
+
+/// One compiled node: 24 bytes, three loads per hop, no enum tag.
+#[derive(Debug, Clone, Copy)]
+struct FlatNode {
+    /// Split threshold; holds the leaf *weight* for leaves.
+    threshold: f64,
+    /// `[left, right]` child indices; leaves self-loop (`[i, i]`).
+    children: [u32; 2],
+    /// Split feature, with [`DEFAULT_LEFT_BIT`] folded into the top bit.
+    feature_and_default: u32,
+}
+
+/// An ensemble compiled into a contiguous node array for batched
+/// prediction. Build one with [`Booster::flat_forest`] (or
+/// [`FlatForest::from_trees`]) and reuse it across calls — compilation
+/// is a single pass over the nodes.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    nodes: Vec<FlatNode>,
+    /// Root node index of each tree, in ensemble order.
+    roots: Vec<u32>,
+    /// Maximum depth of each tree (0 = single leaf): the fixed hop count
+    /// of the lockstep kernel.
+    depths: Vec<u16>,
+    base_score: f64,
+    objective: Objective,
+    n_features: usize,
+}
+
+impl FlatForest {
+    /// Compile a trained booster.
+    pub fn from_booster(model: &Booster) -> Self {
+        Self::from_trees(model.trees(), model.base_score(), model.objective(), model.n_features())
+    }
+
+    /// Compile a slice of trees with an explicit base score. Empty trees
+    /// are rejected (the grower always emits at least one leaf).
+    pub fn from_trees(
+        trees: &[Tree],
+        base_score: f64,
+        objective: Objective,
+        n_features: usize,
+    ) -> Self {
+        let total: usize = trees.iter().map(Tree::len).sum();
+        assert!(total < u32::MAX as usize, "forest too large for u32 node indices");
+        let mut nodes = Vec::with_capacity(total);
+        let mut roots = Vec::with_capacity(trees.len());
+        let mut depths = Vec::with_capacity(trees.len());
+        for tree in trees {
+            assert!(!tree.is_empty(), "cannot compile an empty tree");
+            let base = nodes.len() as u32;
+            roots.push(base);
+            depths.push(u16::try_from(tree.depth()).expect("tree depth fits in u16"));
+            for (i, node) in tree.nodes().iter().enumerate() {
+                nodes.push(match node {
+                    Node::Leaf { weight, .. } => {
+                        let me = base + i as u32;
+                        FlatNode { threshold: *weight, children: [me, me], feature_and_default: 0 }
+                    }
+                    Node::Split {
+                        feature: f,
+                        threshold: t,
+                        default_left: dl,
+                        left: l,
+                        right: r,
+                        ..
+                    } => {
+                        // These bounds are what lets the batch kernel
+                        // elide its per-hop checks.
+                        assert!(*f < n_features, "split feature out of range");
+                        assert!(*l < tree.len() && *r < tree.len(), "child index out of range");
+                        FlatNode {
+                            threshold: *t,
+                            children: [base + *l as u32, base + *r as u32],
+                            feature_and_default: (*f as u32)
+                                | if *dl { DEFAULT_LEFT_BIT } else { 0 },
+                        }
+                    }
+                });
+            }
+        }
+        FlatForest { nodes, roots, depths, base_score, objective, n_features }
+    }
+
+    /// Number of trees compiled in.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total number of nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The base (raw) score every prediction starts from.
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Number of features a row must have.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// One routing hop from node `i`; must not be called on a leaf
+    /// (leaves read `row[0]`, which zero-width rows don't have).
+    #[inline(always)]
+    fn step(&self, i: usize, row: &[f64]) -> usize {
+        let node = &self.nodes[i];
+        let fd = node.feature_and_default;
+        let v = row[(fd & !DEFAULT_LEFT_BIT) as usize];
+        let go_left = if v.is_nan() { fd & DEFAULT_LEFT_BIT != 0 } else { v < node.threshold };
+        node.children[usize::from(!go_left)] as usize
+    }
+
+    /// [`Self::step`] without bounds checks — the batch kernel's hop.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be a node index of this forest and `row.len()` must
+    /// equal `self.n_features` (with `n_features > 0` if `i` may be a
+    /// leaf). `from_trees` asserts every split feature `< n_features`
+    /// and every child in range, and children never leave the forest,
+    /// so both loads stay in bounds.
+    #[inline(always)]
+    unsafe fn step_unchecked(&self, i: usize, row: &[f64]) -> usize {
+        let node = self.nodes.get_unchecked(i);
+        let fd = node.feature_and_default;
+        let v = *row.get_unchecked((fd & !DEFAULT_LEFT_BIT) as usize);
+        // Branch-free routing: `v < t` is false for NaN, so missing
+        // values fall through to the default-direction term instead of
+        // a data-dependent (mispredicting) NaN branch.
+        let go_left = (v < node.threshold) | (v.is_nan() & (fd & DEFAULT_LEFT_BIT != 0));
+        *node.children.get_unchecked(usize::from(!go_left)) as usize
+    }
+
+    /// Walk one tree for one row, returning its leaf weight.
+    #[inline]
+    fn leaf_value(&self, root: u32, row: &[f64]) -> f64 {
+        let mut i = root as usize;
+        while self.nodes[i].children[0] as usize != i {
+            i = self.step(i, row);
+        }
+        self.nodes[i].threshold
+    }
+
+    /// Sum of tree contributions for one row, in tree order, **without**
+    /// the base score (the single-tree building block `train_core` uses
+    /// for its eval-set updates).
+    #[inline]
+    pub fn sum_row(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            acc += self.leaf_value(root, row);
+        }
+        acc
+    }
+
+    /// Raw (untransformed) score for one row — bit-identical to
+    /// [`Booster::predict_raw_row`].
+    #[inline]
+    pub fn predict_raw_row(&self, row: &[f64]) -> f64 {
+        self.base_score + self.sum_row(row)
+    }
+
+    /// Transformed prediction for one row.
+    #[inline]
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.objective.transform(self.predict_raw_row(row))
+    }
+
+    /// The batch kernel: accumulate every tree's contribution for rows
+    /// `rows_of(0..n)` into `out`, trees outer so the hot tree's nodes
+    /// stay cached, [`LANES`] rows walked in lockstep inside. Thanks to
+    /// the leaf self-loops each tree is a fixed `depth`-hop loop with no
+    /// per-hop leaf test, and the lanes are independent load chains.
+    ///
+    /// Every slice `rows_of` returns must have `self.n_features`
+    /// elements — the entry points assert the matrix width once so the
+    /// per-hop loads can go unchecked.
+    fn accumulate<'d>(&self, rows_of: impl Fn(usize) -> &'d [f64], out: &mut [f64]) {
+        let n = out.len();
+        for (t, &root) in self.roots.iter().enumerate() {
+            let root = root as usize;
+            let depth = self.depths[t] as usize;
+            if depth == 0 {
+                let w = self.nodes[root].threshold;
+                for o in out.iter_mut() {
+                    *o += w;
+                }
+                continue;
+            }
+            let mut base = 0;
+            while base + LANES <= n {
+                let rows: [&[f64]; LANES] = std::array::from_fn(|k| {
+                    let row = rows_of(base + k);
+                    assert_eq!(row.len(), self.n_features, "row width mismatch");
+                    row
+                });
+                let mut idx = [root; LANES];
+                for _ in 0..depth {
+                    for k in 0..LANES {
+                        // SAFETY: `idx[k]` starts at a root and follows
+                        // validated children; rows are `n_features` wide
+                        // (asserted above) and a split under this tree
+                        // guarantees `n_features > 0` for the leaf
+                        // self-loop's `row[0]` read.
+                        idx[k] = unsafe { self.step_unchecked(idx[k], rows[k]) };
+                    }
+                }
+                for k in 0..LANES {
+                    out[base + k] += self.nodes[idx[k]].threshold;
+                }
+                base += LANES;
+            }
+            for (k, o) in out.iter_mut().enumerate().skip(base) {
+                *o += self.leaf_value(root as u32, rows_of(k));
+            }
+        }
+    }
+
+    /// One block's raw scores.
+    fn raw_block(&self, data: &Matrix, start: usize, end: usize) -> Vec<f64> {
+        let mut out = vec![0.0; end - start];
+        self.accumulate(|k| data.row(start + k), &mut out);
+        for o in &mut out {
+            // IEEE addition commutes bit-for-bit, so this equals `base + acc`.
+            *o += self.base_score;
+        }
+        out
+    }
+
+    /// Raw scores for every row of a matrix, fanned across the default
+    /// worker pool in [`BLOCK_ROWS`]-row blocks. Byte-identical at any
+    /// worker count.
+    pub fn predict_raw_batch(&self, data: &Matrix) -> Vec<f64> {
+        let n_blocks = data.nrows().div_ceil(BLOCK_ROWS);
+        self.predict_raw_batch_on(msaw_parallel::default_workers(n_blocks), data)
+    }
+
+    /// [`Self::predict_raw_batch`] on exactly `workers` threads.
+    pub fn predict_raw_batch_on(&self, workers: usize, data: &Matrix) -> Vec<f64> {
+        debug_assert_eq!(data.ncols(), self.n_features);
+        msaw_parallel::run_blocks_on(workers, data.nrows(), BLOCK_ROWS, |range| {
+            self.raw_block(data, range.start, range.end)
+        })
+    }
+
+    /// Transformed predictions for every row of a matrix.
+    pub fn predict_batch(&self, data: &Matrix) -> Vec<f64> {
+        let mut out = self.predict_raw_batch(data);
+        for o in &mut out {
+            *o = self.objective.transform(*o);
+        }
+        out
+    }
+
+    /// Raw scores for a row-index view of a matrix (the OOF/grid shape:
+    /// predict a fold's validation rows without materialising them).
+    pub fn predict_raw_rows(&self, data: &Matrix, rows: &[usize]) -> Vec<f64> {
+        let n_blocks = rows.len().div_ceil(BLOCK_ROWS);
+        self.predict_raw_rows_on(msaw_parallel::default_workers(n_blocks), data, rows)
+    }
+
+    /// [`Self::predict_raw_rows`] on exactly `workers` threads — pass 1
+    /// from call sites already running inside a worker pool.
+    pub fn predict_raw_rows_on(&self, workers: usize, data: &Matrix, rows: &[usize]) -> Vec<f64> {
+        debug_assert_eq!(data.ncols(), self.n_features);
+        msaw_parallel::run_blocks_on(workers, rows.len(), BLOCK_ROWS, |range| {
+            let block = &rows[range];
+            let mut out = vec![0.0; block.len()];
+            self.accumulate(|k| data.row(block[k]), &mut out);
+            for o in &mut out {
+                // IEEE addition commutes bit-for-bit, so this equals `base + acc`.
+                *o += self.base_score;
+            }
+            out
+        })
+    }
+
+    /// Transformed predictions for a row-index view of a matrix.
+    pub fn predict_rows(&self, data: &Matrix, rows: &[usize]) -> Vec<f64> {
+        let n_blocks = rows.len().div_ceil(BLOCK_ROWS);
+        self.predict_rows_on(msaw_parallel::default_workers(n_blocks), data, rows)
+    }
+
+    /// [`Self::predict_rows`] on exactly `workers` threads.
+    pub fn predict_rows_on(&self, workers: usize, data: &Matrix, rows: &[usize]) -> Vec<f64> {
+        let mut out = self.predict_raw_rows_on(workers, data, rows);
+        for o in &mut out {
+            *o = self.objective.transform(*o);
+        }
+        out
+    }
+}

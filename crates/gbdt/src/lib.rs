@@ -47,6 +47,7 @@ pub mod booster;
 pub mod context;
 mod engine;
 pub mod error;
+pub mod forest;
 pub mod importance;
 pub mod objective;
 pub mod params;
@@ -57,6 +58,7 @@ pub mod tree;
 pub use booster::{Booster, EvalRecord, TrainReport};
 pub use context::{ExactIndex, TrainingContext, MISSING_RANK};
 pub use error::GbdtError;
+pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;
 pub use params::{Params, TreeMethod, DEFAULT_CONTEXT_BINS};

@@ -145,6 +145,25 @@ impl BestTracker {
     }
 }
 
+/// Deterministically fold per-chunk winners into one best candidate,
+/// applying the same tie-break order as the serial scan — the single
+/// merge implementation behind both the standalone finders here and the
+/// shared-context engine's parallel scans.
+pub(crate) fn merge_chunks(
+    cfg: SplitConfig,
+    total_g: f64,
+    total_h: f64,
+    results: Vec<Option<SplitCandidate>>,
+) -> Option<SplitCandidate> {
+    let mut best = None;
+    for r in results {
+        let mut tracker = BestTracker::new(cfg, total_g, total_h);
+        tracker.best = best;
+        best = tracker.merge(r);
+    }
+    best
+}
+
 /// Exact greedy search over one feature: sort the node's present values
 /// and scan every boundary between distinct values.
 #[allow(clippy::too_many_arguments)]
@@ -297,14 +316,7 @@ pub fn find_best_exact(
             .collect();
         handles.into_iter().map(|h| h.join().expect("split worker panicked")).collect()
     });
-    let mut tracker = BestTracker::new(cfg, total_g, total_h);
-    let mut best = None;
-    for r in results {
-        tracker.best = best;
-        best = tracker.merge(r);
-        tracker = BestTracker::new(cfg, total_g, total_h);
-    }
-    best
+    merge_chunks(cfg, total_g, total_h, results)
 }
 
 /// Find the best split across `features` with the histogram finder.

@@ -106,6 +106,42 @@ where
     slots.into_iter().map(|slot| slot.expect("worker pool completed every job")).collect()
 }
 
+/// [`run_blocks_on`] with the default bounded pool size.
+pub fn run_blocks<T, F>(n_items: usize, block_len: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let n_blocks = n_items.div_ceil(block_len.max(1));
+    run_blocks_on(default_workers(n_blocks), n_items, block_len, job)
+}
+
+/// Fan items `0..n_items` across the pool in contiguous blocks of
+/// `block_len` and flatten the per-block outputs back into item order.
+///
+/// The blocked shape is for jobs whose per-item cost is too small to
+/// amortise a pool claim — batch prediction being the canonical case:
+/// each block job returns one output per item of its range, and the
+/// index-ordered reassembly keeps the flattened vector byte-identical
+/// at any worker count (the same contract as [`run_indexed_on`]).
+pub fn run_blocks_on<T, F>(workers: usize, n_items: usize, block_len: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let block_len = block_len.max(1);
+    let n_blocks = n_items.div_ceil(block_len);
+    let blocks = run_indexed_on(workers, n_blocks, |b| {
+        let start = b * block_len;
+        job(start..(start + block_len).min(n_items))
+    });
+    let mut out = Vec::with_capacity(n_items);
+    for block in blocks {
+        out.extend(block);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

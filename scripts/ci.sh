@@ -4,6 +4,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no tracked build artifacts"
+tracked_artifacts=$(git ls-files target/ 'vendor/**/target' | head -5)
+if [ -n "$tracked_artifacts" ]; then
+    echo "error: build artifacts are tracked by git:" >&2
+    echo "$tracked_artifacts" >&2
+    echo "run: git rm -r --cached target/" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
