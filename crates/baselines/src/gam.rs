@@ -8,7 +8,7 @@
 //! prediction decomposes exactly into per-feature contributions.
 
 use msaw_gbdt::binning::BinnedMatrix;
-use msaw_gbdt::{GbdtError, Objective};
+use msaw_gbdt::{Objective, TrainError};
 use msaw_tabular::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -81,16 +81,16 @@ pub struct AdditiveModel {
 
 impl AdditiveModel {
     /// Train on `data` (NaN = missing) against `labels`.
-    pub fn train(params: &GamParams, data: &Matrix, labels: &[f64]) -> Result<Self, GbdtError> {
+    pub fn train(params: &GamParams, data: &Matrix, labels: &[f64]) -> Result<Self, TrainError> {
         if data.nrows() == 0 {
-            return Err(GbdtError::EmptyDataset);
+            return Err(TrainError::EmptyDataset);
         }
         if labels.len() != data.nrows() {
-            return Err(GbdtError::LabelLength { rows: data.nrows(), labels: labels.len() });
+            return Err(TrainError::LabelLength { rows: data.nrows(), labels: labels.len() });
         }
         params.objective.validate_labels(labels)?;
         if params.n_rounds == 0 {
-            return Err(GbdtError::InvalidParam {
+            return Err(TrainError::InvalidParam {
                 name: "n_rounds",
                 message: "must be positive".into(),
             });
@@ -267,12 +267,12 @@ mod tests {
         let x = Matrix::zeros(0, 2);
         assert!(matches!(
             AdditiveModel::train(&GamParams::regression(), &x, &[]),
-            Err(GbdtError::EmptyDataset)
+            Err(TrainError::EmptyDataset)
         ));
         let x = Matrix::zeros(3, 1);
         assert!(matches!(
             AdditiveModel::train(&GamParams::regression(), &x, &[1.0]),
-            Err(GbdtError::LabelLength { .. })
+            Err(TrainError::LabelLength { .. })
         ));
         let bad = GamParams { n_rounds: 0, ..GamParams::regression() };
         assert!(AdditiveModel::train(&bad, &Matrix::zeros(3, 1), &[1.0; 3]).is_err());

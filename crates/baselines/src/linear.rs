@@ -6,7 +6,7 @@
 //! equivalent to a zero contribution after standardisation; the learned
 //! means are stored in the model so inference applies the same rule.
 
-use msaw_gbdt::{GbdtError, Objective};
+use msaw_gbdt::{Objective, TrainError};
 use msaw_tabular::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -59,12 +59,12 @@ pub struct LinearModel {
 
 impl LinearModel {
     /// Train on `data` (NaN = missing) against `labels`.
-    pub fn train(params: &LinearParams, data: &Matrix, labels: &[f64]) -> Result<Self, GbdtError> {
+    pub fn train(params: &LinearParams, data: &Matrix, labels: &[f64]) -> Result<Self, TrainError> {
         if data.nrows() == 0 {
-            return Err(GbdtError::EmptyDataset);
+            return Err(TrainError::EmptyDataset);
         }
         if labels.len() != data.nrows() {
-            return Err(GbdtError::LabelLength { rows: data.nrows(), labels: labels.len() });
+            return Err(TrainError::LabelLength { rows: data.nrows(), labels: labels.len() });
         }
         params.objective.validate_labels(labels)?;
         let n = data.nrows();

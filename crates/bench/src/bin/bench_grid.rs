@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use msaw_bench::EXPERIMENT_SEED;
+use msaw_bench::{exit_on_error, out_path_arg, BenchError, EXPERIMENT_SEED};
 use msaw_cohort::{generate, CohortConfig};
 use msaw_core::grid::build_variant_sets;
 use msaw_core::{run_full_grid, run_variant, Approach, ExperimentConfig};
@@ -27,7 +27,11 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_grid.json".to_string());
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let out_path = out_path_arg("bench_grid", "BENCH_grid.json")?;
     let data = generate(&CohortConfig::small(EXPERIMENT_SEED));
     let cfg = ExperimentConfig { seed: EXPERIMENT_SEED, ..ExperimentConfig::fast() };
     eprintln!("timing the 12-model grid on the small cohort ({} patients)...", data.patients.len());
@@ -78,6 +82,8 @@ fn main() {
         variants.iter().map(|(_, s)| s).sum::<f64>()
     ));
     json.push_str(&format!("  \"run_full_grid_secs\": {total:.6}\n}}\n"));
-    std::fs::write(&out_path, json).expect("write BENCH_grid.json");
+    std::fs::write(&out_path, json)
+        .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
     println!("wrote {out_path}");
+    Ok(())
 }

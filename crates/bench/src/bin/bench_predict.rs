@@ -9,7 +9,9 @@
 
 use std::time::Instant;
 
-use msaw_bench::{experiment_config, paper_cohort, EXPERIMENT_SEED};
+use msaw_bench::{
+    exit_on_error, experiment_config, out_path_arg, paper_cohort, BenchError, EXPERIMENT_SEED,
+};
 use msaw_core::experiment::fit_final_model;
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 
@@ -27,7 +29,11 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_predict.json".to_string());
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let out_path = out_path_arg("bench_predict", "BENCH_predict.json")?;
     let data = paper_cohort();
     let cfg = experiment_config();
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
@@ -96,6 +102,8 @@ fn main() {
         walk_secs / flat_single_secs,
         walk_secs / flat_multi_secs,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_predict.json");
+    std::fs::write(&out_path, json)
+        .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
     println!("wrote {out_path}");
+    Ok(())
 }

@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
-use msaw_bench::{experiment_config, paper_cohort, EXPERIMENT_SEED};
+use msaw_bench::{
+    exit_on_error, experiment_config, out_path_arg, paper_cohort, BenchError, EXPERIMENT_SEED,
+};
 use msaw_core::experiment::fit_final_model;
 use msaw_core::interpret::ShapReport;
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
@@ -60,7 +62,11 @@ fn fig7_current(model: &msaw_gbdt::Booster, set: &SampleSet) -> Option<f64> {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_shap.json".to_string());
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let out_path = out_path_arg("bench_shap", "BENCH_shap.json")?;
     let data = paper_cohort();
     let cfg = experiment_config();
     let panel = FeaturePanel::build(&data, &cfg.pipeline);
@@ -119,6 +125,8 @@ fn main() {
         fig7_pre,
         fig7_pre / fig7,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_shap.json");
+    std::fs::write(&out_path, json)
+        .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
     println!("wrote {out_path}");
+    Ok(())
 }

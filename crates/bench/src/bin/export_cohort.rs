@@ -6,17 +6,24 @@
 //! cargo run --release -p msaw-bench --bin export_cohort [out_dir]
 //! ```
 
-use msaw_bench::{experiment_config, paper_cohort};
+use msaw_bench::{exit_on_error, experiment_config, out_path_arg, paper_cohort, BenchError};
 use msaw_kd::attach_fi;
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
 use msaw_tabular::csv::write_csv;
 use std::fs::File;
 use std::path::PathBuf;
 
-fn main() -> std::io::Result<()> {
-    let out_dir: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "cohort_export".to_string()).into();
-    std::fs::create_dir_all(&out_dir)?;
+fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let out_dir: PathBuf = out_path_arg("export_cohort", "cohort_export")?.into();
+    let io_err = |path: &std::path::Path| {
+        let path = path.display().to_string();
+        move |source| BenchError::Io { path, source }
+    };
+    std::fs::create_dir_all(&out_dir).map_err(io_err(&out_dir))?;
 
     let data = paper_cohort();
     let cfg = experiment_config();
@@ -25,7 +32,8 @@ fn main() -> std::io::Result<()> {
     for outcome in OutcomeKind::ALL {
         let set = attach_fi(&build_samples(&data, &panel, outcome, &cfg.pipeline), &data);
         let path = out_dir.join(format!("samples_{}.csv", outcome.name().to_lowercase()));
-        write_csv(&set.to_frame(), File::create(&path)?)?;
+        let file = File::create(&path).map_err(io_err(&path))?;
+        write_csv(&set.to_frame(), file).map_err(io_err(&path))?;
         println!(
             "wrote {} ({} rows x {} columns)",
             path.display(),

@@ -35,6 +35,72 @@ pub fn pct(x: f64) -> String {
     format!("{:.0}%", 100.0 * x)
 }
 
+/// What an experiment binary can fail on: its command line, its output
+/// files, or the pipeline itself. Each renders as one line for
+/// [`exit_on_error`]; results on stdout are never mixed with errors.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Bad command-line usage.
+    Usage(String),
+    /// A file or directory operation failed; `path` names the target.
+    Io {
+        /// The file or directory being written.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The pipeline failed beneath the binary.
+    Pipeline(msaw_core::PipelineError),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Usage(msg) => write!(f, "usage: {msg}"),
+            BenchError::Io { path, source } => write!(f, "cannot write `{path}`: {source}"),
+            BenchError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Pipeline(e) => Some(e),
+            BenchError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<msaw_core::PipelineError> for BenchError {
+    fn from(e: msaw_core::PipelineError) -> Self {
+        BenchError::Pipeline(e)
+    }
+}
+
+/// The single optional-output-path command line every bench binary
+/// accepts: zero args → `default`, one arg → that path, more → a
+/// [`BenchError::Usage`] naming the binary.
+pub fn out_path_arg(binary: &str, default: &str) -> Result<String, BenchError> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| default.to_string());
+    if args.next().is_some() {
+        return Err(BenchError::Usage(format!("{binary} [{default}]")));
+    }
+    Ok(path)
+}
+
+/// Unwrap a binary's `run()` result: errors print one line to stderr
+/// and exit non-zero, so a failed run can never masquerade as results
+/// on stdout.
+pub fn exit_on_error(result: Result<(), BenchError>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

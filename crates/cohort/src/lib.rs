@@ -40,6 +40,7 @@ pub mod patient;
 pub mod pro;
 pub mod rng;
 pub mod trajectory;
+pub mod validate;
 
 pub use config::{ClinicConfig, CohortConfig, MissingnessConfig};
 pub use domains::{Domain, DomainVector};

@@ -30,6 +30,12 @@ impl Clinic {
             Clinic::HongKong => "Hong Kong",
         }
     }
+
+    /// Parse a display name back into a clinic (the inverse of
+    /// [`Clinic::name`]), for ingesting exported sample frames.
+    pub fn from_name(name: &str) -> Option<Clinic> {
+        Clinic::ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// One enrolled patient.

@@ -1,0 +1,463 @@
+//! Validating ingest for exported sample frames.
+//!
+//! Sits between CSV parse and sample construction: given a
+//! [`msaw_tabular::Frame`] in the layout `SampleSet::to_frame` exports
+//! (provenance columns, the 59-feature panel, one `label_*` column),
+//! checks the schema and every row's values against the study's domain
+//! knowledge — PRO monthly means inside their Likert 1–5 domain,
+//! activity aggregates non-negative, the EQ-5D VAS (QoL) label in
+//! `[0,1]`, SPPB an integer in 0–12, Falls binary, and no NaN outcome.
+//!
+//! Two modes:
+//! * **strict** ([`validate_strict`]) — the first violation (lowest row,
+//!   leftmost column) is returned as an error;
+//! * **lenient** ([`validate_lenient`]) — offending rows are quarantined
+//!   and reported by index + reason, and the caller proceeds with the
+//!   clean subset.
+//!
+//! Both modes treat a malformed *schema* as fatal: there is no clean
+//! subset of a frame whose columns are wrong.
+
+use crate::patient::Clinic;
+use crate::pro::QUESTION_BANK;
+use msaw_tabular::{DataType, Frame};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How the label column of a frame is validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelRule {
+    /// EQ-5D visual analogue scale: finite, in `[0,1]` (QoL).
+    Vas01,
+    /// Short Physical Performance Battery: integer in 0–12.
+    Integer0To12,
+    /// Binary outcome: exactly 0 or 1 (Falls).
+    Binary,
+}
+
+impl LabelRule {
+    /// Map an exported label column name to its rule.
+    pub fn for_label_column(name: &str) -> Option<LabelRule> {
+        match name {
+            "label_QoL" => Some(LabelRule::Vas01),
+            "label_SPPB" => Some(LabelRule::Integer0To12),
+            "label_Falls" => Some(LabelRule::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// Why a row failed validation. Ordered so reason counts render
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationReason {
+    /// A `pro_*` feature outside the Likert domain `[1,5]`.
+    ProOutOfRange,
+    /// A negative steps/sleep/calories aggregate.
+    NegativeActivity,
+    /// QoL label outside `[0,1]`.
+    VasOutOfRange,
+    /// SPPB label not an integer in 0–12.
+    SppbOutOfRange,
+    /// Falls label not 0 or 1.
+    NonBinaryLabel,
+    /// The outcome label is NaN.
+    NanOutcome,
+    /// The clinic cell is missing or names no known clinic.
+    UnknownClinic,
+    /// A provenance integer (patient/month/window) is missing.
+    MissingProvenance,
+}
+
+impl fmt::Display for ViolationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationReason::ProOutOfRange => "PRO value outside Likert [1,5]",
+            ViolationReason::NegativeActivity => "negative activity aggregate",
+            ViolationReason::VasOutOfRange => "QoL (EQ-5D VAS) outside [0,1]",
+            ViolationReason::SppbOutOfRange => "SPPB not an integer in 0-12",
+            ViolationReason::NonBinaryLabel => "Falls label not in {0,1}",
+            ViolationReason::NanOutcome => "NaN outcome label",
+            ViolationReason::UnknownClinic => "unknown clinic",
+            ViolationReason::MissingProvenance => "missing provenance value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One offending cell: which row, which column, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Zero-based data-row index within the frame.
+    pub row: usize,
+    /// Name of the offending column.
+    pub column: String,
+    /// What rule the value broke.
+    pub reason: ViolationReason,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row {}, column `{}`: {}", self.row, self.column, self.reason)
+    }
+}
+
+/// A validation failure (strict mode, or a schema failure in either mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The frame's columns don't form a sample export (fatal in both
+    /// modes — no row subset can repair a wrong schema).
+    Schema(String),
+    /// Strict mode: the first offending cell.
+    Violation(Violation),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Schema(msg) => write!(f, "sample frame schema invalid: {msg}"),
+            ValidateError::Violation(v) => write!(f, "sample frame validation failed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Lenient-mode outcome: which rows were quarantined and why, plus the
+/// surviving row indices to proceed with.
+#[derive(Debug, Clone, Default)]
+pub struct QuarantineReport {
+    /// Quarantined rows as `(row index, first reason hit)`, ascending.
+    pub quarantined: Vec<(usize, ViolationReason)>,
+    /// Total offending rows per reason (a row with several broken cells
+    /// counts once per distinct reason).
+    pub reason_counts: BTreeMap<ViolationReason, usize>,
+    /// Row indices that passed every check, ascending.
+    pub clean_rows: Vec<usize>,
+}
+
+impl QuarantineReport {
+    /// Number of quarantined rows.
+    pub fn n_quarantined(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// One-line human summary ("3 rows quarantined: 2 × …, 1 × …").
+    pub fn summary(&self) -> String {
+        if self.quarantined.is_empty() {
+            return "0 rows quarantined".to_string();
+        }
+        let reasons: Vec<String> =
+            self.reason_counts.iter().map(|(r, n)| format!("{n} x {r}")).collect();
+        format!("{} rows quarantined: {}", self.quarantined.len(), reasons.join(", "))
+    }
+}
+
+/// The resolved shape of a validated frame: which columns hold what.
+struct FrameShape {
+    pro_cols: Vec<usize>,
+    activity_cols: Vec<usize>,
+    label_col: usize,
+    label_rule: LabelRule,
+    clinic_col: usize,
+    provenance_cols: Vec<usize>,
+}
+
+/// Check the frame's columns: provenance present and typed, all 56 PRO
+/// items and 3 activity aggregates present as floats, exactly one
+/// known `label_*` column.
+fn check_schema(frame: &Frame) -> Result<FrameShape, ValidateError> {
+    let schema = frame.schema();
+    let require = |name: &str, dtype: DataType| -> Result<usize, ValidateError> {
+        match schema.field(name) {
+            None => Err(ValidateError::Schema(format!("missing column `{name}`"))),
+            Some(f) if f.dtype != dtype => Err(ValidateError::Schema(format!(
+                "column `{name}` is {} but must be {}",
+                f.dtype.name(),
+                dtype.name()
+            ))),
+            Some(_) => Ok(schema.position(name).expect("field exists")),
+        }
+    };
+
+    let provenance_cols = vec![
+        require("patient", DataType::Int)?,
+        require("month", DataType::Int)?,
+        require("window", DataType::Int)?,
+    ];
+    let clinic_col = require("clinic", DataType::Categorical)?;
+    let mut pro_cols = Vec::with_capacity(QUESTION_BANK.len());
+    for q in QUESTION_BANK.iter() {
+        pro_cols.push(require(&q.name, DataType::Float)?);
+    }
+    let activity_cols = vec![
+        require("steps_monthly_mean", DataType::Float)?,
+        require("sleep_hours_monthly_mean", DataType::Float)?,
+        require("calories_monthly_mean", DataType::Float)?,
+    ];
+
+    let labels: Vec<(usize, LabelRule)> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| LabelRule::for_label_column(&f.name).map(|r| (i, r)))
+        .collect();
+    let (label_col, label_rule) = match labels.as_slice() {
+        [] => return Err(ValidateError::Schema("no label_* column".to_string())),
+        [one] => *one,
+        many => {
+            return Err(ValidateError::Schema(format!(
+                "expected one label_* column, found {}",
+                many.len()
+            )))
+        }
+    };
+    require(&schema.fields()[label_col].name, DataType::Float)?;
+
+    Ok(FrameShape { pro_cols, activity_cols, label_col, label_rule, clinic_col, provenance_cols })
+}
+
+/// Every violation in one row, leftmost-column-first within each group.
+fn row_violations(frame: &Frame, shape: &FrameShape, row: usize, out: &mut Vec<Violation>) {
+    let schema = frame.schema();
+    let col_name = |c: usize| schema.fields()[c].name.clone();
+
+    for &c in &shape.provenance_cols {
+        let vals = frame.column_at(c).and_then(|col| col.as_i64());
+        if vals.is_none_or(|v| v[row].is_none()) {
+            out.push(Violation {
+                row,
+                column: col_name(c),
+                reason: ViolationReason::MissingProvenance,
+            });
+        }
+    }
+    {
+        let known = frame
+            .column_at(shape.clinic_col)
+            .and_then(|col| col.as_categorical())
+            .and_then(|(codes, cats)| codes[row].map(|code| cats[code as usize].clone()))
+            .is_some_and(|name| Clinic::from_name(&name).is_some());
+        if !known {
+            out.push(Violation {
+                row,
+                column: col_name(shape.clinic_col),
+                reason: ViolationReason::UnknownClinic,
+            });
+        }
+    }
+    for &c in &shape.pro_cols {
+        let v = frame.column_at(c).and_then(|col| col.as_f64()).map(|v| v[row]);
+        // NaN = missing is legal for features (QA already bounded it).
+        if let Some(v) = v {
+            if !v.is_nan() && !(1.0..=5.0).contains(&v) {
+                out.push(Violation {
+                    row,
+                    column: col_name(c),
+                    reason: ViolationReason::ProOutOfRange,
+                });
+            }
+        }
+    }
+    for &c in &shape.activity_cols {
+        let v = frame.column_at(c).and_then(|col| col.as_f64()).map(|v| v[row]);
+        if let Some(v) = v {
+            if !v.is_nan() && v < 0.0 {
+                out.push(Violation {
+                    row,
+                    column: col_name(c),
+                    reason: ViolationReason::NegativeActivity,
+                });
+            }
+        }
+    }
+    let label = frame
+        .column_at(shape.label_col)
+        .and_then(|col| col.as_f64())
+        .map(|v| v[row])
+        .unwrap_or(f64::NAN);
+    let label_column = col_name(shape.label_col);
+    if label.is_nan() {
+        out.push(Violation { row, column: label_column, reason: ViolationReason::NanOutcome });
+    } else {
+        let broken = match shape.label_rule {
+            LabelRule::Vas01 => {
+                (!(0.0..=1.0).contains(&label)).then_some(ViolationReason::VasOutOfRange)
+            }
+            LabelRule::Integer0To12 => (!(0.0..=12.0).contains(&label) || label.fract() != 0.0)
+                .then_some(ViolationReason::SppbOutOfRange),
+            LabelRule::Binary => {
+                (label != 0.0 && label != 1.0).then_some(ViolationReason::NonBinaryLabel)
+            }
+        };
+        if let Some(reason) = broken {
+            out.push(Violation { row, column: label_column, reason });
+        }
+    }
+}
+
+/// Strict mode: error on the schema, or on the first offending cell
+/// (lowest row; within a row, provenance → clinic → features → label).
+pub fn validate_strict(frame: &Frame) -> Result<(), ValidateError> {
+    let shape = check_schema(frame)?;
+    let mut found = Vec::new();
+    for row in 0..frame.nrows() {
+        row_violations(frame, &shape, row, &mut found);
+        if let Some(first) = found.into_iter().next() {
+            return Err(ValidateError::Violation(first));
+        }
+        found = Vec::new();
+    }
+    Ok(())
+}
+
+/// Lenient mode: quarantine every offending row, report reasons, and
+/// return the clean subset's indices. A wrong schema is still an error.
+pub fn validate_lenient(frame: &Frame) -> Result<QuarantineReport, ValidateError> {
+    let shape = check_schema(frame)?;
+    let mut report = QuarantineReport::default();
+    let mut scratch = Vec::new();
+    for row in 0..frame.nrows() {
+        scratch.clear();
+        row_violations(frame, &shape, row, &mut scratch);
+        if scratch.is_empty() {
+            report.clean_rows.push(row);
+        } else {
+            report.quarantined.push((row, scratch[0].reason));
+            scratch.dedup_by_key(|v| v.reason);
+            for v in &scratch {
+                *report.reason_counts.entry(v.reason).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_tabular::Column;
+
+    /// A minimal well-formed 3-row sample frame.
+    fn clean_frame(label_name: &str, labels: Vec<f64>) -> Frame {
+        let n = labels.len();
+        let mut frame = Frame::new();
+        frame.push_column("patient", Column::from_i64((0..n as i64).map(Some).collect())).unwrap();
+        let clinics: Vec<Option<&str>> = (0..n).map(|_| Some("Modena")).collect();
+        frame.push_column("clinic", Column::from_labels(&clinics)).unwrap();
+        frame.push_column("month", Column::from_i64(vec![Some(1); n])).unwrap();
+        frame.push_column("window", Column::from_i64(vec![Some(1); n])).unwrap();
+        for q in QUESTION_BANK.iter() {
+            frame.push_column(q.name.clone(), Column::from_f64(vec![3.0; n])).unwrap();
+        }
+        for a in ["steps_monthly_mean", "sleep_hours_monthly_mean", "calories_monthly_mean"] {
+            frame.push_column(a, Column::from_f64(vec![100.0; n])).unwrap();
+        }
+        frame.push_column(label_name, Column::from_f64(labels)).unwrap();
+        frame
+    }
+
+    #[test]
+    fn clean_frame_passes_both_modes() {
+        let frame = clean_frame("label_QoL", vec![0.8, 0.5, 0.9]);
+        assert_eq!(validate_strict(&frame), Ok(()));
+        let report = validate_lenient(&frame).unwrap();
+        assert_eq!(report.n_quarantined(), 0);
+        assert_eq!(report.clean_rows, vec![0, 1, 2]);
+        assert_eq!(report.summary(), "0 rows quarantined");
+    }
+
+    #[test]
+    fn missing_column_is_a_schema_error_in_both_modes() {
+        let frame = clean_frame("label_QoL", vec![0.5]).drop_column("month").unwrap();
+        assert!(matches!(validate_strict(&frame), Err(ValidateError::Schema(_))));
+        assert!(matches!(validate_lenient(&frame), Err(ValidateError::Schema(_))));
+    }
+
+    #[test]
+    fn missing_label_column_is_a_schema_error() {
+        let frame = clean_frame("label_QoL", vec![0.5]).drop_column("label_QoL").unwrap();
+        let err = validate_strict(&frame).unwrap_err();
+        assert!(matches!(err, ValidateError::Schema(ref m) if m.contains("label")), "{err}");
+    }
+
+    #[test]
+    fn strict_reports_the_first_violation_by_row() {
+        let mut frame = clean_frame("label_QoL", vec![0.5, 0.5, 0.5]);
+        // Row 2 has a bad label, row 1 a bad PRO: row 1 must win.
+        frame = patch_f64(frame, &QUESTION_BANK[4].name, 1, 99.0);
+        frame = patch_f64(frame, "label_QoL", 2, 7.0);
+        match validate_strict(&frame).unwrap_err() {
+            ValidateError::Violation(v) => {
+                assert_eq!(v.row, 1);
+                assert_eq!(v.reason, ViolationReason::ProOutOfRange);
+                assert_eq!(v.column, QUESTION_BANK[4].name);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_exactly_the_bad_rows() {
+        let mut frame = clean_frame("label_SPPB", vec![9.0, 10.0, 11.0, 12.0]);
+        frame = patch_f64(frame, "label_SPPB", 1, 7.5); // non-integer
+        frame = patch_f64(frame, "steps_monthly_mean", 3, -4.0);
+        let report = validate_lenient(&frame).unwrap();
+        assert_eq!(report.clean_rows, vec![0, 2]);
+        assert_eq!(
+            report.quarantined,
+            vec![(1, ViolationReason::SppbOutOfRange), (3, ViolationReason::NegativeActivity)]
+        );
+        assert_eq!(report.reason_counts[&ViolationReason::SppbOutOfRange], 1);
+        assert_eq!(report.reason_counts[&ViolationReason::NegativeActivity], 1);
+        assert!(report.summary().contains("2 rows quarantined"));
+    }
+
+    #[test]
+    fn nan_outcome_is_detected() {
+        let frame = patch_f64(clean_frame("label_QoL", vec![0.5, 0.5]), "label_QoL", 0, f64::NAN);
+        match validate_strict(&frame).unwrap_err() {
+            ValidateError::Violation(v) => assert_eq!(v.reason, ViolationReason::NanOutcome),
+            other => panic!("{other:?}"),
+        }
+        // But a NaN *feature* is missing data, not a violation.
+        let frame =
+            patch_f64(clean_frame("label_QoL", vec![0.5]), &QUESTION_BANK[0].name, 0, f64::NAN);
+        assert_eq!(validate_strict(&frame), Ok(()));
+    }
+
+    #[test]
+    fn falls_labels_must_be_binary() {
+        let frame = clean_frame("label_Falls", vec![0.0, 0.3, 1.0]);
+        let report = validate_lenient(&frame).unwrap();
+        assert_eq!(report.quarantined, vec![(1, ViolationReason::NonBinaryLabel)]);
+    }
+
+    #[test]
+    fn unknown_clinic_is_flagged() {
+        let mut frame = clean_frame("label_QoL", vec![0.5, 0.5]);
+        let clinics: Vec<Option<&str>> = vec![Some("Modena"), Some("Atlantis")];
+        frame = replace_column(frame, "clinic", Column::from_labels(&clinics));
+        let report = validate_lenient(&frame).unwrap();
+        assert_eq!(report.quarantined, vec![(1, ViolationReason::UnknownClinic)]);
+    }
+
+    fn patch_f64(frame: Frame, name: &str, row: usize, value: f64) -> Frame {
+        let mut vals = frame.f64_column(name).unwrap().to_vec();
+        vals[row] = value;
+        replace_column(frame, name, Column::from_f64(vals))
+    }
+
+    /// Rebuild the frame with one column replaced, order preserved.
+    fn replace_column(frame: Frame, name: &str, column: Column) -> Frame {
+        let mut out = Frame::new();
+        for field in frame.schema().fields().iter().map(|f| f.name.clone()).collect::<Vec<_>>() {
+            if field == name {
+                out.push_column(field, column.clone()).unwrap();
+            } else {
+                out.push_column(field.clone(), frame.column(&field).unwrap().clone()).unwrap();
+            }
+        }
+        out
+    }
+}

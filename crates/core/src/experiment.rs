@@ -2,7 +2,8 @@
 //! approach (DD or KD), and whether the baseline FI is included.
 
 use crate::config::ExperimentConfig;
-use msaw_gbdt::{Booster, Objective, Params, TrainingContext, TreeMethod};
+use crate::error::PipelineError;
+use msaw_gbdt::{Booster, Objective, Params, TrainError, TrainingContext, TreeMethod};
 use msaw_metrics::{
     group_train_test_split, kfold, stratified_kfold, train_test_split, ConfusionMatrix,
 };
@@ -135,14 +136,14 @@ fn fit_rows(
     rows: &[usize],
     params: &Params,
     auto_balance: bool,
-) -> Booster {
+) -> Result<Booster, TrainError> {
     let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
     let params = if set.outcome.is_classification() && auto_balance {
         balanced_params(params, &y)
     } else {
         params.clone()
     };
-    Booster::train_on_rows(&params, ctx, rows, &y).expect("training failed on valid inputs")
+    Booster::train_on_rows(&params, ctx, rows, &y)
 }
 
 /// Predict a row view through the flat engine — no materialised
@@ -236,13 +237,29 @@ pub enum FitOutput {
 /// Prepare one variant: build its shared context (the set's matrix is
 /// quantised here, once, on the calling thread) and freeze the
 /// protocol's split and folds.
+///
+/// Panicking wrapper over [`try_plan_variant`] for callers that know
+/// their set is non-empty.
 pub fn plan_variant<'a>(
     set: &'a SampleSet,
     approach: Approach,
     with_fi: bool,
     cfg: &ExperimentConfig,
 ) -> VariantPlan<'a> {
-    assert!(!set.is_empty(), "cannot evaluate an empty sample set");
+    try_plan_variant(set, approach, with_fi, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`plan_variant`]: an empty sample set is a
+/// [`PipelineError::EmptySampleSet`] instead of a panic.
+pub fn try_plan_variant<'a>(
+    set: &'a SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+) -> Result<VariantPlan<'a>, PipelineError> {
+    if set.is_empty() {
+        return Err(PipelineError::EmptySampleSet);
+    }
     let (train_rows, test_rows) = split_train_test(set, cfg);
     let folds = if train_rows.len() >= cfg.cv_folds * 2 {
         cv_folds(set, &train_rows, cfg)
@@ -263,7 +280,7 @@ pub fn plan_variant<'a>(
         TreeMethod::Hist { max_bins } => TrainingContext::with_max_bins(&set.features, max_bins),
         TreeMethod::Exact => set.training_context(),
     };
-    VariantPlan { set, approach, with_fi, ctx, train_rows, test_rows, folds }
+    Ok(VariantPlan { set, approach, with_fi, ctx, train_rows, test_rows, folds })
 }
 
 impl VariantPlan<'_> {
@@ -276,32 +293,45 @@ impl VariantPlan<'_> {
 
 /// Execute one fit job against a plan. Pure in `(plan, job, cfg)`:
 /// safe to call from any thread, results independent of scheduling.
+///
+/// Panicking wrapper over [`try_run_fit_job`].
 pub fn run_fit_job(plan: &VariantPlan<'_>, job: FitJob, cfg: &ExperimentConfig) -> FitOutput {
+    try_run_fit_job(plan, job, cfg)
+        .unwrap_or_else(|e| panic!("training failed on valid inputs: {e}"))
+}
+
+/// Fallible twin of [`run_fit_job`]: a fit failure (bad labels, bad
+/// hyper-parameters) surfaces as a [`TrainError`] instead of a panic.
+pub fn try_run_fit_job(
+    plan: &VariantPlan<'_>,
+    job: FitJob,
+    cfg: &ExperimentConfig,
+) -> Result<FitOutput, TrainError> {
     let params = cfg.params_for(plan.set.outcome);
     match job {
         FitJob::Fold(i) => {
             let (fold_train, fold_val) = &plan.folds[i];
-            let model = fit_rows(plan.set, &plan.ctx, fold_train, params, cfg.auto_balance_falls);
-            FitOutput::CvScore(score(&model, plan.set, fold_val, cfg.decision_threshold))
+            let model = fit_rows(plan.set, &plan.ctx, fold_train, params, cfg.auto_balance_falls)?;
+            Ok(FitOutput::CvScore(score(&model, plan.set, fold_val, cfg.decision_threshold)))
         }
         FitJob::Final => {
             let model =
-                fit_rows(plan.set, &plan.ctx, &plan.train_rows, params, cfg.auto_balance_falls);
+                fit_rows(plan.set, &plan.ctx, &plan.train_rows, params, cfg.auto_balance_falls)?;
             let y_test: Vec<f64> = plan.test_rows.iter().map(|&i| plan.set.labels[i]).collect();
             let preds = predict_rows(&model, plan.set, &plan.test_rows);
             if plan.set.outcome.is_classification() {
                 let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
                 let cm =
                     ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold);
-                FitOutput::Final { regression: None, classification: Some(cm.report()) }
+                Ok(FitOutput::Final { regression: None, classification: Some(cm.report()) })
             } else {
-                FitOutput::Final {
+                Ok(FitOutput::Final {
                     regression: Some(RegressionScores {
                         one_minus_mape: one_minus_mape(&y_test, &preds),
                         mae: mae(&y_test, &preds),
                     }),
                     classification: None,
-                }
+                })
             }
         }
     }
@@ -338,23 +368,47 @@ pub fn finish_variant(plan: &VariantPlan<'_>, outputs: Vec<FitOutput>) -> Varian
 /// Run the paper's protocol on one prepared sample set: shuffle-split
 /// 80/20, K-fold CV on the training side (stratified for Falls), final
 /// fit on all training rows, report on the held-out 20%.
+///
+/// Panicking wrapper over [`try_run_variant`].
 pub fn run_variant(
     set: &SampleSet,
     approach: Approach,
     with_fi: bool,
     cfg: &ExperimentConfig,
 ) -> VariantResult {
-    let plan = plan_variant(set, approach, with_fi, cfg);
-    let outputs: Vec<FitOutput> = plan.jobs().map(|job| run_fit_job(&plan, job, cfg)).collect();
-    finish_variant(&plan, outputs)
+    try_run_variant(set, approach, with_fi, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_variant`]: empty sets and fit failures come
+/// back as a [`PipelineError`] instead of a panic.
+pub fn try_run_variant(
+    set: &SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+) -> Result<VariantResult, PipelineError> {
+    let plan = try_plan_variant(set, approach, with_fi, cfg)?;
+    let outputs: Vec<FitOutput> =
+        plan.jobs().map(|job| try_run_fit_job(&plan, job, cfg)).collect::<Result<_, _>>()?;
+    Ok(finish_variant(&plan, outputs))
 }
 
 /// Train a final model on the full 80% training split of a sample set
 /// (the model the interpretation experiments explain).
+///
+/// Panicking wrapper over [`try_fit_final_model`].
 pub fn fit_final_model(set: &SampleSet, cfg: &ExperimentConfig) -> Booster {
+    try_fit_final_model(set, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`fit_final_model`].
+pub fn try_fit_final_model(
+    set: &SampleSet,
+    cfg: &ExperimentConfig,
+) -> Result<Booster, PipelineError> {
     let (train_rows, _) = split_train_test(set, cfg);
     let ctx = set.training_context();
-    fit_rows(set, &ctx, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)
+    Ok(fit_rows(set, &ctx, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)?)
 }
 
 #[cfg(test)]
@@ -505,5 +559,24 @@ mod tests {
         let set = qol_set();
         let empty = set.take(&[]);
         run_variant(&empty, Approach::DataDriven, false, &ExperimentConfig::fast());
+    }
+
+    #[test]
+    fn try_run_variant_types_the_empty_set() {
+        let set = qol_set();
+        let empty = set.take(&[]);
+        let err = try_run_variant(&empty, Approach::DataDriven, false, &ExperimentConfig::fast())
+            .unwrap_err();
+        assert_eq!(err, PipelineError::EmptySampleSet);
+    }
+
+    #[test]
+    fn try_run_variant_matches_the_panicking_path() {
+        let set = qol_set();
+        let cfg = ExperimentConfig::fast();
+        let a = run_variant(&set, Approach::DataDriven, false, &cfg);
+        let b = try_run_variant(&set, Approach::DataDriven, false, &cfg).unwrap();
+        assert_eq!(a.regression, b.regression);
+        assert_eq!(a.cv_scores, b.cv_scores);
     }
 }

@@ -2,8 +2,9 @@
 //! clinic, its Table 1): 3 outcomes × {DD, KD} × {w/o FI, w/ FI}.
 
 use crate::config::ExperimentConfig;
+use crate::error::PipelineError;
 use crate::experiment::{
-    finish_variant, plan_variant, run_fit_job, run_variant, Approach, FitJob, FitOutput,
+    finish_variant, run_variant, try_plan_variant, try_run_fit_job, Approach, FitJob, FitOutput,
     VariantPlan, VariantResult,
 };
 use msaw_cohort::{Clinic, CohortData};
@@ -47,28 +48,44 @@ pub fn run_grid_for_samples(sets: &VariantSets, cfg: &ExperimentConfig) -> Vec<V
     ]
 }
 
-/// Run every fit job of every plan across the shared bounded worker
-/// pool (`msaw-parallel`) and reassemble the results in the plans'
-/// canonical order.
+fn job_count(plans: &[VariantPlan<'_>]) -> usize {
+    plans.iter().map(|plan| plan.jobs().count()).sum()
+}
+
+/// Fallible core of the grid engine: run every fit job of every plan on
+/// `workers` pool workers, containing both panics and typed fit errors.
 ///
-/// Every job is a pure function of its plan (see [`run_fit_job`]) and
-/// reassembly is keyed by job index, so the result is byte-identical
-/// regardless of worker count or interleaving.
-fn run_plans(plans: &[VariantPlan<'_>], cfg: &ExperimentConfig) -> Vec<VariantResult> {
+/// A panicking job surfaces as [`PipelineError::Pool`]; a job that
+/// returns a `TrainError` surfaces as [`PipelineError::Train`] carrying
+/// its flat job index. Either way the pool drains every job first (see
+/// `msaw_parallel`'s drain-the-cursor policy), so the reported index is
+/// the *lowest* failing job at any worker count.
+fn try_run_plans_on(
+    workers: usize,
+    plans: &[VariantPlan<'_>],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<VariantResult>, PipelineError> {
     let jobs: Vec<(usize, FitJob)> = plans
         .iter()
         .enumerate()
         .flat_map(|(p, plan)| plan.jobs().map(move |job| (p, job)))
         .collect();
-    let results = msaw_parallel::run_indexed(jobs.len(), |i| {
+    let results = msaw_parallel::try_run_indexed_on(workers, jobs.len(), |i| {
+        #[cfg(feature = "failpoint")]
+        msaw_parallel::failpoint::hit("grid_fit", i);
         let (p, job) = jobs[i];
-        run_fit_job(&plans[p], job, cfg)
-    });
+        try_run_fit_job(&plans[p], job, cfg)
+    })?;
     let mut outputs: Vec<Vec<FitOutput>> = plans.iter().map(|_| Vec::new()).collect();
-    for (&(p, _), out) in jobs.iter().zip(results) {
-        outputs[p].push(out);
+    for (i, (&(p, _), result)) in jobs.iter().zip(results).enumerate() {
+        match result {
+            Ok(out) => outputs[p].push(out),
+            // Job order is canonical, so the first error seen here is
+            // the lowest failing index — deterministic like the pool's.
+            Err(source) => return Err(PipelineError::Train { job: Some(i), source }),
+        }
     }
-    plans.iter().zip(outputs).map(|(plan, out)| finish_variant(plan, out)).collect()
+    Ok(plans.iter().zip(outputs).map(|(plan, out)| finish_variant(plan, out)).collect())
 }
 
 /// The canonical four (set, approach, FI) variants of one outcome's
@@ -85,10 +102,32 @@ fn variant_specs(sets: &VariantSets) -> [(&SampleSet, Approach, bool); 4] {
 /// Run the full 12-model grid over a cohort (Fig. 4).
 ///
 /// Every variant's sample set is indexed and binned exactly once, on
-/// this thread, by [`plan_variant`]; the ~72 resulting fold/final fits
-/// are then fanned across one bounded worker pool, so parallelism
-/// scales with fits rather than with the 3 outcomes.
+/// this thread, by [`crate::experiment::plan_variant`]; the ~72
+/// resulting fold/final fits are then fanned across one bounded worker
+/// pool, so parallelism scales with fits rather than with the 3
+/// outcomes.
+///
+/// Panicking wrapper over [`try_run_full_grid`].
 pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantResult> {
+    try_run_full_grid(data, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_full_grid`] on the default worker count.
+pub fn try_run_full_grid(
+    data: &CohortData,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<VariantResult>, PipelineError> {
+    try_run_full_grid_on(0, data, cfg)
+}
+
+/// [`try_run_full_grid`] with an explicit pool width: `workers == 0`
+/// means the default; any other count produces byte-identical results
+/// and, on failure, the identical error (same lowest failing job).
+pub fn try_run_full_grid_on(
+    workers: usize,
+    data: &CohortData,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<VariantResult>, PipelineError> {
     let panel = FeaturePanel::build(data, &cfg.pipeline);
     let all_sets: Vec<VariantSets> = OutcomeKind::ALL
         .iter()
@@ -97,9 +136,11 @@ pub fn run_full_grid(data: &CohortData, cfg: &ExperimentConfig) -> Vec<VariantRe
     let plans: Vec<VariantPlan<'_>> = all_sets
         .iter()
         .flat_map(variant_specs)
-        .map(|(set, approach, with_fi)| plan_variant(set, approach, with_fi, cfg))
-        .collect();
-    run_plans(&plans, cfg)
+        .map(|(set, approach, with_fi)| try_plan_variant(set, approach, with_fi, cfg))
+        .collect::<Result<_, _>>()?;
+    let workers =
+        if workers == 0 { msaw_parallel::default_workers(job_count(&plans)) } else { workers };
+    try_run_plans_on(workers, &plans, cfg)
 }
 
 /// Run the grid restricted to one clinic's patients (Table 1 rows),
@@ -126,6 +167,17 @@ pub fn run_clinic_grids(
     clinics: &[Clinic],
     cfg: &ExperimentConfig,
 ) -> Vec<(Clinic, Vec<VariantResult>)> {
+    try_run_clinic_grids(data, clinics, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_clinic_grids`]: an empty filtered set (a
+/// clinic with no usable samples) or a failing fit comes back as a
+/// [`PipelineError`] instead of a panic.
+pub fn try_run_clinic_grids(
+    data: &CohortData,
+    clinics: &[Clinic],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<(Clinic, Vec<VariantResult>)>, PipelineError> {
     let panel = FeaturePanel::build(data, &cfg.pipeline);
     let all_sets: Vec<VariantSets> = OutcomeKind::ALL
         .iter()
@@ -146,9 +198,10 @@ pub fn run_clinic_grids(
             let plans: Vec<VariantPlan<'_>> = restricted
                 .iter()
                 .flat_map(variant_specs)
-                .map(|(set, approach, with_fi)| plan_variant(set, approach, with_fi, cfg))
-                .collect();
-            (clinic, run_plans(&plans, cfg))
+                .map(|(set, approach, with_fi)| try_plan_variant(set, approach, with_fi, cfg))
+                .collect::<Result<_, _>>()?;
+            let workers = msaw_parallel::default_workers(job_count(&plans));
+            Ok((clinic, try_run_plans_on(workers, &plans, cfg)?))
         })
         .collect()
 }

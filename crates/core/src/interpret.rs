@@ -10,7 +10,8 @@
 //! functions remain as one-shot conveniences and produce bit-identical
 //! results.
 
-use msaw_gbdt::Booster;
+use crate::error::PipelineError;
+use msaw_gbdt::{Booster, PredictError};
 use msaw_preprocess::SampleSet;
 use msaw_shap::{
     dependence_curve, sign_change_threshold, Explanation, GlobalSummary, TreeExplainer,
@@ -157,11 +158,27 @@ impl<'a> ShapReport<'a> {
     /// Build the shared state: one explainer, one SHAP matrix and one
     /// raw-prediction vector over all rows of `set` (fanned across the
     /// worker pool).
+    ///
+    /// Panicking wrapper over [`ShapReport::try_new`] for the usual case
+    /// where the model was trained on this very set.
     pub fn new(model: &'a Booster, set: &'a SampleSet) -> Self {
+        Self::try_new(model, set).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ShapReport::new`]: a model/set width mismatch
+    /// (explaining a set the model was not trained on) is a
+    /// [`PipelineError::Predict`] instead of a downstream panic.
+    pub fn try_new(model: &'a Booster, set: &'a SampleSet) -> Result<Self, PipelineError> {
+        if model.n_features() != set.features.ncols() {
+            return Err(PipelineError::Predict(PredictError::FeatureCount {
+                expected: model.n_features(),
+                actual: set.features.ncols(),
+            }));
+        }
         let explainer = TreeExplainer::new(model);
         let shap = explainer.shap_values(&set.features);
         let raw = model.flat_forest().predict_raw_batch(&set.features);
-        ShapReport { model, set, explainer, shap, raw }
+        Ok(ShapReport { model, set, explainer, shap, raw })
     }
 
     /// The shared explainer.
@@ -218,20 +235,31 @@ impl<'a> ShapReport<'a> {
 
     /// Dependence report for one feature from the cached matrix (cf. the
     /// free [`dependence_report`]).
+    ///
+    /// Panicking wrapper over [`ShapReport::try_dependence_report`].
     pub fn dependence_report(&self, feature_name: &str) -> DependenceReport {
+        self.try_dependence_report(feature_name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ShapReport::dependence_report`]: a feature the
+    /// set does not have is [`PipelineError::UnknownFeature`].
+    pub fn try_dependence_report(
+        &self,
+        feature_name: &str,
+    ) -> Result<DependenceReport, PipelineError> {
         let feature = self
             .set
             .feature_names
             .iter()
             .position(|n| n == feature_name)
-            .unwrap_or_else(|| panic!("unknown feature `{feature_name}`"));
+            .ok_or_else(|| PipelineError::UnknownFeature(feature_name.to_string()))?;
         let curve = dependence_curve(&self.set.features, &self.shap, feature);
         let threshold = sign_change_threshold(&curve);
-        DependenceReport {
+        Ok(DependenceReport {
             feature: feature_name.to_string(),
             points: curve.iter().map(|p| (p.feature_value, p.shap_value)).collect(),
             threshold,
-        }
+        })
     }
 
     /// Sign-flip thresholds of every PRO feature from the cached matrix
@@ -342,6 +370,28 @@ mod tests {
     fn unknown_feature_panics() {
         let (set, model) = setup();
         dependence_report(&model, &set, "not_a_feature");
+    }
+
+    #[test]
+    fn unknown_feature_is_a_typed_error() {
+        let (set, model) = setup();
+        let report = ShapReport::new(&model, &set);
+        let err = report.try_dependence_report("not_a_feature").unwrap_err();
+        assert_eq!(err, PipelineError::UnknownFeature("not_a_feature".into()));
+    }
+
+    #[test]
+    fn mismatched_set_width_is_a_predict_error() {
+        let (set, model) = setup();
+        let wider = set.with_extra_feature("fi_baseline", &vec![0.0; set.len()]);
+        match ShapReport::try_new(&model, &wider) {
+            Err(PipelineError::Predict(PredictError::FeatureCount { expected, actual })) => {
+                assert_eq!(expected, set.features.ncols());
+                assert_eq!(actual, set.features.ncols() + 1);
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("width mismatch must not build a report"),
+        }
     }
 
     /// Bitwise LocalReport equality — `PartialEq` would reject reports

@@ -29,11 +29,17 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod grid;
 pub mod interpret;
 pub mod oof;
 
 pub use config::ExperimentConfig;
-pub use experiment::{run_variant, Approach, RegressionScores, VariantResult};
-pub use grid::{run_full_grid, run_grid_for_samples};
+pub use error::PipelineError;
+pub use experiment::{run_variant, try_run_variant, Approach, RegressionScores, VariantResult};
+pub use grid::{
+    run_full_grid, run_grid_for_samples, try_run_clinic_grids, try_run_full_grid,
+    try_run_full_grid_on,
+};
+pub use oof::{oof_predictions, try_oof_predictions};

@@ -2,6 +2,7 @@
 //! saw it, the basis of the per-patient MAE distributions in Fig. 5.
 
 use crate::config::ExperimentConfig;
+use crate::error::PipelineError;
 use msaw_cohort::Clinic;
 use msaw_gbdt::Booster;
 use msaw_metrics::{kfold, BoxStats};
@@ -10,8 +11,23 @@ use std::collections::BTreeMap;
 
 /// Predict every row of `set` using K-fold rotation: for each fold, a
 /// model is trained on the other folds and predicts the held-out rows.
+///
+/// Panicking wrapper over [`try_oof_predictions`].
 pub fn oof_predictions(set: &SampleSet, cfg: &ExperimentConfig) -> Vec<f64> {
-    assert!(set.len() >= cfg.cv_folds * 2, "too few samples for OOF");
+    try_oof_predictions(set, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`oof_predictions`]: a set too small for the fold
+/// rotation is [`PipelineError::TooFewSamples`], a failing fold fit is
+/// [`PipelineError::Train`].
+pub fn try_oof_predictions(
+    set: &SampleSet,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<f64>, PipelineError> {
+    let need = cfg.cv_folds * 2;
+    if set.len() < need {
+        return Err(PipelineError::TooFewSamples { have: set.len(), need });
+    }
     let params = cfg.params_for(set.outcome);
     // One shared context: the matrix is indexed once and every fold's
     // model trains on a row view of it.
@@ -19,8 +35,7 @@ pub fn oof_predictions(set: &SampleSet, cfg: &ExperimentConfig) -> Vec<f64> {
     let mut preds = vec![f64::NAN; set.len()];
     for fold in kfold(set.len(), cfg.cv_folds, cfg.seed ^ 0x00f) {
         let y_train: Vec<f64> = fold.train.iter().map(|&i| set.labels[i]).collect();
-        let model = Booster::train_on_rows(params, &ctx, &fold.train, &y_train)
-            .expect("training failed on valid inputs");
+        let model = Booster::train_on_rows(params, &ctx, &fold.train, &y_train)?;
         // Batch-predict the held-out rows through the flat engine.
         let fold_preds = model.flat_forest().predict_rows(&set.features, &fold.validation);
         for (&row, &p) in fold.validation.iter().zip(&fold_preds) {
@@ -28,7 +43,7 @@ pub fn oof_predictions(set: &SampleSet, cfg: &ExperimentConfig) -> Vec<f64> {
         }
     }
     debug_assert!(preds.iter().all(|p| !p.is_nan()));
-    preds
+    Ok(preds)
 }
 
 /// Per-patient MAE of out-of-fold predictions.
@@ -110,5 +125,13 @@ mod tests {
     fn oof_is_deterministic() {
         let (set, cfg) = setup();
         assert_eq!(oof_predictions(&set, &cfg), oof_predictions(&set, &cfg));
+    }
+
+    #[test]
+    fn too_few_samples_is_a_typed_error() {
+        let (set, cfg) = setup();
+        let tiny = set.take(&[0, 1, 2]);
+        let err = try_oof_predictions(&tiny, &cfg).unwrap_err();
+        assert_eq!(err, PipelineError::TooFewSamples { have: 3, need: cfg.cv_folds * 2 });
     }
 }

@@ -3,7 +3,7 @@
 use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, TrainingContext};
 use crate::engine::{grow_tree, Backend, RoundCtx};
-use crate::error::GbdtError;
+use crate::error::{PredictError, TrainError};
 use crate::forest::FlatForest;
 use crate::objective::Objective;
 use crate::params::{Params, TreeMethod};
@@ -48,7 +48,7 @@ pub struct Booster {
 
 impl Booster {
     /// Train on `data` (rows × features, `NaN` = missing) against `labels`.
-    pub fn train(params: &Params, data: &Matrix, labels: &[f64]) -> Result<Booster> {
+    pub fn train(params: &Params, data: &Matrix, labels: &[f64]) -> Result<Booster, TrainError> {
         Ok(Self::train_with_eval(params, data, labels, None)?.booster)
     }
 
@@ -63,21 +63,24 @@ impl Booster {
         data: &Matrix,
         labels: &[f64],
         eval: Option<(&Matrix, &[f64])>,
-    ) -> Result<TrainReport> {
+    ) -> Result<TrainReport, TrainError> {
         params.validate()?;
         let nrows = data.nrows();
         if nrows == 0 {
-            return Err(GbdtError::EmptyDataset);
+            return Err(TrainError::EmptyDataset);
         }
         if labels.len() != nrows {
-            return Err(GbdtError::LabelLength { rows: nrows, labels: labels.len() });
+            return Err(TrainError::LabelLength { rows: nrows, labels: labels.len() });
         }
         if let Some((ed, el)) = eval {
             if ed.ncols() != data.ncols() {
-                return Err(GbdtError::FeatureCount { expected: data.ncols(), actual: ed.ncols() });
+                return Err(TrainError::EvalFeatureCount {
+                    expected: data.ncols(),
+                    actual: ed.ncols(),
+                });
             }
             if el.len() != ed.nrows() {
-                return Err(GbdtError::LabelLength { rows: ed.nrows(), labels: el.len() });
+                return Err(TrainError::LabelLength { rows: ed.nrows(), labels: el.len() });
             }
         }
         params.objective.validate_labels(labels)?;
@@ -109,13 +112,13 @@ impl Booster {
         ctx: &TrainingContext,
         rows: &[usize],
         labels: &[f64],
-    ) -> Result<Booster> {
+    ) -> Result<Booster, TrainError> {
         params.validate()?;
         if rows.is_empty() {
-            return Err(GbdtError::EmptyDataset);
+            return Err(TrainError::EmptyDataset);
         }
         if labels.len() != rows.len() {
-            return Err(GbdtError::LabelLength { rows: rows.len(), labels: labels.len() });
+            return Err(TrainError::LabelLength { rows: rows.len(), labels: labels.len() });
         }
         debug_assert!(rows.iter().all(|&r| r < ctx.nrows()), "row index out of bounds");
         params.objective.validate_labels(labels)?;
@@ -146,9 +149,9 @@ impl Booster {
         FlatForest::from_booster(self)
     }
 
-    fn check_feature_count(&self, data: &Matrix) -> Result<()> {
+    fn check_feature_count(&self, data: &Matrix) -> Result<(), PredictError> {
         if data.ncols() != self.n_features {
-            return Err(GbdtError::FeatureCount {
+            return Err(PredictError::FeatureCount {
                 expected: self.n_features,
                 actual: data.ncols(),
             });
@@ -159,7 +162,7 @@ impl Booster {
     /// Transformed predictions for a matrix via the flat engine.
     /// Returns an error when the feature count disagrees with the
     /// training data.
-    pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>> {
+    pub fn try_predict(&self, data: &Matrix) -> Result<Vec<f64>, PredictError> {
         self.check_feature_count(data)?;
         Ok(self.flat_forest().predict_batch(data))
     }
@@ -171,7 +174,7 @@ impl Booster {
 
     /// Raw-score predictions for a matrix via the flat engine, with the
     /// same feature-count check as [`Self::try_predict`].
-    pub fn try_predict_raw(&self, data: &Matrix) -> Result<Vec<f64>> {
+    pub fn try_predict_raw(&self, data: &Matrix) -> Result<Vec<f64>, PredictError> {
         self.check_feature_count(data)?;
         Ok(self.flat_forest().predict_raw_batch(data))
     }
@@ -217,7 +220,7 @@ fn train_core(
     labels: &[f64],
     backend: &Backend,
     eval: Option<(&Matrix, &[f64])>,
-) -> Result<TrainReport> {
+) -> Result<TrainReport, TrainError> {
     let nrows = map.len();
     let base_score = params.objective.base_score(labels);
 
@@ -494,14 +497,14 @@ mod tests {
     fn empty_dataset_rejected() {
         let x = Matrix::zeros(0, 3);
         let err = Booster::train(&Params::regression(), &x, &[]).unwrap_err();
-        assert_eq!(err, GbdtError::EmptyDataset);
+        assert_eq!(err, TrainError::EmptyDataset);
     }
 
     #[test]
     fn label_length_mismatch_rejected() {
         let x = Matrix::zeros(3, 1);
         let err = Booster::train(&Params::regression(), &x, &[1.0]).unwrap_err();
-        assert!(matches!(err, GbdtError::LabelLength { rows: 3, labels: 1 }));
+        assert!(matches!(err, TrainError::LabelLength { rows: 3, labels: 1 }));
     }
 
     #[test]
@@ -512,7 +515,7 @@ mod tests {
         let bad = Matrix::zeros(2, 5);
         assert!(matches!(
             model.try_predict(&bad),
-            Err(GbdtError::FeatureCount { expected: 2, actual: 5 })
+            Err(PredictError::FeatureCount { expected: 2, actual: 5 })
         ));
     }
 

@@ -287,7 +287,9 @@ impl FlatForest {
 
     /// Raw scores for every row of a matrix, fanned across the default
     /// worker pool in [`BLOCK_ROWS`]-row blocks. Byte-identical at any
-    /// worker count.
+    /// worker count. A zero-row matrix yields an empty vector — the
+    /// pool's block splitter produces zero blocks, never a panic — so
+    /// batch callers need no empty-input guard.
     pub fn predict_raw_batch(&self, data: &Matrix) -> Vec<f64> {
         let n_blocks = data.nrows().div_ceil(BLOCK_ROWS);
         self.predict_raw_batch_on(msaw_parallel::default_workers(n_blocks), data)
@@ -312,6 +314,8 @@ impl FlatForest {
 
     /// Raw scores for a row-index view of a matrix (the OOF/grid shape:
     /// predict a fold's validation rows without materialising them).
+    /// An empty `rows` slice yields an empty vector, like
+    /// [`Self::predict_raw_batch`] on a zero-row matrix.
     pub fn predict_raw_rows(&self, data: &Matrix, rows: &[usize]) -> Vec<f64> {
         let n_blocks = rows.len().div_ceil(BLOCK_ROWS);
         self.predict_raw_rows_on(msaw_parallel::default_workers(n_blocks), data, rows)

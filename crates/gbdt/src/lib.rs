@@ -57,12 +57,14 @@ pub mod tree;
 
 pub use booster::{Booster, EvalRecord, TrainReport};
 pub use context::{ExactIndex, TrainingContext, MISSING_RANK};
-pub use error::GbdtError;
+pub use error::{GbdtError, PredictError, TrainError};
 pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;
 pub use params::{Params, TreeMethod, DEFAULT_CONTEXT_BINS};
 pub use tree::{Node, Tree};
 
-/// Crate-wide result alias.
-pub type Result<T> = std::result::Result<T, GbdtError>;
+/// Crate-wide result alias; the default error is the [`GbdtError`]
+/// umbrella, but stage-specific APIs narrow it (`Result<T, TrainError>`,
+/// `Result<T, PredictError>`).
+pub type Result<T, E = GbdtError> = std::result::Result<T, E>;

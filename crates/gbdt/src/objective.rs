@@ -1,7 +1,7 @@
 //! Loss functions: first- and second-order derivatives, base-score
 //! initialisation, and the raw→output transform.
 
-use crate::error::GbdtError;
+use crate::error::TrainError;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
@@ -26,11 +26,11 @@ fn sigmoid(x: f64) -> f64 {
 
 impl Objective {
     /// Check label validity for this objective.
-    pub fn validate_labels(&self, labels: &[f64]) -> Result<()> {
+    pub fn validate_labels(&self, labels: &[f64]) -> Result<(), TrainError> {
         if let Objective::Logistic { .. } = self {
             for (row, &y) in labels.iter().enumerate() {
                 if y != 0.0 && y != 1.0 {
-                    return Err(GbdtError::NonBinaryLabel { row, value: y });
+                    return Err(TrainError::NonBinaryLabel { row, value: y });
                 }
             }
         }
@@ -173,7 +173,7 @@ mod tests {
     fn non_binary_label_is_rejected() {
         let obj = Objective::Logistic { scale_pos_weight: 1.0 };
         let err = obj.validate_labels(&[0.0, 0.5]).unwrap_err();
-        assert!(matches!(err, GbdtError::NonBinaryLabel { row: 1, .. }));
+        assert!(matches!(err, TrainError::NonBinaryLabel { row: 1, .. }));
         assert!(Objective::SquaredError.validate_labels(&[0.5]).is_ok());
     }
 

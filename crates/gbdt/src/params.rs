@@ -1,6 +1,6 @@
 //! Hyper-parameters for the booster.
 
-use crate::error::GbdtError;
+use crate::error::TrainError;
 use crate::objective::Objective;
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -84,12 +84,12 @@ impl Params {
     }
 
     /// Validate ranges; called once at the top of training.
-    pub fn validate(&self) -> Result<()> {
-        fn check(cond: bool, name: &'static str, message: &str) -> Result<()> {
+    pub fn validate(&self) -> Result<(), TrainError> {
+        fn check(cond: bool, name: &'static str, message: &str) -> Result<(), TrainError> {
             if cond {
                 Ok(())
             } else {
-                Err(GbdtError::InvalidParam { name, message: message.to_string() })
+                Err(TrainError::InvalidParam { name, message: message.to_string() })
             }
         }
         check(self.n_estimators > 0, "n_estimators", "must be positive")?;
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn zero_estimators_rejected() {
         let p = Params { n_estimators: 0, ..Params::default() };
-        assert!(matches!(p.validate(), Err(GbdtError::InvalidParam { name: "n_estimators", .. })));
+        assert!(matches!(p.validate(), Err(TrainError::InvalidParam { name: "n_estimators", .. })));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! per tree: `u32` node count · tagged nodes.
 
 use crate::booster::Booster;
-use crate::error::GbdtError;
+use crate::error::PredictError;
 use crate::objective::Objective;
 use crate::tree::{Node, Tree};
 use crate::Result;
@@ -61,10 +61,10 @@ pub fn encode(model: &Booster) -> Bytes {
 }
 
 /// Decode a model previously produced by [`encode`].
-pub fn decode(mut data: &[u8]) -> Result<Booster> {
-    fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
+pub fn decode(mut data: &[u8]) -> Result<Booster, PredictError> {
+    fn need(data: &[u8], n: usize, what: &str) -> Result<(), PredictError> {
         if data.remaining() < n {
-            Err(GbdtError::Decode(format!("truncated input while reading {what}")))
+            Err(PredictError::Decode(format!("truncated input while reading {what}")))
         } else {
             Ok(())
         }
@@ -73,11 +73,11 @@ pub fn decode(mut data: &[u8]) -> Result<Booster> {
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(GbdtError::Decode("bad magic".into()));
+        return Err(PredictError::Decode("bad magic".into()));
     }
     let version = data.get_u16_le();
     if version != VERSION {
-        return Err(GbdtError::Decode(format!("unsupported version {version}")));
+        return Err(PredictError::Decode(format!("unsupported version {version}")));
     }
     need(data, 1, "objective")?;
     let objective = match data.get_u8() {
@@ -86,7 +86,7 @@ pub fn decode(mut data: &[u8]) -> Result<Booster> {
             need(data, 8, "scale_pos_weight")?;
             Objective::Logistic { scale_pos_weight: data.get_f64_le() }
         }
-        other => return Err(GbdtError::Decode(format!("unknown objective tag {other}"))),
+        other => return Err(PredictError::Decode(format!("unknown objective tag {other}"))),
     };
     need(data, 16, "base score and counts")?;
     let base_score = data.get_f64_le();
@@ -125,16 +125,16 @@ pub fn decode(mut data: &[u8]) -> Result<Booster> {
                         gain,
                     });
                 }
-                other => return Err(GbdtError::Decode(format!("unknown node tag {other}"))),
+                other => return Err(PredictError::Decode(format!("unknown node tag {other}"))),
             }
         }
         if !tree.validate() {
-            return Err(GbdtError::Decode(format!("tree {t} failed structural validation")));
+            return Err(PredictError::Decode(format!("tree {t} failed structural validation")));
         }
         trees.push(tree);
     }
     if data.has_remaining() {
-        return Err(GbdtError::Decode(format!("{} trailing bytes", data.remaining())));
+        return Err(PredictError::Decode(format!("{} trailing bytes", data.remaining())));
     }
     Ok(Booster { trees, base_score, objective, n_features })
 }
@@ -146,9 +146,9 @@ impl Booster {
     }
 
     /// Load a model previously written by [`Booster::save`].
-    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Booster> {
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Booster, PredictError> {
         let bytes = std::fs::read(path)
-            .map_err(|e| GbdtError::Decode(format!("cannot read model file: {e}")))?;
+            .map_err(|e| PredictError::Decode(format!("cannot read model file: {e}")))?;
         decode(&bytes)
     }
 }
@@ -190,7 +190,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = encode(&trained(false)).to_vec();
         bytes[0] = b'X';
-        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+        assert!(matches!(decode(&bytes), Err(PredictError::Decode(_))));
     }
 
     #[test]
@@ -206,7 +206,7 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = encode(&trained(false)).to_vec();
         bytes.push(0);
-        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+        assert!(matches!(decode(&bytes), Err(PredictError::Decode(_))));
     }
 
     #[test]
@@ -224,13 +224,13 @@ mod tests {
     #[test]
     fn load_missing_file_is_a_decode_error() {
         let err = Booster::load("/nonexistent/path/model.msgb").unwrap_err();
-        assert!(matches!(err, GbdtError::Decode(_)));
+        assert!(matches!(err, PredictError::Decode(_)));
     }
 
     #[test]
     fn unknown_version_rejected() {
         let mut bytes = encode(&trained(false)).to_vec();
         bytes[4] = 99;
-        assert!(matches!(decode(&bytes), Err(GbdtError::Decode(_))));
+        assert!(matches!(decode(&bytes), Err(PredictError::Decode(_))));
     }
 }

@@ -82,6 +82,24 @@ fn flat_is_invariant_across_worker_counts() {
 }
 
 #[test]
+fn zero_row_inputs_yield_empty_outputs_at_any_worker_count() {
+    // The pool's block splitter makes zero blocks from zero items, so
+    // the batch entry points need no empty-input guard — document that
+    // contract here against regressions.
+    let (data, model) = trained_model(50, 4);
+    let flat = model.flat_forest();
+    let empty = Matrix::zeros(0, data.ncols());
+    assert!(flat.predict_raw_batch(&empty).is_empty());
+    assert!(flat.predict_batch(&empty).is_empty());
+    assert!(flat.predict_raw_rows(&data, &[]).is_empty());
+    assert!(flat.predict_rows(&data, &[]).is_empty());
+    for workers in [1, 2, 8] {
+        assert!(flat.predict_raw_batch_on(workers, &empty).is_empty());
+        assert!(flat.predict_raw_rows_on(workers, &data, &[]).is_empty());
+    }
+}
+
+#[test]
 fn row_view_prediction_matches_walk() {
     let (data, model) = trained_model(100, 4);
     let flat = model.flat_forest();
@@ -234,7 +252,7 @@ fn try_predict_rejects_wrong_width() {
     let (_, model) = trained_model(50, 3);
     let bad = Matrix::zeros(4, 7);
     match model.try_predict(&bad) {
-        Err(msaw_gbdt::GbdtError::FeatureCount { expected, actual }) => {
+        Err(msaw_gbdt::PredictError::FeatureCount { expected, actual }) => {
             assert_eq!((expected, actual), (3, 7));
         }
         other => panic!("expected FeatureCount error, got {other:?}"),
@@ -246,7 +264,7 @@ fn try_predict_raw_rejects_wrong_width() {
     let (_, model) = trained_model(50, 3);
     let bad = Matrix::zeros(4, 2);
     match model.try_predict_raw(&bad) {
-        Err(msaw_gbdt::GbdtError::FeatureCount { expected, actual }) => {
+        Err(msaw_gbdt::PredictError::FeatureCount { expected, actual }) => {
             assert_eq!((expected, actual), (3, 2));
         }
         other => panic!("expected FeatureCount error, got {other:?}"),

@@ -32,12 +32,55 @@ fn trim(x: f64) -> String {
     }
 }
 
+/// A histogram was requested over a degenerate binning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// `nbins == 0`: no bins to count into.
+    ZeroBins,
+    /// `hi <= lo`: the range has no width to divide.
+    EmptyRange {
+        /// Requested lower edge.
+        lo: f64,
+        /// Requested upper edge.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistogramError::ZeroBins => write!(f, "nbins must be positive"),
+            HistogramError::EmptyRange { lo, hi } => {
+                write!(f, "empty histogram range [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
 /// Bin `values` into `nbins` equal-width bins over `[lo, hi]`. `NaN`s and
 /// values outside the range are ignored. Panics when `nbins == 0` or the
-/// range is empty.
+/// range is empty; use [`try_histogram`] to get those as typed errors
+/// (an *empty value slice* is fine in both: it yields all-zero counts).
 pub fn histogram(values: &[f64], lo: f64, hi: f64, nbins: usize) -> Vec<Bin> {
-    assert!(nbins > 0, "nbins must be positive");
-    assert!(hi > lo, "empty histogram range");
+    try_histogram(values, lo, hi, nbins).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`histogram`]: degenerate binning requests come
+/// back as a [`HistogramError`] instead of a panic.
+pub fn try_histogram(
+    values: &[f64],
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+) -> Result<Vec<Bin>, HistogramError> {
+    if nbins == 0 {
+        return Err(HistogramError::ZeroBins);
+    }
+    if hi <= lo {
+        return Err(HistogramError::EmptyRange { lo, hi });
+    }
     let width = (hi - lo) / nbins as f64;
     let mut bins: Vec<Bin> = (0..nbins)
         .map(|i| Bin { lo: lo + i as f64 * width, hi: lo + (i + 1) as f64 * width, count: 0 })
@@ -52,7 +95,7 @@ pub fn histogram(values: &[f64], lo: f64, hi: f64, nbins: usize) -> Vec<Bin> {
         }
         bins[idx].count += 1;
     }
-    bins
+    Ok(bins)
 }
 
 /// Count occurrences of each distinct integer value, ascending; used for
@@ -119,5 +162,22 @@ mod tests {
     #[should_panic(expected = "nbins must be positive")]
     fn zero_bins_panics() {
         histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn degenerate_requests_are_typed_errors() {
+        assert_eq!(try_histogram(&[1.0], 0.0, 1.0, 0), Err(HistogramError::ZeroBins));
+        assert_eq!(
+            try_histogram(&[1.0], 1.0, 1.0, 4),
+            Err(HistogramError::EmptyRange { lo: 1.0, hi: 1.0 })
+        );
+    }
+
+    #[test]
+    fn empty_and_single_value_inputs_are_fine() {
+        let empty = try_histogram(&[], 0.0, 1.0, 4).unwrap();
+        assert!(empty.iter().all(|b| b.count == 0));
+        let single = try_histogram(&[0.5], 0.0, 1.0, 4).unwrap();
+        assert_eq!(single.iter().map(|b| b.count).sum::<usize>(), 1);
     }
 }

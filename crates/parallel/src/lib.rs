@@ -11,11 +11,64 @@
 //! *when* a job runs, never *what* it computes, so
 //! `run_indexed_on(1, n, f) == run_indexed_on(k, n, f)` for every `k`.
 //!
+//! ## Panic safety
+//!
+//! Every entry point has a `try_` twin (`try_run_indexed_on`,
+//! `try_run_scratch_on`, `try_run_blocks_on`, …) that wraps each job in
+//! [`std::panic::catch_unwind`] and returns `Err(`[`PoolError`]`)`
+//! instead of aborting the run. The failure policy is **drain, don't
+//! short-circuit**: after a job panics the pool keeps claiming and
+//! running the remaining jobs, so the reported failure is always the
+//! *lowest* failing job index — a pure function of the job list, never
+//! of worker count or scheduling. (Short-circuiting was rejected
+//! because a higher-index failure could suppress a lower-index one that
+//! another worker had not reached yet, making the report
+//! scheduling-dependent.) A worker whose job panics rebuilds its
+//! scratch value before the next claim, so surviving jobs never see a
+//! scratch a panic may have left half-written.
+//!
+//! The infallible entry points are thin wrappers that panic with the
+//! failing job's index and payload message.
+//!
 //! Extracted from `msaw-core`'s grid runner (which fans ~72 fold/final
 //! fits) so the SHAP engine can fan row batches and conditional passes
 //! across the same machinery.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A job inside the pool panicked.
+///
+/// `job` is deterministically the **lowest** panicking job index (the
+/// pool drains every job before reporting), so the same inputs produce
+/// the same error at any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Lowest job index whose closure panicked.
+    pub job: usize,
+    /// The panic payload, when it was a string (the common
+    /// `panic!("...")` case); a placeholder otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Render a panic payload the way the default hook would.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Number of workers the machine can usefully run: one per core.
 pub fn available_workers() -> usize {
@@ -48,6 +101,26 @@ where
     run_scratch_on(workers, n_jobs, || (), |(), i| job(i))
 }
 
+/// [`try_run_indexed_on`] with the default bounded pool size.
+pub fn try_run_indexed<T, F>(n_jobs: usize, job: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_run_indexed_on(default_workers(n_jobs), n_jobs, job)
+}
+
+/// Panic-safe [`run_indexed_on`]: a panicking job yields
+/// `Err(PoolError)` carrying the lowest failing index (see the crate
+/// docs for the drain policy) instead of unwinding through the pool.
+pub fn try_run_indexed_on<T, F>(workers: usize, n_jobs: usize, job: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_run_scratch_on(workers, n_jobs, || (), |(), i| job(i))
+}
+
 /// [`run_scratch_on`] with the default bounded pool size.
 pub fn run_scratch<S, T, G, F>(n_jobs: usize, scratch: G, job: F) -> Vec<T>
 where
@@ -71,39 +144,116 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let workers = workers.clamp(1, n_jobs.max(1));
-    if workers == 1 {
-        // Serial fast path: no threads, one scratch, same outputs.
-        let mut s = scratch();
-        return (0..n_jobs).map(|i| job(&mut s, i)).collect();
+    match try_run_scratch_on(workers, n_jobs, scratch, job) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut s = scratch();
-                    let mut claimed: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_jobs {
-                            break;
-                        }
-                        claimed.push((i, job(&mut s, i)));
-                    }
-                    claimed
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, out) in handle.join().expect("pool worker panicked") {
-                debug_assert!(slots[i].is_none(), "each job slot is written once");
-                slots[i] = Some(out);
+}
+
+/// [`try_run_scratch_on`] with the default bounded pool size.
+pub fn try_run_scratch<S, T, G, F>(n_jobs: usize, scratch: G, job: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    try_run_scratch_on(default_workers(n_jobs), n_jobs, scratch, job)
+}
+
+/// Panic-safe [`run_scratch_on`] — the crate's core primitive; every
+/// other entry point funnels here.
+///
+/// Each claimed job runs inside `catch_unwind`. On a panic the worker
+/// records `(index, payload)`, drops its scratch (rebuilt lazily before
+/// the next job) and keeps draining the cursor; when every job has been
+/// claimed the pool reports the lowest failing index. A `scratch()`
+/// panic is attributed to the job that triggered the (re)build.
+pub fn try_run_scratch_on<S, T, G, F>(
+    workers: usize,
+    n_jobs: usize,
+    scratch: G,
+    job: F,
+) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    // One worker's drain loop: claim from `next`, run under
+    // catch_unwind, keep (index, output) pairs and any failures.
+    #[allow(clippy::type_complexity)]
+    fn drain<S, T, G, F>(
+        next: impl Fn() -> usize,
+        n_jobs: usize,
+        scratch: &G,
+        job: &F,
+    ) -> (Vec<(usize, T)>, Vec<(usize, String)>)
+    where
+        G: Fn() -> S,
+        F: Fn(&mut S, usize) -> T,
+    {
+        let mut slot: Option<S> = None;
+        let mut done: Vec<(usize, T)> = Vec::new();
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        loop {
+            let i = next();
+            if i >= n_jobs {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| job(slot.get_or_insert_with(scratch), i))) {
+                Ok(out) => done.push((i, out)),
+                Err(payload) => {
+                    // The panic may have left the scratch half-written;
+                    // rebuild it so surviving jobs stay deterministic.
+                    slot = None;
+                    failed.push((i, payload_message(payload)));
+                }
             }
         }
-    });
-    slots.into_iter().map(|slot| slot.expect("worker pool completed every job")).collect()
+        (done, failed)
+    }
+
+    let workers = workers.clamp(1, n_jobs.max(1));
+    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    if workers == 1 {
+        // Serial fast path: no threads, one scratch, same outputs, same
+        // drain policy (every job still runs, so the reported index
+        // matches the threaded path).
+        let serial_cursor = AtomicUsize::new(0);
+        let (done, failed) =
+            drain(|| serial_cursor.fetch_add(1, Ordering::Relaxed), n_jobs, &scratch, &job);
+        for (i, out) in done {
+            slots[i] = Some(out);
+        }
+        failures = failed;
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let scratch = &scratch;
+                    let job = &job;
+                    scope.spawn(move || {
+                        drain(|| cursor.fetch_add(1, Ordering::Relaxed), n_jobs, scratch, job)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (done, failed) = handle.join().expect("pool worker panicked outside a job");
+                for (i, out) in done {
+                    debug_assert!(slots[i].is_none(), "each job slot is written once");
+                    slots[i] = Some(out);
+                }
+                failures.extend(failed);
+            }
+        });
+    }
+    if let Some((job, message)) = failures.into_iter().min_by_key(|(i, _)| *i) {
+        return Err(PoolError { job, message });
+    }
+    Ok(slots.into_iter().map(|slot| slot.expect("worker pool completed every job")).collect())
 }
 
 /// [`run_blocks_on`] with the default bounded pool size.
@@ -129,17 +279,85 @@ where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
 {
+    match try_run_blocks_on(workers, n_items, block_len, job) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`try_run_blocks_on`] with the default bounded pool size.
+pub fn try_run_blocks<T, F>(n_items: usize, block_len: usize, job: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let n_blocks = n_items.div_ceil(block_len.max(1));
+    try_run_blocks_on(default_workers(n_blocks), n_items, block_len, job)
+}
+
+/// Panic-safe [`run_blocks_on`]. `PoolError::job` is the failing
+/// *block* index (blocks are the pool's jobs here). Zero items means
+/// zero jobs: the result is `Ok(vec![])`, never an error.
+pub fn try_run_blocks_on<T, F>(
+    workers: usize,
+    n_items: usize,
+    block_len: usize,
+    job: F,
+) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
     let block_len = block_len.max(1);
     let n_blocks = n_items.div_ceil(block_len);
-    let blocks = run_indexed_on(workers, n_blocks, |b| {
+    let blocks = try_run_indexed_on(workers, n_blocks, |b| {
         let start = b * block_len;
         job(start..(start + block_len).min(n_items))
-    });
+    })?;
     let mut out = Vec::with_capacity(n_items);
     for block in blocks {
         out.extend(block);
     }
-    out
+    Ok(out)
+}
+
+/// Test-only fault injection (feature `failpoint`): arm a named site
+/// with a job index and the matching [`hit`](failpoint::hit) call
+/// panics exactly once. Used by the fault-injection suite to prove a
+/// panicking grid fit surfaces as a typed error at any worker count.
+/// Compiled out entirely unless the feature is enabled.
+#[cfg(feature = "failpoint")]
+pub mod failpoint {
+    use std::collections::{BTreeSet, HashMap};
+    use std::sync::Mutex;
+
+    static ARMED: Mutex<Option<HashMap<String, BTreeSet<usize>>>> = Mutex::new(None);
+
+    /// Arm `site` to panic when job `job` hits it. A site may be armed
+    /// for several jobs at once (to prove the pool reports the lowest
+    /// failing index regardless of which worker detonates first).
+    pub fn arm(site: &str, job: usize) {
+        let mut armed = ARMED.lock().expect("failpoint registry");
+        armed.get_or_insert_with(HashMap::new).entry(site.to_string()).or_default().insert(job);
+    }
+
+    /// Disarm every site.
+    pub fn disarm_all() {
+        *ARMED.lock().expect("failpoint registry") = None;
+    }
+
+    /// Panic iff `site` is armed for `job`. Call from production code
+    /// under `#[cfg(feature = "failpoint")]`; a disarmed site is a
+    /// cheap map lookup.
+    pub fn hit(site: &str, job: usize) {
+        let armed = ARMED.lock().expect("failpoint registry");
+        if let Some(map) = armed.as_ref() {
+            if map.get(site).is_some_and(|jobs| jobs.contains(&job)) {
+                drop(armed);
+                panic!("failpoint `{site}` fired at job {job}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +415,177 @@ mod tests {
         // More workers than jobs must still complete correctly.
         let got = run_indexed_on(32, 3, |i| i + 1);
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    /// Silence the default panic hook for tests that intentionally
+    /// panic inside jobs; restores the hook when dropped. Tests using
+    /// it must hold the same lock (the hook is process-global).
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn try_reports_lowest_failing_index_at_any_worker_count() {
+        quiet_panics(|| {
+            for workers in [1, 2, 3, 8] {
+                let err = try_run_indexed_on(workers, 60, |i| {
+                    // Jobs 7, 23 and 41 fail; 7 must always win.
+                    if i == 7 || i == 23 || i == 41 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .unwrap_err();
+                assert_eq!(err.job, 7, "workers={workers}");
+                assert_eq!(err.message, "boom at 7");
+            }
+        });
+    }
+
+    #[test]
+    fn try_drains_every_job_even_after_a_failure() {
+        quiet_panics(|| {
+            let ran: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+            let err = try_run_indexed_on(2, 30, |i| {
+                ran[i].fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("first job fails");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.job, 0);
+            for (i, c) in ran.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "job {i} must still run (drain policy)");
+            }
+        });
+    }
+
+    #[test]
+    fn try_succeeds_bit_identically_to_infallible_path() {
+        let expect: Vec<usize> = (0..41).map(|i| i * 3).collect();
+        for workers in [1, 2, 8] {
+            assert_eq!(try_run_indexed_on(workers, 41, |i| i * 3).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn try_zero_jobs_is_ok_empty() {
+        let got: Result<Vec<usize>, PoolError> = try_run_indexed(0, |i| i);
+        assert_eq!(got.unwrap(), Vec::<usize>::new());
+        let blocks: Result<Vec<usize>, PoolError> = try_run_blocks(0, 256, |r| r.collect());
+        assert_eq!(blocks.unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scratch_is_rebuilt_after_a_panic() {
+        quiet_panics(|| {
+            // Serial pool: job 3 poisons its scratch then panics; later
+            // jobs must observe a fresh scratch, not the poisoned one.
+            let err = try_run_scratch_on(
+                1,
+                8,
+                || 0usize,
+                |s, i| {
+                    if i == 3 {
+                        *s = 999;
+                        panic!("poisoned");
+                    }
+                    assert_ne!(*s, 999, "job {i} saw a scratch from a panicked job");
+                    *s += 1;
+                    i
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err.job, 3);
+        });
+    }
+
+    #[test]
+    fn non_string_payloads_are_reported() {
+        quiet_panics(|| {
+            let err = try_run_indexed_on(2, 4, |i| {
+                if i == 2 {
+                    std::panic::panic_any(42usize);
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.job, 2);
+            assert_eq!(err.message, "non-string panic payload");
+        });
+    }
+
+    #[test]
+    fn string_payloads_survive() {
+        quiet_panics(|| {
+            let err = try_run_indexed_on(1, 2, |i| {
+                if i == 1 {
+                    std::panic::panic_any(String::from("owned payload"));
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.message, "owned payload");
+        });
+    }
+
+    #[test]
+    fn infallible_wrapper_panics_with_job_index() {
+        quiet_panics(|| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_indexed_on(2, 10, |i| {
+                    if i == 4 {
+                        panic!("inner");
+                    }
+                    i
+                })
+            }));
+            let msg = payload_message(caught.unwrap_err());
+            assert!(msg.contains("job 4") && msg.contains("inner"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn try_blocks_reports_failing_block_index() {
+        quiet_panics(|| {
+            for workers in [1, 2, 8] {
+                let err = try_run_blocks_on(workers, 100, 10, |r| {
+                    if r.start == 30 {
+                        panic!("block panic");
+                    }
+                    r.collect::<Vec<usize>>()
+                })
+                .unwrap_err();
+                assert_eq!(err.job, 3, "workers={workers}");
+            }
+        });
+    }
+
+    #[cfg(feature = "failpoint")]
+    #[test]
+    fn failpoint_fires_only_when_armed() {
+        quiet_panics(|| {
+            failpoint::disarm_all();
+            failpoint::hit("site_a", 0); // disarmed: no panic
+            failpoint::arm("site_a", 2);
+            failpoint::hit("site_a", 1); // wrong job: no panic
+            let err = try_run_indexed_on(2, 4, |i| {
+                failpoint::hit("site_a", i);
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.job, 2);
+            assert!(err.message.contains("failpoint `site_a`"));
+            failpoint::disarm_all();
+            // Disarmed again: the same run now succeeds.
+            assert!(try_run_indexed_on(2, 4, |i| i).is_ok());
+        });
     }
 }

@@ -1,0 +1,95 @@
+//! Typed errors for sample construction and ingest.
+
+use msaw_cohort::validate::ValidateError;
+use msaw_tabular::TabularError;
+use std::fmt;
+
+/// Errors reachable while building or ingesting a [`crate::SampleSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// The underlying CSV/frame layer failed (parse error, unknown
+    /// column, length mismatch).
+    Tabular(TabularError),
+    /// The validating ingest rejected the frame (strict mode) or its
+    /// schema (either mode).
+    Validation(ValidateError),
+    /// An appended feature column's length disagrees with the set.
+    FeatureLength { name: String, expected: usize, actual: usize },
+    /// The ingested frame carries no recognised `label_*` column.
+    NoLabelColumn,
+    /// A clinic cell survived validation but names no known clinic
+    /// (defensive: reachable only when conversion is run unvalidated).
+    UnknownClinic { row: usize, name: String },
+    /// A provenance value survived validation but is missing
+    /// (defensive, as above).
+    MissingProvenance { row: usize, column: &'static str },
+    /// Lenient ingest quarantined every row: nothing left to train on.
+    NoCleanRows,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Tabular(e) => write!(f, "tabular layer failed: {e}"),
+            SampleError::Validation(e) => write!(f, "ingest validation failed: {e}"),
+            SampleError::FeatureLength { name, expected, actual } => write!(
+                f,
+                "extra feature `{name}` has {actual} values but the set has {expected} samples"
+            ),
+            SampleError::NoLabelColumn => {
+                write!(f, "frame has no label_QoL / label_SPPB / label_Falls column")
+            }
+            SampleError::UnknownClinic { row, name } => {
+                write!(f, "row {row}: unknown clinic `{name}`")
+            }
+            SampleError::MissingProvenance { row, column } => {
+                write!(f, "row {row}: missing `{column}` value")
+            }
+            SampleError::NoCleanRows => {
+                write!(f, "every row was quarantined; no clean samples remain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SampleError::Tabular(e) => Some(e),
+            SampleError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for SampleError {
+    fn from(e: TabularError) -> Self {
+        SampleError::Tabular(e)
+    }
+}
+
+impl From<ValidateError> for SampleError {
+    fn from(e: ValidateError) -> Self {
+        SampleError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn tabular_errors_chain_as_source() {
+        let inner = TabularError::UnknownColumn("qol".into());
+        let e = SampleError::from(inner.clone());
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SampleError::FeatureLength { name: "fi_baseline".into(), expected: 10, actual: 7 };
+        let s = e.to_string();
+        assert!(s.contains("fi_baseline") && s.contains("10") && s.contains('7'));
+    }
+}

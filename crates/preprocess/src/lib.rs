@@ -26,10 +26,14 @@
 //! the index itself is computed by `msaw-kd`.
 
 pub mod aggregate;
+pub mod error;
+pub mod ingest;
 pub mod interpolate;
 pub mod samples;
 
 pub use aggregate::monthly_means;
+pub use error::SampleError;
+pub use ingest::{frame_to_samples, ingest_frame, read_sample_csv, IngestMode, Ingested};
 pub use interpolate::interpolate;
 pub use samples::{
     build_samples, FeaturePanel, OutcomeKind, PipelineConfig, SampleMeta, SampleSet,

@@ -98,16 +98,32 @@ impl SampleSet {
     /// Append one extra feature column (e.g. the baseline FI), returning
     /// a new set. `values` must have one entry per sample.
     pub fn with_extra_feature(&self, name: &str, values: &[f64]) -> SampleSet {
-        assert_eq!(values.len(), self.len(), "one value per sample required");
+        self.try_with_extra_feature(name, values).expect("one value per sample required")
+    }
+
+    /// Fallible [`Self::with_extra_feature`]: a length mismatch is a
+    /// typed [`crate::SampleError`] instead of a panic.
+    pub fn try_with_extra_feature(
+        &self,
+        name: &str,
+        values: &[f64],
+    ) -> Result<SampleSet, crate::SampleError> {
+        if values.len() != self.len() {
+            return Err(crate::SampleError::FeatureLength {
+                name: name.to_string(),
+                expected: self.len(),
+                actual: values.len(),
+            });
+        }
         let mut names = self.feature_names.clone();
         names.push(name.to_string());
-        SampleSet {
+        Ok(SampleSet {
             features: self.features.hstack_column(values),
             feature_names: names,
             labels: self.labels.clone(),
             meta: self.meta.clone(),
             outcome: self.outcome,
-        }
+        })
     }
 
     /// Restrict to the samples of one clinic.

@@ -39,6 +39,11 @@ pub struct CsvSchema {
 
 /// Read a CSV produced by [`write_csv`] given explicit column types.
 /// The header must match `schema` by name and order.
+///
+/// Malformed input — empty file, header-only file, a row with the wrong
+/// cell count (including a truncated final row), an unparsable cell —
+/// is always a typed [`TabularError::Csv`] naming the 1-based line and,
+/// for cell errors, the column; this function never panics on bad data.
 pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
     let mut lines = reader.lines().enumerate();
     let header = match lines.next() {
@@ -83,6 +88,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
         })
         .collect();
 
+    let mut n_rows = 0usize;
     for (idx, line) in lines {
         let line = line.map_err(|e| TabularError::Csv { line: idx + 1, message: e.to_string() })?;
         if line.is_empty() {
@@ -95,7 +101,8 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
                 message: format!("expected {} cells, found {}", builders.len(), cells.len()),
             });
         }
-        for (cell, builder) in cells.iter().zip(builders.iter_mut()) {
+        for (col, (cell, builder)) in cells.iter().zip(builders.iter_mut()).enumerate() {
+            let column = &schema.columns[col].0;
             match builder {
                 Builder::Float(v) => {
                     if cell.is_empty() {
@@ -103,7 +110,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
                     } else {
                         v.push(cell.parse().map_err(|_| TabularError::Csv {
                             line: idx + 1,
-                            message: format!("invalid float `{cell}`"),
+                            message: format!("column `{column}`: invalid float `{cell}`"),
                         })?);
                     }
                 }
@@ -113,7 +120,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
                     } else {
                         v.push(Some(cell.parse().map_err(|_| TabularError::Csv {
                             line: idx + 1,
-                            message: format!("invalid int `{cell}`"),
+                            message: format!("column `{column}`: invalid int `{cell}`"),
                         })?));
                     }
                 }
@@ -124,7 +131,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
                     other => {
                         return Err(TabularError::Csv {
                             line: idx + 1,
-                            message: format!("invalid bool `{other}`"),
+                            message: format!("column `{column}`: invalid bool `{other}`"),
                         })
                     }
                 },
@@ -137,6 +144,10 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
                 }
             }
         }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err(TabularError::Csv { line: 1, message: "no data rows".into() });
     }
 
     let mut frame = Frame::new();
@@ -234,5 +245,69 @@ mod tests {
         let s = CsvSchema { columns: vec![("a".into(), DataType::Float)] };
         let f = read_csv(Cursor::new(input), &s).unwrap();
         assert_eq!(f.nrows(), 2);
+    }
+
+    fn two_floats() -> CsvSchema {
+        CsvSchema { columns: vec![("a".into(), DataType::Float), ("b".into(), DataType::Float)] }
+    }
+
+    #[test]
+    fn header_only_input_is_an_error() {
+        let err = read_csv(Cursor::new("a,b\n"), &two_floats()).unwrap_err();
+        match err {
+            TabularError::Csv { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("no data rows"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_final_row_names_its_line() {
+        // The file ends mid-row (no newline, missing final cell).
+        let err = read_csv(Cursor::new("a,b\n1,2\n3"), &two_floats()).unwrap_err();
+        match err {
+            TabularError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("expected 2 cells, found 1"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_column_count_mid_file_names_its_line() {
+        let err = read_csv(Cursor::new("a,b\n1,2\n1,2,3\n4,5\n"), &two_floats()).unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_cell_names_line_and_column() {
+        let err = read_csv(Cursor::new("a,b\n1,2\n3,oops\n"), &two_floats()).unwrap_err();
+        match err {
+            TabularError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("column `b`") && message.contains("oops"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_bool_and_int_cells_name_their_column() {
+        let s = CsvSchema {
+            columns: vec![("n".into(), DataType::Int), ("flag".into(), DataType::Bool)],
+        };
+        let err = read_csv(Cursor::new("n,flag\n1.5,true\n"), &s).unwrap_err();
+        match &err {
+            TabularError::Csv { line: 2, message } => assert!(message.contains("column `n`")),
+            other => panic!("wrong error: {other}"),
+        }
+        let err = read_csv(Cursor::new("n,flag\n1,yes\n"), &s).unwrap_err();
+        match &err {
+            TabularError::Csv { line: 2, message } => assert!(message.contains("column `flag`")),
+            other => panic!("wrong error: {other}"),
+        }
     }
 }

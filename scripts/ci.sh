@@ -28,4 +28,7 @@ cargo build --release -p msaw-bench --bins   # every figure/table binary + bench
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo test (release codegen + debug assertions)"
+cargo test --workspace --quiet --profile release-dbg
+
 echo "CI green."
