@@ -1,0 +1,122 @@
+//! CI perf smoke: compare headline metrics of a freshly-run benchmark
+//! JSON against the committed baseline, failing when any metric has
+//! regressed beyond the tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_check <committed.json> <fresh.json> <key> [<key>...]
+//! ```
+//!
+//! Every `<key>` must exist as a numeric field in both files; the check
+//! fails (exit 1) if `fresh > committed * (1 + TOLERANCE)` for any of
+//! them. The 25% tolerance absorbs shared-runner noise while still
+//! catching real regressions; the BENCH_*.json files are seconds, so
+//! smaller is always better.
+//!
+//! The parser is a deliberately tiny flat-JSON scanner (the BENCH files
+//! are flat or one level deep, written by our own binaries) — no JSON
+//! dependency, no allocation beyond the file read.
+
+use std::process::ExitCode;
+
+/// Allowed relative slowdown before the check fails.
+const TOLERANCE: f64 = 0.25;
+
+/// Extract the numeric value of `"key": <number>` from a JSON text.
+/// Nested objects are fine as long as the key itself is unique and its
+/// value is a bare number.
+fn numeric_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path, keys @ ..] = args.as_slice() else {
+        return Err("usage: perf_check <committed.json> <fresh.json> <key> [<key>...]".into());
+    };
+    if keys.is_empty() {
+        return Err("usage: perf_check <committed.json> <fresh.json> <key> [<key>...]".into());
+    }
+    let committed =
+        std::fs::read_to_string(committed_path).map_err(|e| format!("{committed_path}: {e}"))?;
+    let fresh = std::fs::read_to_string(fresh_path).map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    let mut failures = Vec::new();
+    for key in keys {
+        let base = numeric_field(&committed, key)
+            .ok_or_else(|| format!("{committed_path}: no numeric field \"{key}\""))?;
+        let now = numeric_field(&fresh, key)
+            .ok_or_else(|| format!("{fresh_path}: no numeric field \"{key}\""))?;
+        let limit = base * (1.0 + TOLERANCE);
+        let verdict = if now > limit { "REGRESSED" } else { "ok" };
+        eprintln!("  {key}: committed {base:.6}s, fresh {now:.6}s (limit {limit:.6}s) {verdict}");
+        if now > limit {
+            failures.push(format!(
+                "{key} regressed: {now:.6}s vs committed {base:.6}s (+{:.0}% > +{:.0}% allowed)",
+                (now / base - 1.0) * 100.0,
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            eprintln!("perf check passed");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("perf check failed:\n{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "cohort": "small",
+  "variants_secs": {
+    "qol_dd": 0.151
+  },
+  "variants_total_secs": 1.25,
+  "run_full_grid_secs": 0.7,
+  "flat_single_core_speedup": 2.269
+}"#;
+
+    #[test]
+    fn extracts_top_level_and_nested_numbers() {
+        assert_eq!(numeric_field(SAMPLE, "run_full_grid_secs"), Some(0.7));
+        assert_eq!(numeric_field(SAMPLE, "variants_total_secs"), Some(1.25));
+        assert_eq!(numeric_field(SAMPLE, "qol_dd"), Some(0.151));
+        assert_eq!(numeric_field(SAMPLE, "flat_single_core_speedup"), Some(2.269));
+    }
+
+    #[test]
+    fn missing_or_non_numeric_keys_are_none() {
+        assert_eq!(numeric_field(SAMPLE, "absent"), None);
+        assert_eq!(numeric_field(SAMPLE, "cohort"), None);
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        assert_eq!(numeric_field(r#"{"x": 1.5e-3}"#, "x"), Some(0.0015));
+        assert_eq!(numeric_field(r#"{"x": -2e2}"#, "x"), Some(-200.0));
+    }
+}

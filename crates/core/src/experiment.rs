@@ -3,7 +3,9 @@
 
 use crate::config::ExperimentConfig;
 use crate::error::PipelineError;
-use msaw_gbdt::{Booster, Objective, Params, TrainError, TrainingContext, TreeMethod};
+use msaw_gbdt::{
+    Booster, ContextCache, Objective, Params, TrainError, TrainingContext, TreeMethod, TreeScratch,
+};
 use msaw_metrics::{
     group_train_test_split, kfold, stratified_kfold, train_test_split, ConfusionMatrix,
 };
@@ -127,15 +129,17 @@ fn balanced_params(base: &Params, labels: &[f64]) -> Params {
 }
 
 /// Train on a row view of `set` through its shared context — no row
-/// copying, no re-binning. `auto_balance` switches on the class-weight
-/// recipe; the paper's models did not reweight (which is exactly why
-/// its KD Falls model without FI collapses to the majority class).
+/// copying, no re-binning — reusing `scratch`'s training arenas across
+/// calls. `auto_balance` switches on the class-weight recipe; the
+/// paper's models did not reweight (which is exactly why its KD Falls
+/// model without FI collapses to the majority class).
 fn fit_rows(
     set: &SampleSet,
     ctx: &TrainingContext<'_>,
     rows: &[usize],
     params: &Params,
     auto_balance: bool,
+    scratch: &mut TreeScratch,
 ) -> Result<Booster, TrainError> {
     let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
     let params = if set.outcome.is_classification() && auto_balance {
@@ -143,7 +147,7 @@ fn fit_rows(
     } else {
         params.clone()
     };
-    Booster::train_on_rows(&params, ctx, rows, &y)
+    Booster::train_on_rows_with(&params, ctx, rows, &y, scratch)
 }
 
 /// Predict a row view through the flat engine — no materialised
@@ -260,6 +264,49 @@ pub fn try_plan_variant<'a>(
     if set.is_empty() {
         return Err(PipelineError::EmptySampleSet);
     }
+    // Honour the configured histogram resolution: the context's shared
+    // cuts are what every fit of this variant will train against.
+    let ctx = match cfg.params_for(set.outcome).tree_method {
+        TreeMethod::Hist { max_bins } => TrainingContext::with_max_bins(&set.features, max_bins),
+        TreeMethod::Exact => set.training_context(),
+    };
+    plan_with_context(set, approach, with_fi, cfg, ctx)
+}
+
+/// [`try_plan_variant`] through a [`ContextCache`]: column sets shared
+/// between variants (DD and DD+FI overlap on 59 of 60 columns, the KD
+/// pair on the ICI scalar) are quantised once and reused, both across
+/// variants and across callers holding the same cache.
+///
+/// The returned plan is bit-identical to the uncached one — the cache
+/// key is the column's exact byte pattern, and quantisation is a pure
+/// function of those bytes.
+pub fn try_plan_variant_cached<'a>(
+    set: &'a SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+    cache: &mut ContextCache,
+) -> Result<VariantPlan<'a>, PipelineError> {
+    if set.is_empty() {
+        return Err(PipelineError::EmptySampleSet);
+    }
+    let ctx = match cfg.params_for(set.outcome).tree_method {
+        TreeMethod::Hist { max_bins } => cache.context_with_bins(&set.features, max_bins),
+        TreeMethod::Exact => cache.context_for(&set.features),
+    };
+    plan_with_context(set, approach, with_fi, cfg, ctx)
+}
+
+/// Shared tail of the plan builders: freeze the protocol's 80/20 split
+/// and CV folds around an already-built context.
+fn plan_with_context<'a>(
+    set: &'a SampleSet,
+    approach: Approach,
+    with_fi: bool,
+    cfg: &ExperimentConfig,
+    ctx: TrainingContext<'a>,
+) -> Result<VariantPlan<'a>, PipelineError> {
     let (train_rows, test_rows) = split_train_test(set, cfg);
     let folds = if train_rows.len() >= cfg.cv_folds * 2 {
         cv_folds(set, &train_rows, cfg)
@@ -273,12 +320,6 @@ pub fn try_plan_variant<'a>(
             .collect()
     } else {
         Vec::new()
-    };
-    // Honour the configured histogram resolution: the context's shared
-    // cuts are what every fit of this variant will train against.
-    let ctx = match cfg.params_for(set.outcome).tree_method {
-        TreeMethod::Hist { max_bins } => TrainingContext::with_max_bins(&set.features, max_bins),
-        TreeMethod::Exact => set.training_context(),
     };
     Ok(VariantPlan { set, approach, with_fi, ctx, train_rows, test_rows, folds })
 }
@@ -302,21 +343,45 @@ pub fn run_fit_job(plan: &VariantPlan<'_>, job: FitJob, cfg: &ExperimentConfig) 
 
 /// Fallible twin of [`run_fit_job`]: a fit failure (bad labels, bad
 /// hyper-parameters) surfaces as a [`TrainError`] instead of a panic.
+///
+/// Builds a fresh [`TreeScratch`] per call; workers that run many jobs
+/// should hold one and call [`try_run_fit_job_with`] instead.
 pub fn try_run_fit_job(
     plan: &VariantPlan<'_>,
     job: FitJob,
     cfg: &ExperimentConfig,
 ) -> Result<FitOutput, TrainError> {
+    try_run_fit_job_with(plan, job, cfg, &mut TreeScratch::new())
+}
+
+/// [`try_run_fit_job`] against a caller-owned [`TreeScratch`]: the fit
+/// reuses the scratch's gradient/partition/histogram arenas instead of
+/// allocating fresh ones, which is what makes a worker's Nth fit
+/// allocation-free. Results are independent of the scratch's history —
+/// the same bit-identity contract as [`Booster::train_on_rows_with`].
+pub fn try_run_fit_job_with(
+    plan: &VariantPlan<'_>,
+    job: FitJob,
+    cfg: &ExperimentConfig,
+    scratch: &mut TreeScratch,
+) -> Result<FitOutput, TrainError> {
     let params = cfg.params_for(plan.set.outcome);
     match job {
         FitJob::Fold(i) => {
             let (fold_train, fold_val) = &plan.folds[i];
-            let model = fit_rows(plan.set, &plan.ctx, fold_train, params, cfg.auto_balance_falls)?;
+            let model =
+                fit_rows(plan.set, &plan.ctx, fold_train, params, cfg.auto_balance_falls, scratch)?;
             Ok(FitOutput::CvScore(score(&model, plan.set, fold_val, cfg.decision_threshold)))
         }
         FitJob::Final => {
-            let model =
-                fit_rows(plan.set, &plan.ctx, &plan.train_rows, params, cfg.auto_balance_falls)?;
+            let model = fit_rows(
+                plan.set,
+                &plan.ctx,
+                &plan.train_rows,
+                params,
+                cfg.auto_balance_falls,
+                scratch,
+            )?;
             let y_test: Vec<f64> = plan.test_rows.iter().map(|&i| plan.set.labels[i]).collect();
             let preds = predict_rows(&model, plan.set, &plan.test_rows);
             if plan.set.outcome.is_classification() {
@@ -388,8 +453,11 @@ pub fn try_run_variant(
     cfg: &ExperimentConfig,
 ) -> Result<VariantResult, PipelineError> {
     let plan = try_plan_variant(set, approach, with_fi, cfg)?;
-    let outputs: Vec<FitOutput> =
-        plan.jobs().map(|job| try_run_fit_job(&plan, job, cfg)).collect::<Result<_, _>>()?;
+    let mut scratch = TreeScratch::new();
+    let outputs: Vec<FitOutput> = plan
+        .jobs()
+        .map(|job| try_run_fit_job_with(&plan, job, cfg, &mut scratch))
+        .collect::<Result<_, _>>()?;
     Ok(finish_variant(&plan, outputs))
 }
 
@@ -408,7 +476,9 @@ pub fn try_fit_final_model(
 ) -> Result<Booster, PipelineError> {
     let (train_rows, _) = split_train_test(set, cfg);
     let ctx = set.training_context();
-    Ok(fit_rows(set, &ctx, &train_rows, cfg.params_for(set.outcome), cfg.auto_balance_falls)?)
+    let params = cfg.params_for(set.outcome);
+    let mut scratch = TreeScratch::new();
+    Ok(fit_rows(set, &ctx, &train_rows, params, cfg.auto_balance_falls, &mut scratch)?)
 }
 
 #[cfg(test)]

@@ -4,10 +4,11 @@
 use crate::config::ExperimentConfig;
 use crate::error::PipelineError;
 use crate::experiment::{
-    finish_variant, run_variant, try_plan_variant, try_run_fit_job, Approach, FitJob, FitOutput,
-    VariantPlan, VariantResult,
+    finish_variant, run_variant, try_plan_variant_cached, try_run_fit_job_with, Approach, FitJob,
+    FitOutput, VariantPlan, VariantResult,
 };
 use msaw_cohort::{Clinic, CohortData};
+use msaw_gbdt::{ContextCache, TreeScratch};
 use msaw_kd::{attach_fi, default_ici_spec, ici_sample_set};
 use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
 
@@ -55,6 +56,11 @@ fn job_count(plans: &[VariantPlan<'_>]) -> usize {
 /// Fallible core of the grid engine: run every fit job of every plan on
 /// `workers` pool workers, containing both panics and typed fit errors.
 ///
+/// Each worker owns one [`TreeScratch`] for its whole drain — the first
+/// job it claims pays the arena allocations, every later fit reuses
+/// them (the pool rebuilds a worker's scratch only after a panicked
+/// job). Results stay independent of which jobs share a scratch.
+///
 /// A panicking job surfaces as [`PipelineError::Pool`]; a job that
 /// returns a `TrainError` surfaces as [`PipelineError::Train`] carrying
 /// its flat job index. Either way the pool drains every job first (see
@@ -70,12 +76,13 @@ fn try_run_plans_on(
         .enumerate()
         .flat_map(|(p, plan)| plan.jobs().map(move |job| (p, job)))
         .collect();
-    let results = msaw_parallel::try_run_indexed_on(workers, jobs.len(), |i| {
-        #[cfg(feature = "failpoint")]
-        msaw_parallel::failpoint::hit("grid_fit", i);
-        let (p, job) = jobs[i];
-        try_run_fit_job(&plans[p], job, cfg)
-    })?;
+    let results =
+        msaw_parallel::try_run_scratch_on(workers, jobs.len(), TreeScratch::new, |scratch, i| {
+            #[cfg(feature = "failpoint")]
+            msaw_parallel::failpoint::hit("grid_fit", i);
+            let (p, job) = jobs[i];
+            try_run_fit_job_with(&plans[p], job, cfg, scratch)
+        })?;
     let mut outputs: Vec<Vec<FitOutput>> = plans.iter().map(|_| Vec::new()).collect();
     for (i, (&(p, _), result)) in jobs.iter().zip(results).enumerate() {
         match result {
@@ -133,10 +140,17 @@ pub fn try_run_full_grid_on(
         .iter()
         .map(|&outcome| build_variant_sets(data, &panel, outcome, cfg))
         .collect();
+    // One context cache across all 12 plans: DD and DD+FI share 59 of
+    // 60 columns, the KD pair shares the ICI scalar, and both FI
+    // variants of one outcome share the FI column — each distinct
+    // column is quantised once instead of once per variant.
+    let mut cache = ContextCache::new();
     let plans: Vec<VariantPlan<'_>> = all_sets
         .iter()
         .flat_map(variant_specs)
-        .map(|(set, approach, with_fi)| try_plan_variant(set, approach, with_fi, cfg))
+        .map(|(set, approach, with_fi)| {
+            try_plan_variant_cached(set, approach, with_fi, cfg, &mut cache)
+        })
         .collect::<Result<_, _>>()?;
     let workers =
         if workers == 0 { msaw_parallel::default_workers(job_count(&plans)) } else { workers };
@@ -183,6 +197,10 @@ pub fn try_run_clinic_grids(
         .iter()
         .map(|&outcome| build_variant_sets(data, &panel, outcome, cfg))
         .collect();
+    // One cache for every clinic: within a clinic the variants share
+    // columns exactly as in the full grid (DD/DD+FI, the KD pair), so
+    // each clinic costs one quantisation per distinct column.
+    let mut cache = ContextCache::new();
     clinics
         .iter()
         .map(|&clinic| {
@@ -198,7 +216,9 @@ pub fn try_run_clinic_grids(
             let plans: Vec<VariantPlan<'_>> = restricted
                 .iter()
                 .flat_map(variant_specs)
-                .map(|(set, approach, with_fi)| try_plan_variant(set, approach, with_fi, cfg))
+                .map(|(set, approach, with_fi)| {
+                    try_plan_variant_cached(set, approach, with_fi, cfg, &mut cache)
+                })
                 .collect::<Result<_, _>>()?;
             let workers = msaw_parallel::default_workers(job_count(&plans));
             Ok((clinic, try_run_plans_on(workers, &plans, cfg)?))
@@ -275,19 +295,30 @@ mod tests {
     }
 
     #[test]
-    fn grid_bins_each_variant_exactly_once() {
-        // The engine's headline economy: one quantisation pass per
-        // variant sample set, no matter how many folds train on it.
-        // (The counter is thread-local; contexts are built on the
-        // calling thread by `plan_variant`, so the delta is exact.)
+    fn grid_quantises_each_distinct_column_once() {
+        // The engine's headline economy, sharpened by the context
+        // cache: DD and DD+FI share 59 columns, the KD pair shares
+        // the ICI scalar, both FI variants share the FI column — and
+        // because every outcome keeps the same sample rows here, the
+        // three outcomes' feature bytes are identical too. The 12
+        // variant sets (3 x (59+60+1+2) = 366 naive column passes)
+        // collapse to 59 + FI + ICI = 61 distinct quantisations.
+        // (Counters are thread-local; contexts are built on the
+        // calling thread, so the deltas are exact.)
         let data = generate(&CohortConfig::small(42));
-        let before = msaw_gbdt::binning::fit_count();
+        let before_fits = msaw_gbdt::binning::fit_count();
+        let before_cols = msaw_gbdt::binning::column_fit_count();
         let results = run_full_grid(&data, &ExperimentConfig::fast());
         assert_eq!(results.len(), 12);
         assert_eq!(
-            msaw_gbdt::binning::fit_count() - before,
-            12,
-            "run_full_grid must quantise each of the 12 variant sets exactly once"
+            msaw_gbdt::binning::fit_count() - before_fits,
+            0,
+            "every grid context must come out of the cache, not a whole-matrix fit"
+        );
+        assert_eq!(
+            msaw_gbdt::binning::column_fit_count() - before_cols,
+            61,
+            "run_full_grid must quantise each distinct column exactly once"
         );
     }
 
@@ -327,24 +358,28 @@ mod tests {
     }
 
     #[test]
-    fn clinic_grids_bin_once_per_clinic_variant() {
-        // Shared full-cohort sets, one quantisation per filtered
-        // variant set: 12 per clinic, nothing extra for the shared
-        // build. (plan_variant runs on the calling thread, so the
-        // thread-local counter sees every fit.)
+    fn clinic_grids_quantise_once_per_distinct_clinic_column() {
+        // Shared full-cohort sets, one shared cache: each clinic's
+        // filtered variants share columns exactly like the full grid
+        // (61 distinct across its outcomes and variants), and two
+        // clinics never share bytes — their row subsets differ — so
+        // the pair costs exactly 2 x 61 column quantisations and
+        // zero whole-matrix fits.
         let data = generate(&CohortConfig::small(42));
         let cfg = ExperimentConfig::fast();
         let clinics = [Clinic::HongKong, Clinic::Sydney];
-        let before = msaw_gbdt::binning::fit_count();
+        let before_fits = msaw_gbdt::binning::fit_count();
+        let before_cols = msaw_gbdt::binning::column_fit_count();
         let per_clinic = run_clinic_grids(&data, &clinics, &cfg);
         assert_eq!(per_clinic.len(), 2);
         assert_eq!(per_clinic[0].0, Clinic::HongKong);
         assert_eq!(per_clinic[1].0, Clinic::Sydney);
         assert!(per_clinic.iter().all(|(_, r)| r.len() == 12));
+        assert_eq!(msaw_gbdt::binning::fit_count() - before_fits, 0);
         assert_eq!(
-            msaw_gbdt::binning::fit_count() - before,
-            24,
-            "two clinics must cost exactly 2 x 12 quantisation passes"
+            msaw_gbdt::binning::column_fit_count() - before_cols,
+            2 * 61,
+            "two clinics must cost exactly 2 x 61 distinct column quantisations"
         );
     }
 

@@ -4,7 +4,7 @@
 use crate::config::ExperimentConfig;
 use crate::error::PipelineError;
 use msaw_cohort::Clinic;
-use msaw_gbdt::Booster;
+use msaw_gbdt::{Booster, TreeScratch};
 use msaw_metrics::{kfold, BoxStats};
 use msaw_preprocess::SampleSet;
 use std::collections::BTreeMap;
@@ -30,12 +30,14 @@ pub fn try_oof_predictions(
     }
     let params = cfg.params_for(set.outcome);
     // One shared context: the matrix is indexed once and every fold's
-    // model trains on a row view of it.
+    // model trains on a row view of it. One shared scratch: the first
+    // fold pays the arena allocations, later folds reuse them.
     let ctx = set.training_context();
+    let mut scratch = TreeScratch::new();
     let mut preds = vec![f64::NAN; set.len()];
     for fold in kfold(set.len(), cfg.cv_folds, cfg.seed ^ 0x00f) {
         let y_train: Vec<f64> = fold.train.iter().map(|&i| set.labels[i]).collect();
-        let model = Booster::train_on_rows(params, &ctx, &fold.train, &y_train)?;
+        let model = Booster::train_on_rows_with(params, &ctx, &fold.train, &y_train, &mut scratch)?;
         // Batch-predict the held-out rows through the flat engine.
         let fold_preds = model.flat_forest().predict_rows(&set.features, &fold.validation);
         for (&row, &p) in fold.validation.iter().zip(&fold_preds) {

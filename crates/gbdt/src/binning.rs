@@ -6,12 +6,19 @@
 //! quantile ranks — and pre-computes each row's bin index once. Node
 //! histogram accumulation then touches each row exactly once per feature
 //! regardless of how many distinct values exist.
+//!
+//! ## Code layout
+//!
+//! Codes are stored row-major (`codes[row * ncols + feature]`) with an
+//! **in-band** missing sentinel: a feature with `c` cuts uses codes
+//! `0..=c` for present values and `c + 1` for missing. A node histogram
+//! with `c + 2` slots can therefore be accumulated straight off a row's
+//! code slice — `hist[code]` — with no per-cell `Option` branch; the
+//! missing mass simply lands in the last slot. [`BinnedMatrix::bin`]
+//! still presents the `Option<u16>` view for callers that want it.
 
 use msaw_tabular::Matrix;
 use std::cell::Cell;
-
-/// Sentinel bin code for missing values.
-const MISSING: u16 = u16::MAX;
 
 thread_local! {
     /// Number of [`BinnedMatrix::fit`] calls on this thread. Tests use
@@ -21,6 +28,12 @@ thread_local! {
     /// contexts are built on the calling thread, so the grid's fits all
     /// land on the counter of the thread that invoked it.
     static FIT_COUNT: Cell<usize> = const { Cell::new(0) };
+
+    /// Number of per-*column* quantisations (cut fitting + encoding) on
+    /// this thread. `BinnedMatrix::fit` bumps it once per column; the
+    /// cross-variant `ContextCache` bumps it only on cache misses, so
+    /// grid tests can pin the number of **distinct** columns quantised.
+    static COLUMN_FIT_COUNT: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Total `BinnedMatrix::fit` calls made by the current thread.
@@ -28,10 +41,21 @@ pub fn fit_count() -> usize {
     FIT_COUNT.with(|c| c.get())
 }
 
+/// Total per-column quantisations performed by the current thread
+/// (cache hits in a `ContextCache` do not count).
+pub fn column_fit_count() -> usize {
+    COLUMN_FIT_COUNT.with(|c| c.get())
+}
+
+pub(crate) fn bump_column_fit_count(by: usize) {
+    COLUMN_FIT_COUNT.with(|c| c.set(c.get() + by));
+}
+
 /// A matrix pre-quantised into per-feature quantile bins.
 #[derive(Debug, Clone)]
 pub struct BinnedMatrix {
-    /// Row-major bin codes; `MISSING` encodes `NaN`.
+    /// Row-major bin codes; per feature `j`, code `cuts[j].len() + 1`
+    /// encodes missing (in-band, see module docs).
     codes: Vec<u16>,
     nrows: usize,
     ncols: usize,
@@ -50,6 +74,7 @@ impl BinnedMatrix {
         assert!(max_bins >= 2, "need at least 2 bins");
         FIT_COUNT.with(|c| c.set(c.get() + 1));
         let ncols = data.ncols();
+        bump_column_fit_count(ncols);
         let mut cuts = Vec::with_capacity(ncols);
         for j in 0..ncols {
             cuts.push(feature_cuts(&data.column(j), max_bins));
@@ -67,15 +92,19 @@ impl BinnedMatrix {
         let mut codes = vec![0u16; nrows * ncols];
         for i in 0..nrows {
             for j in 0..ncols {
-                let v = data.get(i, j);
-                codes[i * ncols + j] = if v.is_nan() {
-                    MISSING
-                } else {
-                    // Count of cuts <= v = index of the bin containing v.
-                    cuts[j].partition_point(|&c| c <= v) as u16
-                };
+                codes[i * ncols + j] = encode_value(data.get(i, j), &cuts[j]);
             }
         }
+        BinnedMatrix { codes, nrows, ncols, cuts }
+    }
+
+    /// Assemble a binned matrix from pre-computed parts — the
+    /// `ContextCache` path, where each column's cuts and codes were
+    /// computed (or recalled) independently and scattered into the
+    /// row-major `codes` buffer by the caller.
+    pub(crate) fn from_parts(nrows: usize, cuts: Vec<Vec<f64>>, codes: Vec<u16>) -> BinnedMatrix {
+        let ncols = cuts.len();
+        assert_eq!(codes.len(), nrows * ncols, "row-major code buffer size mismatch");
         BinnedMatrix { codes, nrows, ncols, cuts }
     }
 
@@ -100,11 +129,38 @@ impl BinnedMatrix {
         self.cuts.clone()
     }
 
+    /// The in-band code encoding "missing" for a feature: one past the
+    /// last present bin.
+    #[inline]
+    pub(crate) fn missing_code(&self, feature: usize) -> u16 {
+        self.cuts[feature].len() as u16 + 1
+    }
+
+    /// Histogram slots a node needs for a feature: bins `0..=cuts`
+    /// plus the missing slot.
+    #[inline]
+    pub(crate) fn slots(&self, feature: usize) -> usize {
+        self.cuts[feature].len() + 2
+    }
+
+    /// Sum of [`Self::slots`] over every feature — the flat histogram
+    /// buffer bound scratch preparation reserves against.
+    pub(crate) fn total_slots(&self) -> usize {
+        self.cuts.iter().map(|c| c.len() + 2).sum()
+    }
+
+    /// One row's codes, contiguous over all features — the branch-free
+    /// accumulation path of `build_hists`.
+    #[inline]
+    pub(crate) fn row_codes(&self, row: usize) -> &[u16] {
+        &self.codes[row * self.ncols..(row + 1) * self.ncols]
+    }
+
     /// Bin code of `(row, feature)`; `None` = missing.
     #[inline]
     pub fn bin(&self, row: usize, feature: usize) -> Option<u16> {
         let code = self.codes[row * self.ncols + feature];
-        if code == MISSING {
+        if code == self.missing_code(feature) {
             None
         } else {
             Some(code)
@@ -112,14 +168,43 @@ impl BinnedMatrix {
     }
 }
 
-/// Compute cut points for one feature from its present values.
-fn feature_cuts(values: &[f64], max_bins: u16) -> Vec<f64> {
-    let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-    if present.len() < 2 {
-        return Vec::new();
+/// In-band code of one value against one feature's cuts.
+#[inline]
+pub(crate) fn encode_value(v: f64, cuts: &[f64]) -> u16 {
+    if v.is_nan() {
+        // In-band missing sentinel: one past the last present bin.
+        cuts.len() as u16 + 1
+    } else {
+        // Count of cuts <= v = index of the bin containing v.
+        cuts.partition_point(|&c| c <= v) as u16
     }
+}
+
+/// In-band codes for a whole column.
+pub(crate) fn encode_column(col: &[f64], cuts: &[f64]) -> Vec<u16> {
+    col.iter().map(|&v| encode_value(v, cuts)).collect()
+}
+
+/// Sorted distinct present values of a column — the shared first step of
+/// both the exact rank index and cut fitting (and the unit the
+/// cross-variant cache keys on).
+pub(crate) fn distinct_values(col: &[f64]) -> Vec<f64> {
+    let mut present: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
     present.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
     present.dedup();
+    present
+}
+
+/// Compute cut points for one feature from its present values.
+fn feature_cuts(values: &[f64], max_bins: u16) -> Vec<f64> {
+    cuts_from_distinct(&distinct_values(values), max_bins)
+}
+
+/// Cut points from a column's sorted distinct present values. Split out
+/// of [`feature_cuts`] so the `ContextCache` can derive cuts from the
+/// distinct set it already holds for the exact index — byte-identical,
+/// since `feature_cuts` fed the same sorted deduped values here.
+pub(crate) fn cuts_from_distinct(present: &[f64], max_bins: u16) -> Vec<f64> {
     if present.len() < 2 {
         return Vec::new();
     }
@@ -161,6 +246,8 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0], vec![f64::NAN]]);
         let b = BinnedMatrix::fit(&x, 4);
         assert_eq!(b.bin(1, 0), None);
+        // The in-band code is one past the last present bin.
+        assert_eq!(b.row_codes(1)[0], b.missing_code(0));
     }
 
     #[test]
@@ -168,6 +255,10 @@ mod tests {
         let x = Matrix::from_rows(&[vec![3.0], vec![3.0], vec![3.0]]);
         let b = BinnedMatrix::fit(&x, 8);
         assert!(b.cuts(0).is_empty());
+        // Constant features still get a present/missing slot pair so the
+        // branch-free accumulator can index them.
+        assert_eq!(b.slots(0), 2);
+        assert_eq!(b.bin(0, 0), Some(0));
     }
 
     #[test]
@@ -219,5 +310,38 @@ mod tests {
                 assert!(v < cuts[bin], "value at/above its bin's upper cut");
             }
         }
+    }
+
+    #[test]
+    fn column_assembly_matches_with_cuts() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, f64::NAN],
+            vec![2.0, 5.0],
+            vec![4.0, 2.0],
+            vec![2.0, 5.0],
+        ]);
+        let direct = BinnedMatrix::fit(&x, 256);
+        let cuts = direct.clone_cuts();
+        let mut codes = vec![0u16; x.nrows() * 2];
+        for j in 0..2 {
+            for (i, code) in encode_column(&x.column(j), &cuts[j]).into_iter().enumerate() {
+                codes[i * 2 + j] = code;
+            }
+        }
+        let assembled = BinnedMatrix::from_parts(x.nrows(), cuts, codes);
+        for i in 0..x.nrows() {
+            for j in 0..2 {
+                assert_eq!(direct.bin(i, j), assembled.bin(i, j));
+                assert_eq!(direct.row_codes(i)[j], assembled.row_codes(i)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_bumps_the_column_counter_per_column() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let before = column_fit_count();
+        BinnedMatrix::fit(&x, 8);
+        assert_eq!(column_fit_count() - before, 3);
     }
 }

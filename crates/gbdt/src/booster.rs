@@ -2,7 +2,7 @@
 
 use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, TrainingContext};
-use crate::engine::{grow_tree, Backend, RoundCtx};
+use crate::engine::{grow_tree, Backend, RoundCtx, TreeScratch};
 use crate::error::{PredictError, TrainError};
 use crate::forest::FlatForest;
 use crate::objective::Objective;
@@ -86,14 +86,31 @@ impl Booster {
         params.objective.validate_labels(labels)?;
 
         let map: Vec<usize> = (0..nrows).collect();
+        let mut scratch = TreeScratch::new();
         match params.tree_method {
             TreeMethod::Hist { max_bins } => {
                 let binned = BinnedMatrix::fit(data, max_bins);
-                train_core(params, data, &map, labels, &Backend::Hist(&binned), eval)
+                Ok(train_core(
+                    params,
+                    data,
+                    &map,
+                    labels,
+                    Backend::Hist(&binned),
+                    eval,
+                    &mut scratch,
+                ))
             }
             TreeMethod::Exact => {
                 let index = ExactIndex::fit(data);
-                train_core(params, data, &map, labels, &Backend::Exact(&index), eval)
+                Ok(train_core(
+                    params,
+                    data,
+                    &map,
+                    labels,
+                    Backend::Exact(&index),
+                    eval,
+                    &mut scratch,
+                ))
             }
         }
     }
@@ -113,6 +130,22 @@ impl Booster {
         rows: &[usize],
         labels: &[f64],
     ) -> Result<Booster, TrainError> {
+        Self::train_on_rows_with(params, ctx, rows, labels, &mut TreeScratch::new())
+    }
+
+    /// [`Self::train_on_rows`] against a caller-owned [`TreeScratch`] —
+    /// the worker-pool path, where one scratch is created per worker and
+    /// reused across every fold and fit that worker executes so
+    /// steady-state boosting rounds allocate nothing. Results are
+    /// bit-identical regardless of what the scratch was previously used
+    /// for.
+    pub fn train_on_rows_with(
+        params: &Params,
+        ctx: &TrainingContext,
+        rows: &[usize],
+        labels: &[f64],
+        scratch: &mut TreeScratch,
+    ) -> Result<Booster, TrainError> {
         params.validate()?;
         if rows.is_empty() {
             return Err(TrainError::EmptyDataset);
@@ -127,7 +160,7 @@ impl Booster {
             TreeMethod::Hist { .. } => Backend::Hist(ctx.binned()),
             TreeMethod::Exact => Backend::Exact(ctx.exact()),
         };
-        Ok(train_core(params, ctx.data(), rows, labels, &backend, None)?.booster)
+        Ok(train_core(params, ctx.data(), rows, labels, backend, None, scratch).booster)
     }
 
     /// Raw (untransformed) score for one row.
@@ -207,143 +240,285 @@ impl Booster {
     }
 }
 
-/// The boosting loop, shared by the standalone and shared-context entry
-/// points. Works in *position space*: position `p` of the training view
-/// maps to full-matrix row `map[p]`; `labels`, gradients and raw scores
-/// are position-indexed, and the RNG subsamples positions — exactly the
+/// An in-flight boosting fit that can be stepped one round at a time.
+///
+/// `FitRun` is the boosting loop of [`Booster::train`] with the loop
+/// inside-out: [`FitRun::round`] executes exactly one round, and
+/// [`FitRun::finish`] materialises the `TrainReport`. Splitting the
+/// loop open exists for one consumer — the allocation-regression test,
+/// which needs to meter the heap between individual rounds to prove the
+/// steady state allocates nothing. Normal callers should use the
+/// `train*` entry points, which drive a `FitRun` to completion.
+///
+/// Works in *position space*: position `p` of the training view maps to
+/// full-matrix row `map[p]`; `labels`, gradients and raw scores are
+/// position-indexed, and the RNG subsamples positions — exactly the
 /// index space the old copy-then-train path used on a materialised
 /// subset, which is what keeps the exact path bit-identical to it.
-fn train_core(
-    params: &Params,
-    data: &Matrix,
-    map: &[usize],
-    labels: &[f64],
-    backend: &Backend,
-    eval: Option<(&Matrix, &[f64])>,
-) -> Result<TrainReport, TrainError> {
-    let nrows = map.len();
-    let base_score = params.objective.base_score(labels);
+///
+/// All per-round buffers live in the borrowed [`TreeScratch`]; after
+/// the setup in [`FitRun::new`] (which sizes every pool to its fit-wide
+/// worst case), steady-state rounds perform zero heap allocations.
+pub struct FitRun<'a> {
+    params: &'a Params,
+    data: &'a Matrix,
+    map: &'a [usize],
+    labels: &'a [f64],
+    backend: Backend<'a>,
+    eval: Option<(&'a Matrix, &'a [f64])>,
+    scratch: &'a mut TreeScratch,
+    rng: StdRng,
+    base_score: f64,
+    history: Vec<EvalRecord>,
+    best_eval: f64,
+    best_round: usize,
+    round: usize,
+    stopped: bool,
+}
 
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut raw = vec![base_score; nrows];
-    let mut eval_raw = eval.map(|(ed, _)| vec![base_score; ed.nrows()]);
-    let mut grad = vec![0.0; nrows];
-    let mut hess = vec![0.0; nrows];
-    let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
-    let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
-    let mut best_eval = f64::INFINITY;
-    let mut best_round = 0usize;
+impl<'a> FitRun<'a> {
+    /// Start a fit over a row-index view of a shared context, with the
+    /// same validation as [`Booster::train_on_rows`].
+    pub fn new(
+        params: &'a Params,
+        ctx: &'a TrainingContext<'a>,
+        rows: &'a [usize],
+        labels: &'a [f64],
+        scratch: &'a mut TreeScratch,
+    ) -> Result<FitRun<'a>, TrainError> {
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        if labels.len() != rows.len() {
+            return Err(TrainError::LabelLength { rows: rows.len(), labels: labels.len() });
+        }
+        debug_assert!(rows.iter().all(|&r| r < ctx.nrows()), "row index out of bounds");
+        params.objective.validate_labels(labels)?;
+        let backend = match params.tree_method {
+            TreeMethod::Hist { .. } => Backend::Hist(ctx.binned()),
+            TreeMethod::Exact => Backend::Exact(ctx.exact()),
+        };
+        Ok(Self::from_parts(params, ctx.data(), rows, labels, backend, None, scratch))
+    }
 
-    let all_rows: Vec<usize> = (0..nrows).collect();
-    let all_cols: Vec<usize> = (0..data.ncols()).collect();
+    /// Internal constructor shared by every `train*` entry point;
+    /// callers have already validated their inputs.
+    fn from_parts(
+        params: &'a Params,
+        data: &'a Matrix,
+        map: &'a [usize],
+        labels: &'a [f64],
+        backend: Backend<'a>,
+        eval: Option<(&'a Matrix, &'a [f64])>,
+        scratch: &'a mut TreeScratch,
+    ) -> FitRun<'a> {
+        let nrows = map.len();
+        let base_score = params.objective.base_score(labels);
+        scratch.prepare(params, nrows, &backend);
+        scratch.raw.clear();
+        scratch.raw.resize(nrows, base_score);
+        scratch.eval_raw.clear();
+        if let Some((ed, _)) = eval {
+            scratch.eval_raw.resize(ed.nrows(), base_score);
+        }
+        scratch.grad.clear();
+        scratch.grad.resize(nrows, 0.0);
+        scratch.hess.clear();
+        scratch.hess.resize(nrows, 0.0);
+        // Leaf cache: `grow_tree` records the leaf weight each routed
+        // position landed in, so the ensemble update adds cached weights
+        // instead of re-walking the tree (bit-identical — training
+        // partitions rows with exactly `predict_row`'s routing).
+        scratch.leaf_of.clear();
+        scratch.leaf_of.resize(nrows, 0.0);
+        scratch.routed.clear();
+        scratch.routed.resize(nrows, false);
+        scratch.all_rows.clear();
+        scratch.all_rows.extend(0..nrows);
+        scratch.all_cols.clear();
+        scratch.all_cols.extend(0..data.ncols());
+        scratch.sample_cols.clear();
+        if scratch.sample_cols.capacity() < data.ncols() {
+            scratch.sample_cols.reserve(data.ncols());
+        }
+        FitRun {
+            params,
+            data,
+            map,
+            labels,
+            backend,
+            eval,
+            scratch,
+            rng: StdRng::seed_from_u64(params.seed),
+            base_score,
+            history: Vec::with_capacity(params.n_estimators),
+            best_eval: f64::INFINITY,
+            best_round: 0,
+            round: 0,
+            stopped: false,
+        }
+    }
 
-    // Leaf cache: `grow_tree` records the leaf weight each routed
-    // position landed in, so the ensemble update below adds cached
-    // weights instead of re-walking the tree (bit-identical — training
-    // partitions rows with exactly `predict_row`'s routing).
-    let mut leaf_of = vec![0.0; nrows];
-    let mut routed = vec![false; nrows];
-
-    for round in 0..params.n_estimators {
-        params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
+    /// Execute one boosting round. Returns `false` (without doing any
+    /// work) once the fit is complete — all rounds run or early stopping
+    /// fired — so `while run.round() {}` drives a fit to completion.
+    pub fn round(&mut self) -> bool {
+        if self.stopped || self.round >= self.params.n_estimators {
+            return false;
+        }
+        let params = self.params;
+        let nrows = self.map.len();
+        let scratch = &mut *self.scratch;
+        params.objective.grad_hess(self.labels, &scratch.raw, &mut scratch.grad, &mut scratch.hess);
 
         // Row subsampling (without replacement), in position space.
-        let rows: Vec<usize> = if params.subsample < 1.0 {
+        let mut rows = scratch.pools.take_rows();
+        rows.extend_from_slice(&scratch.all_rows);
+        if params.subsample < 1.0 {
             let n_keep = ((nrows as f64 * params.subsample).round() as usize).max(1);
-            let mut shuffled = all_rows.clone();
-            shuffled.shuffle(&mut rng);
-            shuffled.truncate(n_keep);
-            shuffled
-        } else {
-            all_rows.clone()
-        };
+            rows.shuffle(&mut self.rng);
+            rows.truncate(n_keep);
+        }
 
         // Column subsampling per tree.
-        let cols: Vec<usize> = if params.colsample_bytree < 1.0 {
-            let n_keep = ((data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
-            let mut shuffled = all_cols.clone();
-            shuffled.shuffle(&mut rng);
-            shuffled.truncate(n_keep);
-            shuffled
+        let cols: &[usize] = if params.colsample_bytree < 1.0 {
+            let n_keep =
+                ((self.data.ncols() as f64 * params.colsample_bytree).round() as usize).max(1);
+            scratch.sample_cols.clear();
+            scratch.sample_cols.extend_from_slice(&scratch.all_cols);
+            scratch.sample_cols.shuffle(&mut self.rng);
+            scratch.sample_cols.truncate(n_keep);
+            &scratch.sample_cols
         } else {
-            all_cols.clone()
+            &scratch.all_cols
         };
 
         let subsampled = rows.len() < nrows;
         if subsampled {
-            routed.fill(false);
+            scratch.routed.fill(false);
             for &p in &rows {
-                routed[p] = true;
+                scratch.routed[p] = true;
             }
         }
 
-        let rctx = RoundCtx { map, grad: &grad, hess: &hess, features: &cols, params };
-        let tree = grow_tree(backend, &rctx, rows, &mut leaf_of);
+        let rctx = RoundCtx {
+            map: self.map,
+            grad: &scratch.grad,
+            hess: &scratch.hess,
+            features: cols,
+            params,
+        };
+        let tree_start = scratch.nodes.len();
+        let depth = grow_tree(
+            &self.backend,
+            &rctx,
+            rows,
+            &mut scratch.leaf_of,
+            &mut scratch.pools,
+            &mut scratch.nodes,
+        );
+        scratch.tree_starts.push(tree_start);
+        scratch.tree_depths.push(depth);
 
         // Single-tree flat compile for the rows training didn't route
         // (subsample remainder) and the eval set.
-        let single = FlatForest::from_trees(
-            std::slice::from_ref(&tree),
+        scratch.single.recompile_single(
+            &scratch.nodes[tree_start..],
+            depth,
             0.0,
             params.objective,
-            data.ncols(),
+            self.data.ncols(),
         );
 
         // Update raw predictions on every training row (standard GBM:
         // subsampling affects fitting, not the ensemble update) — from
         // the leaf cache where available, the flat engine otherwise.
         if subsampled {
-            for (p, r) in raw.iter_mut().enumerate() {
-                *r += if routed[p] { leaf_of[p] } else { single.sum_row(data.row(map[p])) };
+            for (p, r) in scratch.raw.iter_mut().enumerate() {
+                *r += if scratch.routed[p] {
+                    scratch.leaf_of[p]
+                } else {
+                    scratch.single.sum_row(self.data.row(self.map[p]))
+                };
             }
         } else {
-            for (p, r) in raw.iter_mut().enumerate() {
-                *r += leaf_of[p];
+            for (p, r) in scratch.raw.iter_mut().enumerate() {
+                *r += scratch.leaf_of[p];
             }
         }
-        let train_loss = params.objective.loss(labels, &raw);
+        let train_loss = params.objective.loss(self.labels, &scratch.raw);
 
-        let eval_loss = if let (Some((ed, el)), Some(eraw)) = (eval, eval_raw.as_mut()) {
-            for (i, r) in eraw.iter_mut().enumerate() {
-                *r += single.sum_row(ed.row(i));
+        let eval_loss = if let Some((ed, el)) = self.eval {
+            for (i, r) in scratch.eval_raw.iter_mut().enumerate() {
+                *r += scratch.single.sum_row(ed.row(i));
             }
-            Some(params.objective.loss(el, eraw))
+            Some(params.objective.loss(el, &scratch.eval_raw))
         } else {
             None
         };
 
-        trees.push(tree);
-        history.push(EvalRecord { round, train_loss, eval_loss });
+        self.history.push(EvalRecord { round: self.round, train_loss, eval_loss });
 
         if let Some(el) = eval_loss {
-            if el < best_eval - 1e-12 {
-                best_eval = el;
-                best_round = round + 1;
+            if el < self.best_eval - 1e-12 {
+                self.best_eval = el;
+                self.best_round = self.round + 1;
             } else if params.early_stopping_rounds > 0
-                && round + 1 >= best_round + params.early_stopping_rounds
+                && self.round + 1 >= self.best_round + params.early_stopping_rounds
             {
-                break;
+                self.stopped = true;
             }
         } else {
-            best_round = round + 1;
+            self.best_round = self.round + 1;
         }
+        self.round += 1;
+        true
     }
 
-    // With early stopping, keep only the trees up to the best round.
-    if eval.is_some() && params.early_stopping_rounds > 0 {
-        trees.truncate(best_round.max(1));
+    /// Materialise the trained model and loss history. Trees are copied
+    /// out of the scratch arena here, once per fit.
+    pub fn finish(self) -> TrainReport {
+        let mut n_trees = self.scratch.tree_starts.len();
+        // With early stopping, keep only the trees up to the best round.
+        if self.eval.is_some() && self.params.early_stopping_rounds > 0 {
+            n_trees = n_trees.min(self.best_round.max(1));
+        }
+        let mut trees: Vec<Tree> = Vec::with_capacity(n_trees);
+        for t in 0..n_trees {
+            let start = self.scratch.tree_starts[t];
+            let end =
+                self.scratch.tree_starts.get(t + 1).copied().unwrap_or(self.scratch.nodes.len());
+            trees.push(Tree::from_nodes(self.scratch.nodes[start..end].to_vec()));
+        }
+        let kept = trees.len();
+        TrainReport {
+            booster: Booster {
+                trees,
+                base_score: self.base_score,
+                objective: self.params.objective,
+                n_features: self.data.ncols(),
+            },
+            history: self.history,
+            best_round: kept,
+        }
     }
-    let kept = trees.len();
-    Ok(TrainReport {
-        booster: Booster {
-            trees,
-            base_score,
-            objective: params.objective,
-            n_features: data.ncols(),
-        },
-        history,
-        best_round: kept,
-    })
+}
+
+/// The boosting loop, shared by the standalone and shared-context entry
+/// points: drive a [`FitRun`] to completion against the given scratch.
+fn train_core(
+    params: &Params,
+    data: &Matrix,
+    map: &[usize],
+    labels: &[f64],
+    backend: Backend,
+    eval: Option<(&Matrix, &[f64])>,
+    scratch: &mut TreeScratch,
+) -> TrainReport {
+    let mut run = FitRun::from_parts(params, data, map, labels, backend, eval, scratch);
+    while run.round() {}
+    run.finish()
 }
 
 #[cfg(test)]

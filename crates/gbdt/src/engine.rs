@@ -36,22 +36,45 @@
 //! cuts, with the classic subtraction trick: only the smaller child is
 //! accumulated from its rows; the larger child's histogram is
 //! `parent − sibling`, halving (at least) the accumulation work per
-//! level.
+//! level. Accumulation walks the [`BinnedMatrix`]'s row-major in-band
+//! codes (`hist[code] += (g, h)`, missing mass landing in the last slot
+//! by construction), so the inner loop is branch-free and touches each
+//! row's codes contiguously.
+//!
+//! ## Scratch reuse
+//!
+//! Nothing in the per-node hot path allocates in steady state. All
+//! transient buffers — row partitions, per-feature sorted lists,
+//! node histograms, the side bitmap, counting-sort buckets, and the
+//! growing tree's node arena — live in a [`TreeScratch`] that is
+//! created once per training worker and recycled across every node,
+//! tree, fold and fit that worker executes. Free-list pools hand
+//! buffers back on every `grow_*` return path, and
+//! [`TreeScratch::prepare`] pre-sizes every pool to its worst case for
+//! the fit (bounded by the recursion depth), so steady-state rounds
+//! perform **zero** heap allocations — pinned by the counting-allocator
+//! test in `tests/alloc_regression.rs`.
+//!
+//! Per-node tree output is appended to a flat node arena with
+//! tree-relative child indices; `Tree` values are only materialised
+//! once per fit, when the finished forest is assembled.
 //!
 //! ## Threading
 //!
-//! Nodes with at least `params.parallel_split_threshold` rows scan
-//! features in parallel chunks with deterministic merging (same
-//! tie-break as the serial scan, so results are thread-count
-//! invariant). Below the threshold the scan is serial — the grid's node
-//! sizes sit far below the default threshold, where thread spawn costs
-//! would dominate.
+//! Nodes with at least `params.parallel_split_threshold` rows build
+//! histograms and scan features in parallel chunks with deterministic
+//! merging (same tie-break as the serial scan, so results are
+//! thread-count invariant; histogram accumulation keeps per-slot row
+//! order within each feature chunk, so sums are bit-identical too).
+//! Below the threshold everything is serial — the grid's node sizes sit
+//! far below the default threshold, where thread spawn costs would
+//! dominate.
 
 use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, MISSING_RANK};
 use crate::params::Params;
 use crate::split::{merge_chunks, BestTracker, SplitCandidate, SplitConfig};
-use crate::tree::{Node, Tree};
+use crate::tree::Node;
 
 /// Which precomputed index drives split finding.
 pub(crate) enum Backend<'a> {
@@ -92,123 +115,417 @@ impl RoundCtx<'_> {
     /// Emit a leaf and record its weight as the leaf assignment of every
     /// position that reached it — the cache `train_core` adds to `raw`
     /// instead of re-walking the finished tree.
-    fn leaf(&self, tree: &mut Tree, rows: &[usize], leaf_of: &mut [f64], g: f64, h: f64) -> usize {
+    fn leaf(
+        &self,
+        tree: &mut TreeBuf,
+        depth: usize,
+        rows: &[usize],
+        leaf_of: &mut [f64],
+        g: f64,
+        h: f64,
+    ) -> usize {
         let weight = -g / (h + self.params.lambda) * self.params.learning_rate;
         for &p in rows {
             leaf_of[p] = weight;
         }
+        tree.note_depth(depth);
         tree.push(Node::Leaf { weight, cover: h })
     }
 }
 
-/// Grow one tree over the given positions (in round order), writing each
-/// position's leaf weight into `leaf_of` (position-indexed, only the
-/// entries named by `rows` are touched).
+// ---------------------------------------------------------------------
+// Scratch arena
+// ---------------------------------------------------------------------
+
+/// Reserve capacity without shrinking: afterwards `v.capacity() >= cap`.
+fn reserve_cap<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve(cap - v.len());
+    }
+}
+
+/// One node's per-feature exact-finder lists, flattened: feature `fi`'s
+/// rank-sorted `(position, rank)` pairs live at
+/// `pairs[pair_bounds[fi]..pair_bounds[fi + 1]]` and its missing
+/// positions at `miss[miss_bounds[fi]..miss_bounds[fi + 1]]`. One
+/// buffer per node instead of `2 × n_features` — the dominant
+/// allocation of the old exact path.
+#[derive(Debug, Default)]
+pub(crate) struct FeatureListSet {
+    pairs: Vec<(u32, u32)>,
+    pair_bounds: Vec<usize>,
+    miss: Vec<u32>,
+    miss_bounds: Vec<usize>,
+}
+
+impl FeatureListSet {
+    fn reset(&mut self) {
+        self.pairs.clear();
+        self.miss.clear();
+        self.pair_bounds.clear();
+        self.miss_bounds.clear();
+        self.pair_bounds.push(0);
+        self.miss_bounds.push(0);
+    }
+
+    /// Seal the current feature's region; call once per feature, in
+    /// round feature order.
+    fn close_feature(&mut self) {
+        self.pair_bounds.push(self.pairs.len());
+        self.miss_bounds.push(self.miss.len());
+    }
+
+    fn pairs(&self, fi: usize) -> &[(u32, u32)] {
+        &self.pairs[self.pair_bounds[fi]..self.pair_bounds[fi + 1]]
+    }
+
+    fn miss(&self, fi: usize) -> &[u32] {
+        &self.miss[self.miss_bounds[fi]..self.miss_bounds[fi + 1]]
+    }
+}
+
+/// One node's histograms, flattened over the round's feature subsample:
+/// feature `fi` owns slots `data[bounds[fi]..bounds[fi + 1]]` — its
+/// bins `0..=cuts` plus the trailing missing slot (the in-band missing
+/// code indexes it directly).
+#[derive(Debug, Default)]
+pub(crate) struct NodeHists {
+    data: Vec<(f64, f64)>,
+    bounds: Vec<usize>,
+}
+
+impl NodeHists {
+    fn reset(&mut self) {
+        self.data.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+    }
+
+    fn feature(&self, fi: usize) -> &[(f64, f64)] {
+        &self.data[self.bounds[fi]..self.bounds[fi + 1]]
+    }
+}
+
+/// Free-list pools for every transient buffer the growers touch.
+/// `take_*` pops a cleared buffer (allocating only if the pool
+/// underflows, which [`TreeScratch::prepare`]'s worst-case sizing
+/// prevents); every `grow_*` return path puts its buffers back.
+#[derive(Debug, Default)]
+pub(crate) struct EnginePools {
+    rows: Vec<Vec<usize>>,
+    lists: Vec<FeatureListSet>,
+    hists: Vec<NodeHists>,
+    /// Position-indexed split-side bitmap; written before read for every
+    /// row of the node being partitioned, so it never needs clearing.
+    side: Vec<bool>,
+    /// Per-root-row rank cache for the counting sort.
+    row_ranks: Vec<u32>,
+    /// Counting-sort buckets, reused across features.
+    counts: Vec<u32>,
+}
+
+impl EnginePools {
+    pub(crate) fn take_rows(&mut self) -> Vec<usize> {
+        let mut v = self.rows.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn put_rows(&mut self, v: Vec<usize>) {
+        self.rows.push(v);
+    }
+
+    fn take_lists(&mut self) -> FeatureListSet {
+        let mut s = self.lists.pop().unwrap_or_default();
+        s.reset();
+        s
+    }
+
+    fn put_lists(&mut self, s: FeatureListSet) {
+        self.lists.push(s);
+    }
+
+    fn take_hists(&mut self) -> NodeHists {
+        let mut h = self.hists.pop().unwrap_or_default();
+        h.reset();
+        h
+    }
+
+    fn put_hists(&mut self, h: NodeHists) {
+        self.hists.push(h);
+    }
+}
+
+/// Per-worker training scratch: every reusable buffer one worker needs
+/// to run any number of fits, allocated once and recycled across trees,
+/// folds and fits. Create one per training worker (or one for serial
+/// use) and thread it through `Booster::train_on_rows_with` /
+/// `FitRun`; a fresh `TreeScratch` behaves identically to a reused one
+/// — buffer contents never leak between fits (everything is re-sized
+/// and rewritten before being read), which is what keeps pooled results
+/// bit-identical at any worker count.
+#[derive(Debug)]
+pub struct TreeScratch {
+    pub(crate) pools: EnginePools,
+    /// Flat node arena for the fit's trees; tree `t` occupies
+    /// `nodes[tree_starts[t]..tree_starts[t + 1]]` (tree-relative child
+    /// indices), and `tree_depths[t]` is its grown depth.
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) tree_starts: Vec<usize>,
+    pub(crate) tree_depths: Vec<u16>,
+    /// Position-indexed raw scores / gradients / hessians.
+    pub(crate) raw: Vec<f64>,
+    pub(crate) eval_raw: Vec<f64>,
+    pub(crate) grad: Vec<f64>,
+    pub(crate) hess: Vec<f64>,
+    /// Per-position leaf weight of the current tree.
+    pub(crate) leaf_of: Vec<f64>,
+    /// Per-position "reached a leaf this round" flag (subsampled rounds).
+    pub(crate) routed: Vec<bool>,
+    pub(crate) all_rows: Vec<usize>,
+    pub(crate) all_cols: Vec<usize>,
+    pub(crate) sample_cols: Vec<usize>,
+    /// Single-tree flat compilation reused every round for score updates.
+    pub(crate) single: crate::forest::FlatForest,
+}
+
+impl TreeScratch {
+    /// An empty scratch; buffers grow to their worst case on first use
+    /// ([`TreeScratch::prepare`] runs at the start of every fit).
+    pub fn new() -> TreeScratch {
+        TreeScratch {
+            pools: EnginePools::default(),
+            nodes: Vec::new(),
+            tree_starts: Vec::new(),
+            tree_depths: Vec::new(),
+            raw: Vec::new(),
+            eval_raw: Vec::new(),
+            grad: Vec::new(),
+            hess: Vec::new(),
+            leaf_of: Vec::new(),
+            routed: Vec::new(),
+            all_rows: Vec::new(),
+            all_cols: Vec::new(),
+            sample_cols: Vec::new(),
+            single: crate::forest::FlatForest::empty(),
+        }
+    }
+
+    /// Pre-size every pool and the node arena to the fit's worst case,
+    /// so no steady-state round allocates. Bounds:
+    ///
+    /// * at any moment the recursion holds at most `depth + 3` row
+    ///   buffers / list sets / histogram sets (one per ancestor's
+    ///   pending sibling, plus the current node's own and its two
+    ///   children's);
+    /// * a single node's lists hold at most `n × n_features` pairs
+    ///   (the root), and a histogram set at most the binning's total
+    ///   slot count;
+    /// * a tree has at most `min(2^(depth+1) − 1, 2n − 1)` nodes.
+    pub(crate) fn prepare(&mut self, params: &Params, n: usize, backend: &Backend) {
+        let d = params.max_depth.max(1);
+        let pools = &mut self.pools;
+        if pools.side.len() < n {
+            pools.side.resize(n, false);
+        }
+        reserve_cap(&mut pools.row_ranks, n);
+        let rows_needed = 2 * d + 4;
+        while pools.rows.len() < rows_needed {
+            pools.rows.push(Vec::new());
+        }
+        for v in &mut pools.rows {
+            reserve_cap(v, n);
+        }
+        match backend {
+            Backend::Exact(index) => {
+                reserve_cap(&mut pools.counts, index.max_distinct());
+                let ncols = index.ncols();
+                let sets_needed = 2 * d + 3;
+                while pools.lists.len() < sets_needed {
+                    pools.lists.push(FeatureListSet::default());
+                }
+                for s in &mut pools.lists {
+                    reserve_cap(&mut s.pairs, n * ncols);
+                    reserve_cap(&mut s.miss, n * ncols);
+                    reserve_cap(&mut s.pair_bounds, ncols + 1);
+                    reserve_cap(&mut s.miss_bounds, ncols + 1);
+                }
+            }
+            Backend::Hist(binned) => {
+                let slots = binned.total_slots();
+                let ncols = binned.ncols();
+                let hists_needed = d + 3;
+                while pools.hists.len() < hists_needed {
+                    pools.hists.push(NodeHists::default());
+                }
+                for hs in &mut pools.hists {
+                    reserve_cap(&mut hs.data, slots);
+                    reserve_cap(&mut hs.bounds, ncols + 1);
+                }
+            }
+        }
+        // Node arena: worst case over the whole fit.
+        let by_depth =
+            if d + 1 >= usize::BITS as usize { usize::MAX } else { (1usize << (d + 1)) - 1 };
+        let per_tree = by_depth.min(2 * n.saturating_sub(1) + 1);
+        self.nodes.clear();
+        self.tree_starts.clear();
+        self.tree_depths.clear();
+        reserve_cap(&mut self.nodes, per_tree.saturating_mul(params.n_estimators));
+        reserve_cap(&mut self.tree_starts, params.n_estimators + 1);
+        reserve_cap(&mut self.tree_depths, params.n_estimators);
+        self.single.reserve_nodes(per_tree);
+    }
+}
+
+impl Default for TreeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A tree being grown into the scratch's node arena. Child indices are
+/// tree-relative (`push` returns them; `link` patches them in), and the
+/// maximum leaf depth is tracked as leaves are emitted so the flat
+/// compiler never re-walks the finished tree.
+struct TreeBuf<'n> {
+    nodes: &'n mut Vec<Node>,
+    start: usize,
+    max_depth: u16,
+}
+
+impl TreeBuf<'_> {
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1 - self.start
+    }
+
+    fn link(&mut self, node_idx: usize, left_idx: usize, right_idx: usize) {
+        if let Node::Split { left, right, .. } = &mut self.nodes[self.start + node_idx] {
+            *left = left_idx;
+            *right = right_idx;
+        }
+    }
+
+    fn note_depth(&mut self, depth: usize) {
+        self.max_depth = self.max_depth.max(depth as u16);
+    }
+}
+
+/// Grow one tree over the given positions (in round order), appending
+/// its nodes to the scratch arena (`nodes`, tree-relative indices) and
+/// writing each position's leaf weight into `leaf_of` (position-indexed,
+/// only the entries named by `rows` are touched). `rows` must come from
+/// `pools.take_rows()`; it is recycled. Returns the tree's grown depth.
 pub(crate) fn grow_tree(
     backend: &Backend,
     rctx: &RoundCtx,
     rows: Vec<usize>,
     leaf_of: &mut [f64],
-) -> Tree {
-    let mut tree = Tree::new();
+    pools: &mut EnginePools,
+    nodes: &mut Vec<Node>,
+) -> u16 {
+    let start = nodes.len();
+    let mut tree = TreeBuf { nodes, start, max_depth: 0 };
     let g: f64 = rows.iter().map(|&p| rctx.grad[p]).sum();
     let h: f64 = rows.iter().map(|&p| rctx.hess[p]).sum();
     match backend {
         Backend::Exact(index) => {
-            let lists = root_lists(index, rctx, &rows);
-            let mut side = vec![false; rctx.map.len()];
-            grow_exact(index, rctx, &mut tree, rows, lists, 0, g, h, &mut side, leaf_of);
+            let lists = root_lists(index, rctx, &rows, pools);
+            grow_exact(index, rctx, &mut tree, rows, lists, 0, g, h, pools, leaf_of);
         }
         Backend::Hist(binned) => {
-            let hists = build_hists(binned, rctx, &rows);
-            grow_hist(binned, rctx, &mut tree, rows, hists, 0, g, h, leaf_of);
+            let mut hists = pools.take_hists();
+            build_hists(binned, rctx, &rows, &mut hists);
+            grow_hist(binned, rctx, &mut tree, rows, hists, 0, g, h, pools, leaf_of);
         }
     }
-    tree
+    tree.max_depth
 }
 
 // ---------------------------------------------------------------------
 // Exact path
 // ---------------------------------------------------------------------
 
-/// One node's view of one feature: rows sorted by value (rank), plus the
-/// missing rows, both with ties/order in node insertion order.
-struct FeatureList {
-    /// `(position, rank)` ascending by rank; ties in node order.
-    sorted: Vec<(u32, u32)>,
-    /// Positions with a missing value, in node order.
-    missing: Vec<u32>,
-}
-
 /// Counting-sort the root's rows by rank, per feature. `O(n + k)` per
 /// feature; bucket placement in row order reproduces a stable sort.
-fn root_lists(index: &ExactIndex, rctx: &RoundCtx, rows: &[usize]) -> Vec<FeatureList> {
-    let mut row_ranks = vec![0u32; rows.len()];
-    rctx.features
-        .iter()
-        .map(|&f| {
-            let k = index.distinct(f).len();
-            let mut counts = vec![0u32; k];
-            let mut n_present = 0usize;
-            for (i, &p) in rows.iter().enumerate() {
-                let r = index.rank(rctx.map[p], f);
-                row_ranks[i] = r;
-                if r != MISSING_RANK {
-                    counts[r as usize] += 1;
-                    n_present += 1;
-                }
+fn root_lists(
+    index: &ExactIndex,
+    rctx: &RoundCtx,
+    rows: &[usize],
+    pools: &mut EnginePools,
+) -> FeatureListSet {
+    let mut set = pools.take_lists();
+    pools.row_ranks.clear();
+    pools.row_ranks.resize(rows.len(), 0);
+    for &f in rctx.features {
+        let k = index.distinct(f).len();
+        pools.counts.clear();
+        pools.counts.resize(k, 0);
+        let mut n_present = 0usize;
+        for (i, &p) in rows.iter().enumerate() {
+            let r = index.rank(rctx.map[p], f);
+            pools.row_ranks[i] = r;
+            if r != MISSING_RANK {
+                pools.counts[r as usize] += 1;
+                n_present += 1;
             }
-            // Exclusive prefix sum: counts become bucket write offsets.
-            let mut acc = 0u32;
-            for c in counts.iter_mut() {
-                let n = *c;
-                *c = acc;
-                acc += n;
+        }
+        // Exclusive prefix sum: counts become bucket write offsets.
+        let mut acc = 0u32;
+        for c in pools.counts.iter_mut() {
+            let n = *c;
+            *c = acc;
+            acc += n;
+        }
+        let base = set.pairs.len();
+        set.pairs.resize(base + n_present, (0, 0));
+        for (i, &p) in rows.iter().enumerate() {
+            let r = pools.row_ranks[i];
+            if r == MISSING_RANK {
+                set.miss.push(p as u32);
+            } else {
+                let slot = &mut pools.counts[r as usize];
+                set.pairs[base + *slot as usize] = (p as u32, r);
+                *slot += 1;
             }
-            let mut sorted = vec![(0u32, 0u32); n_present];
-            let mut missing = Vec::new();
-            for (i, &p) in rows.iter().enumerate() {
-                let r = row_ranks[i];
-                if r == MISSING_RANK {
-                    missing.push(p as u32);
-                } else {
-                    let slot = &mut counts[r as usize];
-                    sorted[*slot as usize] = (p as u32, r);
-                    *slot += 1;
-                }
-            }
-            FeatureList { sorted, missing }
-        })
-        .collect()
+        }
+        set.close_feature();
+    }
+    set
 }
 
 /// Scan one feature's sorted list for the best boundary, mirroring the
 /// old `scan_feature_exact` float-for-float.
+#[allow(clippy::too_many_arguments)]
 fn scan_list(
     feature: usize,
-    list: &FeatureList,
+    sorted: &[(u32, u32)],
+    missing: &[u32],
     distinct: &[f64],
     rctx: &RoundCtx,
     total_g: f64,
     total_h: f64,
     tracker: &mut BestTracker,
 ) {
+    // No boundary can be offered with fewer than two present rows, so
+    // the missing mass would go unused — skip the whole feature.
+    if sorted.len() < 2 {
+        return;
+    }
     let mut g_miss = 0.0;
     let mut h_miss = 0.0;
-    for &p in &list.missing {
+    for &p in missing {
         g_miss += rctx.grad[p as usize];
         h_miss += rctx.hess[p as usize];
     }
-    if list.sorted.len() < 2 {
-        return;
-    }
     let mut gl = 0.0;
     let mut hl = 0.0;
-    for i in 0..list.sorted.len() - 1 {
-        let (p, r) = list.sorted[i];
+    for i in 0..sorted.len() - 1 {
+        let (p, r) = sorted[i];
         gl += rctx.grad[p as usize];
         hl += rctx.hess[p as usize];
-        let r_next = list.sorted[i + 1].1;
+        let r_next = sorted[i + 1].1;
         if r_next == r {
             continue;
         }
@@ -222,32 +539,51 @@ fn scan_list(
 fn find_split_exact(
     index: &ExactIndex,
     rctx: &RoundCtx,
-    lists: &[FeatureList],
+    lists: &FeatureListSet,
     node_rows: usize,
     g: f64,
     h: f64,
 ) -> Option<SplitCandidate> {
     let cfg = rctx.split_config();
     let threads = rctx.scan_threads(node_rows);
-    if threads <= 1 || rctx.features.len() < 2 {
+    let nf = rctx.features.len();
+    if threads <= 1 || nf < 2 {
         let mut tracker = BestTracker::new(cfg, g, h);
         for (fi, &f) in rctx.features.iter().enumerate() {
-            scan_list(f, &lists[fi], index.distinct(f), rctx, g, h, &mut tracker);
+            scan_list(
+                f,
+                lists.pairs(fi),
+                lists.miss(fi),
+                index.distinct(f),
+                rctx,
+                g,
+                h,
+                &mut tracker,
+            );
         }
         return tracker.best;
     }
-    let threads = threads.min(rctx.features.len());
-    let chunk = rctx.features.len().div_ceil(threads);
+    let threads = threads.min(nf);
+    let chunk = nf.div_ceil(threads);
     let results: Vec<Option<SplitCandidate>> = std::thread::scope(|s| {
-        let handles: Vec<_> = rctx
-            .features
-            .chunks(chunk)
-            .zip(lists.chunks(chunk))
-            .map(|(fs, ls)| {
+        let handles: Vec<_> = (0..nf)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(nf);
                 s.spawn(move || {
                     let mut tracker = BestTracker::new(cfg, g, h);
-                    for (&f, list) in fs.iter().zip(ls) {
-                        scan_list(f, list, index.distinct(f), rctx, g, h, &mut tracker);
+                    for fi in start..end {
+                        let f = rctx.features[fi];
+                        scan_list(
+                            f,
+                            lists.pairs(fi),
+                            lists.miss(fi),
+                            index.distinct(f),
+                            rctx,
+                            g,
+                            h,
+                            &mut tracker,
+                        );
                     }
                     tracker.best
                 })
@@ -262,31 +598,37 @@ fn find_split_exact(
 fn grow_exact(
     index: &ExactIndex,
     rctx: &RoundCtx,
-    tree: &mut Tree,
+    tree: &mut TreeBuf,
     rows: Vec<usize>,
-    lists: Vec<FeatureList>,
+    lists: FeatureListSet,
     depth: usize,
     g: f64,
     h: f64,
-    side: &mut [bool],
+    pools: &mut EnginePools,
     leaf_of: &mut [f64],
 ) -> usize {
     if depth >= rctx.params.max_depth || rows.len() < 2 {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_lists(lists);
+        return idx;
     }
     let Some(split) = find_split_exact(index, rctx, &lists, rows.len(), g, h) else {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_lists(lists);
+        return idx;
     };
 
     // `rank < boundary` is exactly `value < threshold`: every distinct
     // value below the threshold has a rank below the partition point.
     let boundary = index.distinct(split.feature).partition_point(|&v| v < split.threshold) as u32;
-    let mut left_rows = Vec::with_capacity(rows.len() / 2);
-    let mut right_rows = Vec::with_capacity(rows.len() / 2);
+    let mut left_rows = pools.take_rows();
+    let mut right_rows = pools.take_rows();
     for &p in &rows {
         let r = index.rank(rctx.map[p], split.feature);
         let goes_left = if r == MISSING_RANK { split.default_left } else { r < boundary };
-        side[p] = goes_left;
+        pools.side[p] = goes_left;
         if goes_left {
             left_rows.push(p);
         } else {
@@ -296,35 +638,58 @@ fn grow_exact(
     // A candidate with an empty side can only arise from numerical
     // pathology; fall back to a leaf rather than recurse forever.
     if left_rows.is_empty() || right_rows.is_empty() {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_rows(left_rows);
+        pools.put_rows(right_rows);
+        pools.put_lists(lists);
+        return idx;
     }
+    pools.put_rows(rows);
 
     // Children inherit their sorted order by a stable filter of the
     // parent's lists — no re-sort, and tie order stays node order.
-    let mut left_lists = Vec::with_capacity(lists.len());
-    let mut right_lists = Vec::with_capacity(lists.len());
-    for list in lists {
-        let mut ls = Vec::with_capacity(left_rows.len());
-        let mut rs = Vec::with_capacity(right_rows.len());
-        for pr in list.sorted {
-            if side[pr.0 as usize] {
-                ls.push(pr);
-            } else {
-                rs.push(pr);
+    //
+    // Children that will leaf immediately (depth cap, or too few rows
+    // to split) never read their lists, so the filter is skipped for
+    // them — at the deepest split level that is the *entire* pass. The
+    // kept filter is branchless: each pair is written to both children
+    // and only the chosen side's cursor advances, trading a second
+    // predictable store for an unpredictable branch.
+    let want_child_lists =
+        depth + 1 < rctx.params.max_depth && (left_rows.len() >= 2 || right_rows.len() >= 2);
+    let mut left_lists = pools.take_lists();
+    let mut right_lists = pools.take_lists();
+    if want_child_lists {
+        for fi in 0..rctx.features.len() {
+            let parent = lists.pairs(fi);
+            let lp0 = left_lists.pairs.len();
+            let rp0 = right_lists.pairs.len();
+            left_lists.pairs.resize(lp0 + parent.len(), (0, 0));
+            right_lists.pairs.resize(rp0 + parent.len(), (0, 0));
+            let mut li = 0usize;
+            let mut ri = 0usize;
+            for &pr in parent {
+                left_lists.pairs[lp0 + li] = pr;
+                right_lists.pairs[rp0 + ri] = pr;
+                let goes_left = pools.side[pr.0 as usize] as usize;
+                li += goes_left;
+                ri += 1 - goes_left;
             }
-        }
-        let mut lm = Vec::new();
-        let mut rm = Vec::new();
-        for p in list.missing {
-            if side[p as usize] {
-                lm.push(p);
-            } else {
-                rm.push(p);
+            left_lists.pairs.truncate(lp0 + li);
+            right_lists.pairs.truncate(rp0 + ri);
+            for &p in lists.miss(fi) {
+                if pools.side[p as usize] {
+                    left_lists.miss.push(p);
+                } else {
+                    right_lists.miss.push(p);
+                }
             }
+            left_lists.close_feature();
+            right_lists.close_feature();
         }
-        left_lists.push(FeatureList { sorted: ls, missing: lm });
-        right_lists.push(FeatureList { sorted: rs, missing: rm });
     }
+    pools.put_lists(lists);
 
     let node_idx = push_split(tree, &split, h);
     let left_idx = grow_exact(
@@ -336,7 +701,7 @@ fn grow_exact(
         depth + 1,
         split.left_grad,
         split.left_hess,
-        side,
+        pools,
         leaf_of,
     );
     let right_idx = grow_exact(
@@ -348,14 +713,14 @@ fn grow_exact(
         depth + 1,
         split.right_grad,
         split.right_hess,
-        side,
+        pools,
         leaf_of,
     );
-    link_children(tree, node_idx, left_idx, right_idx);
+    tree.link(node_idx, left_idx, right_idx);
     node_idx
 }
 
-fn push_split(tree: &mut Tree, split: &SplitCandidate, cover: f64) -> usize {
+fn push_split(tree: &mut TreeBuf, split: &SplitCandidate, cover: f64) -> usize {
     tree.push(Node::Split {
         feature: split.feature,
         threshold: split.threshold,
@@ -367,56 +732,80 @@ fn push_split(tree: &mut Tree, split: &SplitCandidate, cover: f64) -> usize {
     })
 }
 
-fn link_children(tree: &mut Tree, node_idx: usize, left_idx: usize, right_idx: usize) {
-    if let Node::Split { left, right, .. } = &mut tree.nodes_mut()[node_idx] {
-        *left = left_idx;
-        *right = right_idx;
-    }
-}
-
 // ---------------------------------------------------------------------
 // Histogram path
 // ---------------------------------------------------------------------
 
-/// Per-node histograms, aligned with the round's feature subsample.
-/// For a feature with `c` cuts the layout is `c + 2` slots: bins
-/// `0..=c` hold `(grad, hess)` sums, and the final slot holds the
-/// missing mass. Features without cuts get an empty vector.
-type NodeHists = Vec<Vec<(f64, f64)>>;
+/// Accumulate `(grad, hess)` sums for the features `fi_range` of the
+/// round's subsample into `data`, a slice covering exactly those
+/// features' slots (`bounds` stays set-global). Row-major: each row's
+/// contiguous code slice is read once, and the in-band missing code
+/// lands the missing mass in the trailing slot with no branch. Per
+/// `(feature, slot)` cell the additions happen in row order, so chunked
+/// parallel accumulation is bit-identical to the serial pass.
+fn accumulate_hists(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    rows: &[usize],
+    fi_range: std::ops::Range<usize>,
+    data: &mut [(f64, f64)],
+    bounds: &[usize],
+) {
+    let base = bounds[fi_range.start];
+    for &p in rows {
+        let codes = binned.row_codes(rctx.map[p]);
+        let g = rctx.grad[p];
+        let h = rctx.hess[p];
+        for fi in fi_range.clone() {
+            let slot = bounds[fi] - base + codes[rctx.features[fi]] as usize;
+            let cell = &mut data[slot];
+            cell.0 += g;
+            cell.1 += h;
+        }
+    }
+}
 
-fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize]) -> NodeHists {
-    rctx.features
-        .iter()
-        .map(|&f| {
-            let cuts = binned.cuts(f);
-            if cuts.is_empty() {
-                return Vec::new();
-            }
-            let slots = cuts.len() + 2;
-            let mut hist = vec![(0.0, 0.0); slots];
-            for &p in rows {
-                let slot = match binned.bin(rctx.map[p], f) {
-                    None => slots - 1,
-                    Some(b) => b as usize,
-                };
-                hist[slot].0 += rctx.grad[p];
-                hist[slot].1 += rctx.hess[p];
-            }
-            hist
-        })
-        .collect()
+/// Build one node's histograms into `out` (taken from the pool).
+/// Feature-parallel above the `scan_threads` threshold, chunked exactly
+/// like the split scan.
+fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize], out: &mut NodeHists) {
+    out.reset();
+    let nf = rctx.features.len();
+    for &f in rctx.features {
+        let new_len = out.data.len() + binned.slots(f);
+        out.data.resize(new_len, (0.0, 0.0));
+        out.bounds.push(new_len);
+    }
+    let threads = rctx.scan_threads(rows.len()).min(nf.max(1));
+    if threads <= 1 || nf < 2 {
+        accumulate_hists(binned, rctx, rows, 0..nf, &mut out.data, &out.bounds);
+        return;
+    }
+    let chunk = nf.div_ceil(threads);
+    let NodeHists { data, bounds } = out;
+    std::thread::scope(|s| {
+        let bounds: &[usize] = bounds;
+        let mut rest: &mut [(f64, f64)] = data;
+        let mut consumed = 0usize;
+        let mut start = 0usize;
+        while start < nf {
+            let end = (start + chunk).min(nf);
+            let (head, tail) = rest.split_at_mut(bounds[end] - consumed);
+            rest = tail;
+            consumed = bounds[end];
+            s.spawn(move || accumulate_hists(binned, rctx, rows, start..end, head, bounds));
+            start = end;
+        }
+    });
 }
 
 /// The subtraction trick: `parent − child` slot-wise gives the sibling's
-/// histogram without touching its rows. Consumes the parent in place.
-fn subtract_hists(mut parent: NodeHists, child: &NodeHists) -> NodeHists {
-    for (ph, ch) in parent.iter_mut().zip(child) {
-        for (ps, cs) in ph.iter_mut().zip(ch) {
-            ps.0 -= cs.0;
-            ps.1 -= cs.1;
-        }
+/// histogram without touching its rows. Mutates the parent in place.
+fn subtract_hists(parent: &mut NodeHists, child: &NodeHists) {
+    for (ps, cs) in parent.data.iter_mut().zip(&child.data) {
+        ps.0 -= cs.0;
+        ps.1 -= cs.1;
     }
-    parent
 }
 
 fn scan_hist(
@@ -451,25 +840,26 @@ fn find_split_hist(
 ) -> Option<SplitCandidate> {
     let cfg = rctx.split_config();
     let threads = rctx.scan_threads(node_rows);
-    if threads <= 1 || rctx.features.len() < 2 {
+    let nf = rctx.features.len();
+    if threads <= 1 || nf < 2 {
         let mut tracker = BestTracker::new(cfg, g, h);
         for (fi, &f) in rctx.features.iter().enumerate() {
-            scan_hist(f, binned.cuts(f), &hists[fi], g, h, &mut tracker);
+            scan_hist(f, binned.cuts(f), hists.feature(fi), g, h, &mut tracker);
         }
         return tracker.best;
     }
-    let threads = threads.min(rctx.features.len());
-    let chunk = rctx.features.len().div_ceil(threads);
+    let threads = threads.min(nf);
+    let chunk = nf.div_ceil(threads);
     let results: Vec<Option<SplitCandidate>> = std::thread::scope(|s| {
-        let handles: Vec<_> = rctx
-            .features
-            .chunks(chunk)
-            .zip(hists.chunks(chunk))
-            .map(|(fs, hs)| {
+        let handles: Vec<_> = (0..nf)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(nf);
                 s.spawn(move || {
                     let mut tracker = BestTracker::new(cfg, g, h);
-                    for (&f, hist) in fs.iter().zip(hs) {
-                        scan_hist(f, binned.cuts(f), hist, g, h, &mut tracker);
+                    for fi in start..end {
+                        let f = rctx.features[fi];
+                        scan_hist(f, binned.cuts(f), hists.feature(fi), g, h, &mut tracker);
                     }
                     tracker.best
                 })
@@ -484,27 +874,34 @@ fn find_split_hist(
 fn grow_hist(
     binned: &BinnedMatrix,
     rctx: &RoundCtx,
-    tree: &mut Tree,
+    tree: &mut TreeBuf,
     rows: Vec<usize>,
-    hists: NodeHists,
+    mut hists: NodeHists,
     depth: usize,
     g: f64,
     h: f64,
+    pools: &mut EnginePools,
     leaf_of: &mut [f64],
 ) -> usize {
     if depth >= rctx.params.max_depth || rows.len() < 2 {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_hists(hists);
+        return idx;
     }
     let Some(split) = find_split_hist(binned, rctx, &hists, rows.len(), g, h) else {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_hists(hists);
+        return idx;
     };
 
     // Histogram thresholds are cut values: bins at or below the cut's
     // index go left, exactly the `value < threshold` routing.
     let cuts = binned.cuts(split.feature);
     let boundary = cuts.partition_point(|&c| c < split.threshold);
-    let mut left_rows = Vec::with_capacity(rows.len() / 2);
-    let mut right_rows = Vec::with_capacity(rows.len() / 2);
+    let mut left_rows = pools.take_rows();
+    let mut right_rows = pools.take_rows();
     for &p in &rows {
         let goes_left = match binned.bin(rctx.map[p], split.feature) {
             None => split.default_left,
@@ -517,17 +914,24 @@ fn grow_hist(
         }
     }
     if left_rows.is_empty() || right_rows.is_empty() {
-        return rctx.leaf(tree, &rows, leaf_of, g, h);
+        let idx = rctx.leaf(tree, depth, &rows, leaf_of, g, h);
+        pools.put_rows(rows);
+        pools.put_rows(left_rows);
+        pools.put_rows(right_rows);
+        pools.put_hists(hists);
+        return idx;
     }
+    pools.put_rows(rows);
 
     // Accumulate only the smaller child; derive the larger by
-    // subtraction from the parent.
+    // subtraction from the parent (recycling the parent's buffer).
     let left_smaller = left_rows.len() <= right_rows.len();
     let small_rows = if left_smaller { &left_rows } else { &right_rows };
-    let small_hists = build_hists(binned, rctx, small_rows);
-    let large_hists = subtract_hists(hists, &small_hists);
+    let mut small_hists = pools.take_hists();
+    build_hists(binned, rctx, small_rows, &mut small_hists);
+    subtract_hists(&mut hists, &small_hists);
     let (left_hists, right_hists) =
-        if left_smaller { (small_hists, large_hists) } else { (large_hists, small_hists) };
+        if left_smaller { (small_hists, hists) } else { (hists, small_hists) };
 
     let node_idx = push_split(tree, &split, h);
     let left_idx = grow_hist(
@@ -539,6 +943,7 @@ fn grow_hist(
         depth + 1,
         split.left_grad,
         split.left_hess,
+        pools,
         leaf_of,
     );
     let right_idx = grow_hist(
@@ -550,8 +955,96 @@ fn grow_hist(
         depth + 1,
         split.right_grad,
         split.right_hess,
+        pools,
         leaf_of,
     );
-    link_children(tree, node_idx, left_idx, right_idx);
+    tree.link(node_idx, left_idx, right_idx);
     node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_tabular::Matrix;
+    use proptest::prelude::*;
+
+    /// Dyadic rationals (multiples of 0.25 with small magnitude) make
+    /// every partial sum exactly representable, so the exact scan's
+    /// row-by-row accumulation and the histogram scan's per-bin grouping
+    /// produce bitwise-equal left sums — which is what lets this test
+    /// demand bitwise-equal split choices rather than approximate ones.
+    fn dyadic_value() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            8 => (-8i32..9).prop_map(|k| k as f64 * 0.25),
+            1 => Just(f64::NAN),
+        ]
+    }
+
+    fn dyadic_grad() -> impl Strategy<Value = f64> {
+        (-8i32..9).prop_map(|k| k as f64 * 0.25)
+    }
+
+    fn dyadic_hess() -> impl Strategy<Value = f64> {
+        (1i32..9).prop_map(|k| k as f64 * 0.25)
+    }
+
+    fn split_params() -> Params {
+        let mut params = Params::regression();
+        params.min_child_weight = 0.0;
+        params.parallel_split_threshold = usize::MAX;
+        params
+    }
+
+    proptest! {
+        /// With every feature's distinct count far below `max_bins`, the
+        /// histogram cuts are the exact midpoints, so the two finders
+        /// see identical candidate sets and must agree on the winning
+        /// (feature, threshold, default direction) — bitwise.
+        #[test]
+        fn hist_and_exact_agree_when_bins_are_exact(
+            ncols in 1usize..4,
+            rows in proptest::collection::vec(
+                proptest::collection::vec(dyadic_value(), 4),
+                2..40,
+            ),
+            grads in proptest::collection::vec(dyadic_grad(), 40),
+            hesses in proptest::collection::vec(dyadic_hess(), 40),
+        ) {
+            let n = rows.len();
+            let data = Matrix::from_rows(
+                &rows.iter().map(|r| r[..ncols].to_vec()).collect::<Vec<_>>(),
+            );
+            let params = split_params();
+            let index = ExactIndex::fit(&data);
+            let binned = BinnedMatrix::fit(&data, 256);
+            let map: Vec<usize> = (0..n).collect();
+            let features: Vec<usize> = (0..ncols).collect();
+            let grad = &grads[..n];
+            let hess = &hesses[..n];
+            let rctx = RoundCtx { map: &map, grad, hess, features: &features, params: &params };
+            let node: Vec<usize> = (0..n).collect();
+            let g: f64 = grad.iter().sum();
+            let h: f64 = hess.iter().sum();
+
+            let mut pools = EnginePools::default();
+            let lists = root_lists(&index, &rctx, &node, &mut pools);
+            let exact = find_split_exact(&index, &rctx, &lists, n, g, h);
+            let mut hists = pools.take_hists();
+            build_hists(&binned, &rctx, &node, &mut hists);
+            let hist = find_split_hist(&binned, &rctx, &hists, n, g, h);
+
+            match (exact, hist) {
+                (None, None) => {}
+                (Some(e), Some(hc)) => {
+                    prop_assert_eq!(e.feature, hc.feature);
+                    prop_assert_eq!(e.threshold.to_bits(), hc.threshold.to_bits());
+                    prop_assert_eq!(e.default_left, hc.default_left);
+                    prop_assert_eq!(e.gain.to_bits(), hc.gain.to_bits());
+                }
+                (e, hc) => {
+                    prop_assert!(false, "finders disagree: exact={:?} hist={:?}", e, hc);
+                }
+            }
+        }
+    }
 }

@@ -136,6 +136,84 @@ impl FlatForest {
         FlatForest { nodes, roots, depths, base_score, objective, n_features }
     }
 
+    /// An empty shell for [`Self::recompile_single`] — holds no trees
+    /// but keeps its buffers across recompiles.
+    pub(crate) fn empty() -> Self {
+        FlatForest {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            depths: Vec::new(),
+            base_score: 0.0,
+            objective: Objective::SquaredError,
+            n_features: 0,
+        }
+    }
+
+    /// Recompile this forest in place to hold exactly one tree, reusing
+    /// the node buffer — the per-round score-update path, which compiles
+    /// every freshly grown tree without allocating. `tree_nodes` uses
+    /// tree-relative child indices (a tree slice of the scratch arena)
+    /// and `depth` is the grower-tracked depth [`Tree::depth`] would
+    /// report. Translation and validation mirror [`Self::from_trees`].
+    pub(crate) fn recompile_single(
+        &mut self,
+        tree_nodes: &[Node],
+        depth: u16,
+        base_score: f64,
+        objective: Objective,
+        n_features: usize,
+    ) {
+        assert!(!tree_nodes.is_empty(), "cannot compile an empty tree");
+        assert!(tree_nodes.len() < u32::MAX as usize, "forest too large for u32 node indices");
+        self.nodes.clear();
+        self.roots.clear();
+        self.depths.clear();
+        self.base_score = base_score;
+        self.objective = objective;
+        self.n_features = n_features;
+        self.roots.push(0);
+        self.depths.push(depth);
+        if self.nodes.capacity() < tree_nodes.len() {
+            self.nodes.reserve(tree_nodes.len());
+        }
+        for (i, node) in tree_nodes.iter().enumerate() {
+            self.nodes.push(match node {
+                Node::Leaf { weight, .. } => {
+                    let me = i as u32;
+                    FlatNode { threshold: *weight, children: [me, me], feature_and_default: 0 }
+                }
+                Node::Split {
+                    feature: f,
+                    threshold: t,
+                    default_left: dl,
+                    left: l,
+                    right: r,
+                    ..
+                } => {
+                    assert!(*f < n_features, "split feature out of range");
+                    assert!(
+                        *l < tree_nodes.len() && *r < tree_nodes.len(),
+                        "child index out of range"
+                    );
+                    FlatNode {
+                        threshold: *t,
+                        children: [*l as u32, *r as u32],
+                        feature_and_default: (*f as u32) | if *dl { DEFAULT_LEFT_BIT } else { 0 },
+                    }
+                }
+            });
+        }
+    }
+
+    /// Pre-size the node buffer so [`Self::recompile_single`] never
+    /// reallocates mid-fit (called from `TreeScratch::prepare` with the
+    /// fit's worst-case tree size).
+    pub(crate) fn reserve_nodes(&mut self, cap: usize) {
+        if self.nodes.capacity() < cap {
+            self.nodes.reserve(cap - self.nodes.len());
+        }
+    }
+
     /// Number of trees compiled in.
     pub fn n_trees(&self) -> usize {
         self.roots.len()
@@ -350,5 +428,50 @@ impl FlatForest {
             *o = self.objective.transform(*o);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    /// The in-place single-tree recompile must behave exactly like a
+    /// fresh `from_trees` over the same tree, including when the buffer
+    /// is reused across trees of different shapes.
+    #[test]
+    fn recompile_single_matches_from_trees() {
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i % 9) as f64, if i % 7 == 0 { f64::NAN } else { (i % 5) as f64 }])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1].max(0.0)).collect();
+        let x = Matrix::from_rows(&rows);
+        let params = Params { n_estimators: 6, max_depth: 3, ..Params::regression() };
+        let model = Booster::train(&params, &x, &y).unwrap();
+
+        let mut reused = FlatForest::empty();
+        for tree in model.trees() {
+            let fresh = FlatForest::from_trees(
+                std::slice::from_ref(tree),
+                0.0,
+                model.objective(),
+                model.n_features(),
+            );
+            let depth = u16::try_from(tree.depth()).unwrap();
+            reused.recompile_single(
+                tree.nodes(),
+                depth,
+                0.0,
+                model.objective(),
+                model.n_features(),
+            );
+            assert_eq!(reused.n_trees(), 1);
+            assert_eq!(reused.n_nodes(), tree.len());
+            for i in 0..x.nrows() {
+                let a = fresh.sum_row(x.row(i));
+                let b = reused.sum_row(x.row(i));
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
     }
 }

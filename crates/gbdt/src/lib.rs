@@ -55,8 +55,9 @@ pub mod serialize;
 pub mod split;
 pub mod tree;
 
-pub use booster::{Booster, EvalRecord, TrainReport};
-pub use context::{ExactIndex, TrainingContext, MISSING_RANK};
+pub use booster::{Booster, EvalRecord, FitRun, TrainReport};
+pub use context::{ContextCache, ExactIndex, TrainingContext, MISSING_RANK};
+pub use engine::TreeScratch;
 pub use error::{GbdtError, PredictError, TrainError};
 pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};

@@ -68,14 +68,15 @@ impl Tree {
         self.nodes.len() - 1
     }
 
+    /// Wrap an already-grown node list (root at index 0, child indices
+    /// tree-relative) — how the scratch arena materialises its trees.
+    pub(crate) fn from_nodes(nodes: Vec<Node>) -> Tree {
+        Tree { nodes }
+    }
+
     /// All nodes (root at index 0).
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
-    }
-
-    /// Mutable access used by the grower to patch child indices.
-    pub(crate) fn nodes_mut(&mut self) -> &mut [Node] {
-        &mut self.nodes
     }
 
     /// Number of nodes.

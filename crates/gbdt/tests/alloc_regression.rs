@@ -1,0 +1,196 @@
+//! Allocation regression guard for the training hot path.
+//!
+//! The scratch-arena contract: after the first boosting round has
+//! paid the worst-case arena allocations, every later round of the
+//! same [`FitRun`] — and every later fit reusing the same
+//! [`TreeScratch`] — performs **zero** heap allocations. This test
+//! binary installs a counting `#[global_allocator]` (test binaries get
+//! their own process, so the hook is invisible to the rest of the
+//! suite) and pins that contract for both tree methods and for pooled
+//! execution at several worker counts.
+//!
+//! The counter is thread-local: a worker thread's metered window only
+//! sees its own allocations, so the pool's own bookkeeping (done on
+//! the spawning thread) never leaks into a measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use msaw_gbdt::{FitRun, Params, TrainingContext, TreeMethod, TreeScratch};
+use msaw_tabular::Matrix;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves is an allocation for our purposes: the
+        // arenas are supposed to be at worst-case capacity already.
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// A deterministic training problem big enough to exercise multi-level
+/// trees, missing values, and both subsampling paths.
+fn problem(nrows: usize, ncols: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..nrows)
+        .map(|i| {
+            (0..ncols)
+                .map(|j| {
+                    if (i * 7 + j * 13) % 11 == 0 {
+                        f64::NAN
+                    } else {
+                        ((i * 31 + j * 17) % 97) as f64 * 0.25
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<f64> =
+        (0..nrows).map(|i| rows[i][0].max(0.0) + ((i % 5) as f64) * 0.5).collect();
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn params(method: TreeMethod) -> Params {
+    Params {
+        n_estimators: 12,
+        max_depth: 4,
+        subsample: 0.8,
+        colsample_bytree: 0.8,
+        tree_method: method,
+        ..Params::regression()
+    }
+}
+
+/// Drive one fit round-by-round, asserting every round after the first
+/// allocates nothing. Returns the final booster's tree count so the
+/// caller can sanity-check training actually happened.
+fn assert_rounds_allocation_free(
+    params: &Params,
+    ctx: &TrainingContext<'_>,
+    rows: &[usize],
+    labels: &[f64],
+    scratch: &mut TreeScratch,
+    label: &str,
+) -> usize {
+    let mut run = FitRun::new(params, ctx, rows, labels, scratch).expect("valid fit");
+    assert!(run.round(), "at least one round must run");
+    let mut rounds = 1;
+    while {
+        let before = alloc_count();
+        let more = run.round();
+        let delta = alloc_count() - before;
+        if more {
+            rounds += 1;
+            assert_eq!(
+                delta, 0,
+                "{label}: boosting round {rounds} allocated {delta} times; \
+                 the scratch arenas must absorb every round after the first"
+            );
+        }
+        more
+    } {}
+    let report = run.finish();
+    report.booster.trees().len()
+}
+
+#[test]
+fn rounds_after_the_first_do_not_allocate_exact() {
+    let (data, labels) = problem(120, 8);
+    let ctx = TrainingContext::new(&data);
+    let rows: Vec<usize> = (0..data.nrows()).collect();
+    let params = params(TreeMethod::Exact);
+    let mut scratch = TreeScratch::new();
+    let n_trees =
+        assert_rounds_allocation_free(&params, &ctx, &rows, &labels, &mut scratch, "exact");
+    assert_eq!(n_trees, params.n_estimators);
+}
+
+#[test]
+fn rounds_after_the_first_do_not_allocate_hist() {
+    let (data, labels) = problem(120, 8);
+    let ctx = TrainingContext::new(&data);
+    let rows: Vec<usize> = (0..data.nrows()).collect();
+    let params = params(TreeMethod::Hist { max_bins: 32 });
+    let mut scratch = TreeScratch::new();
+    let n_trees =
+        assert_rounds_allocation_free(&params, &ctx, &rows, &labels, &mut scratch, "hist");
+    assert_eq!(n_trees, params.n_estimators);
+}
+
+#[test]
+fn a_second_fit_on_a_used_scratch_is_allocation_free_from_round_one() {
+    // Steady-state across fits, not just across rounds: once a scratch
+    // has seen a problem of this shape, a whole new fit of the same
+    // shape allocates only in `FitRun::new` bookkeeping — its rounds
+    // allocate nothing, including the first.
+    let (data, labels) = problem(120, 8);
+    let ctx = TrainingContext::new(&data);
+    let rows: Vec<usize> = (0..data.nrows()).collect();
+    let params = params(TreeMethod::Exact);
+    let mut scratch = TreeScratch::new();
+    let mut run = FitRun::new(&params, &ctx, &rows, &labels, &mut scratch).expect("valid fit");
+    while run.round() {}
+    let _ = run.finish();
+
+    let mut run = FitRun::new(&params, &ctx, &rows, &labels, &mut scratch).expect("valid fit");
+    let mut rounds = 0;
+    while {
+        let before = alloc_count();
+        let more = run.round();
+        let delta = alloc_count() - before;
+        if more {
+            rounds += 1;
+            assert_eq!(delta, 0, "warm-scratch round {rounds} allocated {delta} times");
+        }
+        more
+    } {}
+    assert_eq!(rounds, params.n_estimators);
+}
+
+#[test]
+fn pooled_workers_stay_allocation_free_at_every_width() {
+    // The grid's execution shape: `try_run_scratch_on` hands each
+    // worker one scratch for its whole drain. Whatever the worker
+    // count, each worker's rounds after its first must allocate
+    // nothing — the thread-local counter meters exactly its thread.
+    let (data, labels) = problem(120, 8);
+    let ctx = TrainingContext::new(&data);
+    let rows: Vec<usize> = (0..data.nrows()).collect();
+    let params = params(TreeMethod::Exact);
+    for workers in [1usize, 2, 8] {
+        let reports =
+            msaw_parallel::try_run_scratch_on(workers, 8, TreeScratch::new, |scratch, job| {
+                assert_rounds_allocation_free(
+                    &params,
+                    &ctx,
+                    &rows,
+                    &labels,
+                    scratch,
+                    &format!("worker pool width {workers}, job {job}"),
+                )
+            })
+            .expect("no job panics");
+        assert!(reports.iter().all(|&n| n == params.n_estimators));
+    }
+}
