@@ -1,0 +1,148 @@
+//! Performance tracking for the serving layer: trains the SPPB DD
+//! model, publishes it through the model registry, reloads it from
+//! disk, and drives the batching prediction service with concurrent
+//! clients submitting small requests — the serving-latency shape, as
+//! opposed to `bench_predict`'s one-big-batch shape. Records request
+//! latency percentiles and aggregate throughput into
+//! `BENCH_serve.json` so the service's perf trajectory is tracked from
+//! run to run (CI gates on the p50/p99 seconds; smaller is better).
+//!
+//! Usage: `cargo run --release -p msaw-bench --bin bench_serve [out.json]`
+
+use std::time::Instant;
+
+use msaw_bench::{
+    exit_on_error, experiment_config, out_path_arg, paper_cohort, BenchError, EXPERIMENT_SEED,
+};
+use msaw_core::experiment::fit_final_model;
+use msaw_core::{Approach, ModelKey, ModelRegistry};
+use msaw_gbdt::ModelArtifact;
+use msaw_preprocess::{build_samples, FeaturePanel, OutcomeKind};
+use msaw_serve::{PredictionService, RequestOptions, ServeConfig};
+
+/// Concurrent client threads driving the service.
+const CLIENTS: usize = 8;
+/// Requests each client submits back-to-back.
+const REQUESTS_PER_CLIENT: usize = 150;
+/// Rows per request — small on purpose: the batcher's job is to
+/// coalesce these into full blocks.
+const ROWS_PER_REQUEST: usize = 16;
+/// Warm-up requests discarded before measuring.
+const WARMUP: usize = 20;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let out_path = out_path_arg("bench_serve", "BENCH_serve.json")?;
+    let data = paper_cohort();
+    let cfg = experiment_config();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    let set = build_samples(&data, &panel, OutcomeKind::Sppb, &cfg.pipeline);
+    eprintln!(
+        "training the SPPB DD model ({} rows x {} features)...",
+        set.len(),
+        set.features.ncols()
+    );
+    let model = fit_final_model(&set, &cfg);
+
+    // Publish and reload through the registry so the bench times the
+    // production path: a model served from a persisted artifact.
+    let registry_dir =
+        std::env::temp_dir().join(format!("msaw_bench_serve_{}", std::process::id()));
+    let registry =
+        ModelRegistry::open(&registry_dir).map_err(|e| BenchError::Pipeline(e.into()))?;
+    let key = ModelKey::for_samples(&set, Approach::DataDriven);
+    registry
+        .store(&key, &ModelArtifact::from_booster(model, None))
+        .map_err(|e| BenchError::Pipeline(e.into()))?;
+    let artifact = registry.load(&key).map_err(|e| BenchError::Pipeline(e.into()))?;
+    let trees = artifact.booster.trees().len();
+    let nodes = artifact.forest.n_nodes();
+
+    let service = PredictionService::spawn(artifact, ServeConfig::default());
+    let total_requests = CLIENTS * REQUESTS_PER_CLIENT;
+    eprintln!(
+        "serving: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests x {ROWS_PER_REQUEST} rows..."
+    );
+
+    let wall = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let handle = service.handle();
+        // Each client cycles through its own window of cohort rows.
+        let rows: Vec<usize> =
+            (0..ROWS_PER_REQUEST * 8).map(|i| (c * 131 + i * 7) % set.len()).collect();
+        let features = set.features.take_rows(&rows);
+        clients.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+            for r in 0..WARMUP + REQUESTS_PER_CLIENT {
+                let lo = (r * ROWS_PER_REQUEST) % (features.nrows() - ROWS_PER_REQUEST + 1);
+                let window: Vec<usize> = (lo..lo + ROWS_PER_REQUEST).collect();
+                let request = features.take_rows(&window);
+                let start = Instant::now();
+                let out = handle
+                    .submit(&request, RequestOptions::default())
+                    .map_err(|e| e.to_string())?
+                    .wait()
+                    .map_err(|e| e.to_string())?;
+                let elapsed = start.elapsed().as_secs_f64();
+                if out.predictions.len() != ROWS_PER_REQUEST {
+                    return Err(format!(
+                        "request answered {} rows, expected {ROWS_PER_REQUEST}",
+                        out.predictions.len()
+                    ));
+                }
+                if r >= WARMUP {
+                    latencies.push(elapsed);
+                }
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::with_capacity(total_requests);
+    for client in clients {
+        let client_latencies = client
+            .join()
+            .map_err(|_| BenchError::Serve("client thread panicked".into()))?
+            .map_err(BenchError::Serve)?;
+        latencies.extend(client_latencies);
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let served_rows = (total_requests + CLIENTS * WARMUP) * ROWS_PER_REQUEST;
+    let rows_per_sec = served_rows as f64 / wall_secs;
+    eprintln!("p50 {:.3}ms  p99 {:.3}ms  {:.0} rows/sec", p50 * 1e3, p99 * 1e3, rows_per_sec);
+
+    let json = format!(
+        "{{\n  \"cohort\": \"paper\",\n  \"seed\": {},\n  \"trees\": {},\n  \"nodes\": {},\n  \
+         \"clients\": {},\n  \"requests\": {},\n  \"rows_per_request\": {},\n  \
+         \"serve_p50_secs\": {:.9},\n  \"serve_p99_secs\": {:.9},\n  \
+         \"serve_rows_per_sec\": {:.1},\n  \"wall_secs\": {:.6}\n}}\n",
+        EXPERIMENT_SEED,
+        trees,
+        nodes,
+        CLIENTS,
+        total_requests,
+        ROWS_PER_REQUEST,
+        p50,
+        p99,
+        rows_per_sec,
+        wall_secs,
+    );
+    std::fs::write(&out_path, json)
+        .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
+    println!("wrote {out_path}");
+    Ok(())
+}

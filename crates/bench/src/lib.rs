@@ -51,6 +51,8 @@ pub enum BenchError {
     },
     /// The pipeline failed beneath the binary.
     Pipeline(msaw_core::PipelineError),
+    /// The serving bench's client/service harness failed.
+    Serve(String),
 }
 
 impl std::fmt::Display for BenchError {
@@ -59,6 +61,7 @@ impl std::fmt::Display for BenchError {
             BenchError::Usage(msg) => write!(f, "usage: {msg}"),
             BenchError::Io { path, source } => write!(f, "cannot write `{path}`: {source}"),
             BenchError::Pipeline(e) => write!(f, "{e}"),
+            BenchError::Serve(msg) => write!(f, "serving bench failed: {msg}"),
         }
     }
 }
@@ -68,7 +71,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Io { source, .. } => Some(source),
             BenchError::Pipeline(e) => Some(e),
-            BenchError::Usage(_) => None,
+            BenchError::Usage(_) | BenchError::Serve(_) => None,
         }
     }
 }

@@ -37,6 +37,8 @@ pub enum PipelineError {
     /// An interpretation report was asked about a feature the sample
     /// set does not have.
     UnknownFeature(String),
+    /// The model registry failed to store or load an artifact.
+    Registry(crate::registry::RegistryError),
 }
 
 impl fmt::Display for PipelineError {
@@ -59,6 +61,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Tabular(e) => write!(f, "tabular layer failed: {e}"),
             PipelineError::Pool(e) => write!(f, "worker pool failed: {e}"),
             PipelineError::UnknownFeature(name) => write!(f, "unknown feature `{name}`"),
+            PipelineError::Registry(e) => write!(f, "model registry failed: {e}"),
         }
     }
 }
@@ -71,6 +74,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Sample(e) => Some(e),
             PipelineError::Tabular(e) => Some(e),
             PipelineError::Pool(e) => Some(e),
+            PipelineError::Registry(e) => Some(e),
             _ => None,
         }
     }

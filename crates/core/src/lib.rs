@@ -15,7 +15,10 @@
 //!   for the per-patient MAE distributions of Fig. 5;
 //! * [`interpret`] — SHAP-based reports: per-patient top-k local
 //!   explanations and contrast pairs (Fig. 6), global dependence curves
-//!   with data-driven thresholds (Fig. 7).
+//!   with data-driven thresholds (Fig. 7);
+//! * [`registry`] — persisted-model registry keyed by (outcome,
+//!   variant, cohort fingerprint), with atomic publish and verified
+//!   load of the v2 prediction-bundle artifacts.
 //!
 //! ```no_run
 //! use msaw_cohort::{generate, CohortConfig};
@@ -34,6 +37,7 @@ pub mod experiment;
 pub mod grid;
 pub mod interpret;
 pub mod oof;
+pub mod registry;
 
 pub use config::ExperimentConfig;
 pub use error::PipelineError;
@@ -43,3 +47,4 @@ pub use grid::{
     try_run_full_grid_on,
 };
 pub use oof::{oof_predictions, try_oof_predictions};
+pub use registry::{cohort_fingerprint, ModelKey, ModelRegistry, RegistryError};

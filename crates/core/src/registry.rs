@@ -1,0 +1,337 @@
+//! Persisted-model registry: the bridge between training runs and the
+//! serving layer.
+//!
+//! A registry is a directory of v2 model artifacts
+//! ([`msaw_gbdt::ModelArtifact`]), each keyed by *what it predicts and
+//! what it was trained on*: outcome, approach variant, and a
+//! fingerprint of the exact training cohort. The fingerprint means a
+//! retrain on different data gets a different key — the registry can
+//! hold both without either clobbering the other, and a serving
+//! process can assert it loaded the model trained on the cohort it
+//! expects.
+//!
+//! Durability contract:
+//!
+//! * **Atomic publish.** [`ModelRegistry::store`] writes to a `.tmp`
+//!   sibling and `rename`s it into place, so a crash mid-write never
+//!   leaves a half-written artifact under a valid name — readers see
+//!   the old model or the new one, nothing in between.
+//! * **Verified load.** [`ModelRegistry::load`] re-validates the full
+//!   artifact (checksum, structure, flat-forest cross-check) through
+//!   the gbdt decoder; a corrupt file is a typed
+//!   [`RegistryError::Artifact`], never a panic or a silently wrong
+//!   model.
+//!
+//! File naming is deterministic — `{outcome}_{variant}_{hash:016x}.msgb`
+//! — so keys and paths are interconvertible and a directory listing is
+//! a catalogue.
+
+use crate::error::PipelineError;
+use crate::experiment::Approach;
+use msaw_gbdt::{fnv1a_64, ModelArtifact, PredictError};
+use msaw_preprocess::{OutcomeKind, SampleSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identity of a persisted model: what it predicts, which feature
+/// representation it uses, and the fingerprint of its training cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// The outcome the model predicts.
+    pub outcome: OutcomeKind,
+    /// Feature representation (data-driven vs knowledge-driven).
+    pub variant: Approach,
+    /// [`cohort_fingerprint`] of the training sample set.
+    pub cohort_hash: u64,
+}
+
+impl ModelKey {
+    /// Key for a model trained on `set` with the `variant` features.
+    pub fn for_samples(set: &SampleSet, variant: Approach) -> Self {
+        ModelKey { outcome: set.outcome, variant, cohort_hash: cohort_fingerprint(set) }
+    }
+
+    /// Deterministic artifact file name for this key.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}_{}_{:016x}.msgb",
+            self.outcome.name().to_ascii_lowercase(),
+            self.variant.label().to_ascii_lowercase(),
+            self.cohort_hash
+        )
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} @ {:016x}", self.outcome.name(), self.variant.label(), self.cohort_hash)
+    }
+}
+
+/// FNV-1a fingerprint of a sample set's contents: outcome, feature
+/// names, labels, and every feature value (bit pattern, so `NaN`
+/// placement counts). Two sets hash equal iff a model trained on one
+/// is interchangeable with a model trained on the other.
+pub fn cohort_fingerprint(set: &SampleSet) -> u64 {
+    let mut bytes = Vec::with_capacity(
+        16 + set.feature_names.iter().map(|n| n.len() + 1).sum::<usize>()
+            + (set.labels.len() + set.features.as_slice().len()) * 8,
+    );
+    bytes.extend_from_slice(set.outcome.name().as_bytes());
+    bytes.push(0);
+    for name in &set.feature_names {
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(0);
+    }
+    for &label in &set.labels {
+        bytes.extend_from_slice(&label.to_bits().to_le_bytes());
+    }
+    for &value in set.features.as_slice() {
+        bytes.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    fnv1a_64(&bytes)
+}
+
+/// Failures while storing or loading registry artifacts.
+///
+/// I/O failures are carried as rendered strings so the error stays
+/// `Clone + PartialEq` like the rest of the pipeline taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// Filesystem failure while writing, renaming, or reading.
+    Io { path: PathBuf, message: String },
+    /// No artifact stored under the key.
+    NotFound { key_file: String },
+    /// The stored artifact failed checksum or structural validation.
+    Artifact { key_file: String, source: PredictError },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, message } => {
+                write!(f, "registry I/O failure at {}: {message}", path.display())
+            }
+            RegistryError::NotFound { key_file } => {
+                write!(f, "no model stored under {key_file}")
+            }
+            RegistryError::Artifact { key_file, source } => {
+                write!(f, "stored model {key_file} is invalid: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Artifact { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegistryError> for PipelineError {
+    fn from(e: RegistryError) -> Self {
+        PipelineError::Registry(e)
+    }
+}
+
+/// A directory of keyed, checksummed model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Open (creating if needed) a registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| RegistryError::Io { path: root.clone(), message: e.to_string() })?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// Directory this registry stores artifacts in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Full path an artifact for `key` lives at.
+    pub fn path_for(&self, key: &ModelKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Persist `artifact` under `key`, atomically: the encoded bytes go
+    /// to a `.tmp` sibling first and are renamed into place, so readers
+    /// never observe a partial artifact.
+    pub fn store(
+        &self,
+        key: &ModelKey,
+        artifact: &ModelArtifact,
+    ) -> Result<PathBuf, RegistryError> {
+        let path = self.path_for(key);
+        let tmp = path.with_extension("msgb.tmp");
+        let bytes = artifact.encode();
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| RegistryError::Io { path: tmp.clone(), message: e.to_string() })?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            // Leave no stale tmp file behind a failed publish.
+            let _ = std::fs::remove_file(&tmp);
+            RegistryError::Io { path: path.clone(), message: e.to_string() }
+        })?;
+        Ok(path)
+    }
+
+    /// Load and fully re-validate the artifact stored under `key`.
+    pub fn load(&self, key: &ModelKey) -> Result<ModelArtifact, RegistryError> {
+        let path = self.path_for(key);
+        let key_file = key.file_name();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound { key_file })
+            }
+            Err(e) => {
+                return Err(RegistryError::Io { path, message: e.to_string() });
+            }
+        };
+        msaw_gbdt::artifact::decode(&bytes)
+            .map_err(|source| RegistryError::Artifact { key_file, source })
+    }
+
+    /// Whether an artifact is stored under `key`.
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        self.path_for(key).is_file()
+    }
+
+    /// File names of every artifact currently published (sorted, so
+    /// listings are deterministic).
+    pub fn list(&self) -> Result<Vec<String>, RegistryError> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| RegistryError::Io { path: self.root.clone(), message: e.to_string() })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| RegistryError::Io {
+                path: self.root.clone(),
+                message: e.to_string(),
+            })?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".msgb") {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_cohort::{Clinic, PatientId};
+    use msaw_gbdt::{Booster, Params};
+    use msaw_preprocess::SampleMeta;
+    use msaw_tabular::Matrix;
+
+    fn tiny_set(seed: f64) -> SampleSet {
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![(i as f64) + seed, (i % 3) as f64]).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| r[0] * 0.5).collect();
+        let meta = (0..rows.len())
+            .map(|i| SampleMeta {
+                patient: PatientId(i as u32),
+                clinic: Clinic::Modena,
+                month: 1,
+                window: 1,
+            })
+            .collect();
+        SampleSet {
+            features: Matrix::from_rows(&rows),
+            feature_names: vec!["a".into(), "b".into()],
+            labels,
+            meta,
+            outcome: OutcomeKind::Qol,
+        }
+    }
+
+    fn tiny_artifact(set: &SampleSet) -> ModelArtifact {
+        let params = Params { n_estimators: 4, ..Params::regression() };
+        let model = Booster::train(&params, &set.features, &set.labels).unwrap();
+        ModelArtifact::from_booster(model, None)
+    }
+
+    fn temp_registry(tag: &str) -> ModelRegistry {
+        let dir = std::env::temp_dir().join(format!("msaw_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelRegistry::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = tiny_set(0.0);
+        assert_eq!(cohort_fingerprint(&a), cohort_fingerprint(&tiny_set(0.0)));
+        assert_ne!(cohort_fingerprint(&a), cohort_fingerprint(&tiny_set(1.0)));
+        let mut renamed = tiny_set(0.0);
+        renamed.feature_names[0] = "z".into();
+        assert_ne!(cohort_fingerprint(&a), cohort_fingerprint(&renamed));
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let set = tiny_set(0.0);
+        let registry = temp_registry("round_trip");
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        let artifact = tiny_artifact(&set);
+        let path = registry.store(&key, &artifact).unwrap();
+        assert!(path.ends_with(key.file_name()));
+        assert!(registry.contains(&key));
+        let loaded = registry.load(&key).unwrap();
+        assert_eq!(loaded.booster, artifact.booster);
+        assert_eq!(registry.list().unwrap(), vec![key.file_name()]);
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn missing_key_is_not_found() {
+        let set = tiny_set(0.0);
+        let registry = temp_registry("missing");
+        let key = ModelKey::for_samples(&set, Approach::KnowledgeDriven);
+        assert!(matches!(registry.load(&key), Err(RegistryError::NotFound { .. })));
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_typed_error() {
+        let set = tiny_set(0.0);
+        let registry = temp_registry("corrupt");
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        registry.store(&key, &tiny_artifact(&set)).unwrap();
+        // Flip one byte in the middle of the stored file.
+        let path = registry.path_for(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match registry.load(&key) {
+            Err(RegistryError::Artifact { source: PredictError::Decode(_), .. }) => {}
+            other => panic!("expected typed artifact error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn store_leaves_no_tmp_files() {
+        let set = tiny_set(0.0);
+        let registry = temp_registry("tmp_files");
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        registry.store(&key, &tiny_artifact(&set)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(registry.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+}

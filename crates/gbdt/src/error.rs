@@ -53,6 +53,10 @@ pub enum PredictError {
     FeatureCount { expected: usize, actual: usize },
     /// A serialised model could not be decoded.
     Decode(String),
+    /// A batch-prediction pool job panicked; the panic was contained
+    /// and `block` is deterministically the lowest failing block index
+    /// (the pool's drain policy).
+    Batch { block: usize, message: String },
 }
 
 impl fmt::Display for PredictError {
@@ -62,6 +66,9 @@ impl fmt::Display for PredictError {
                 write!(f, "model expects {expected} features, input has {actual}")
             }
             PredictError::Decode(msg) => write!(f, "model decode error: {msg}"),
+            PredictError::Batch { block, message } => {
+                write!(f, "batch prediction block {block} failed: {message}")
+            }
         }
     }
 }

@@ -54,15 +54,20 @@ const BLOCK_ROWS: usize = 256;
 const LANES: usize = 8;
 
 /// One compiled node: 24 bytes, three loads per hop, no enum tag.
-#[derive(Debug, Clone, Copy)]
-struct FlatNode {
+/// Fields are crate-visible so the artifact codec can persist the
+/// compiled array verbatim and validate a loaded one field-by-field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FlatNode {
     /// Split threshold; holds the leaf *weight* for leaves.
-    threshold: f64,
+    pub(crate) threshold: f64,
     /// `[left, right]` child indices; leaves self-loop (`[i, i]`).
-    children: [u32; 2],
+    pub(crate) children: [u32; 2],
     /// Split feature, with [`DEFAULT_LEFT_BIT`] folded into the top bit.
-    feature_and_default: u32,
+    pub(crate) feature_and_default: u32,
 }
+
+/// Crate-visible alias of [`DEFAULT_LEFT_BIT`] for the artifact codec.
+pub(crate) const FLAT_DEFAULT_LEFT_BIT: u32 = DEFAULT_LEFT_BIT;
 
 /// An ensemble compiled into a contiguous node array for batched
 /// prediction. Build one with [`Booster::flat_forest`] (or
@@ -212,6 +217,45 @@ impl FlatForest {
         if self.nodes.capacity() < cap {
             self.nodes.reserve(cap - self.nodes.len());
         }
+    }
+
+    /// Reassemble a forest from parts the artifact decoder has already
+    /// validated: every child index `< nodes.len()`, every split
+    /// feature `< n_features`, `roots`/`depths` one entry per tree with
+    /// roots in range. The unchecked batch kernel relies on exactly
+    /// those invariants, so this constructor is crate-private — the
+    /// only callers are [`Self::from_trees`]-equivalent paths that have
+    /// proven them.
+    pub(crate) fn from_validated_parts(
+        nodes: Vec<FlatNode>,
+        roots: Vec<u32>,
+        depths: Vec<u16>,
+        base_score: f64,
+        objective: Objective,
+        n_features: usize,
+    ) -> Self {
+        debug_assert_eq!(roots.len(), depths.len());
+        FlatForest { nodes, roots, depths, base_score, objective, n_features }
+    }
+
+    /// The compiled node array (the artifact codec's persistence unit).
+    pub(crate) fn raw_nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// Per-tree root indices, in ensemble order.
+    pub(crate) fn raw_roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Per-tree maximum depths (the lockstep kernel's hop counts).
+    pub(crate) fn raw_depths(&self) -> &[u16] {
+        &self.depths
+    }
+
+    /// The objective the compiled model transforms raw scores with.
+    pub fn objective(&self) -> Objective {
+        self.objective
     }
 
     /// Number of trees compiled in.
@@ -388,6 +432,42 @@ impl FlatForest {
             *o = self.objective.transform(*o);
         }
         out
+    }
+
+    /// Panic-safe [`Self::predict_raw_batch_on`]: a row-width mismatch
+    /// is a typed [`PredictError`] and a panicking block comes back as
+    /// `PredictError::Batch` with the lowest failing block index (the
+    /// pool's drain policy) instead of unwinding — the serving layer's
+    /// guarantee that one bad request cannot take down a worker.
+    pub fn try_predict_raw_batch_on(
+        &self,
+        workers: usize,
+        data: &Matrix,
+    ) -> Result<Vec<f64>, crate::error::PredictError> {
+        if data.ncols() != self.n_features {
+            return Err(crate::error::PredictError::FeatureCount {
+                expected: self.n_features,
+                actual: data.ncols(),
+            });
+        }
+        msaw_parallel::try_run_blocks_on(workers, data.nrows(), BLOCK_ROWS, |range| {
+            self.raw_block(data, range.start, range.end)
+        })
+        .map_err(|e| crate::error::PredictError::Batch { block: e.job, message: e.message })
+    }
+
+    /// Panic-safe transformed batch prediction on exactly `workers`
+    /// threads (see [`Self::try_predict_raw_batch_on`]).
+    pub fn try_predict_batch_on(
+        &self,
+        workers: usize,
+        data: &Matrix,
+    ) -> Result<Vec<f64>, crate::error::PredictError> {
+        let mut out = self.try_predict_raw_batch_on(workers, data)?;
+        for o in &mut out {
+            *o = self.objective.transform(*o);
+        }
+        Ok(out)
     }
 
     /// Raw scores for a row-index view of a matrix (the OOF/grid shape:

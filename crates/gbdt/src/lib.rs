@@ -42,6 +42,7 @@
 //! assert!((preds[2] - 1.0).abs() < 0.1);
 //! ```
 
+pub mod artifact;
 pub mod binning;
 pub mod booster;
 pub mod context;
@@ -55,6 +56,7 @@ pub mod serialize;
 pub mod split;
 pub mod tree;
 
+pub use artifact::{fnv1a_64, ModelArtifact, ARTIFACT_VERSION};
 pub use booster::{Booster, EvalRecord, FitRun, TrainReport};
 pub use context::{ContextCache, ExactIndex, TrainingContext, MISSING_RANK};
 pub use engine::TreeScratch;
@@ -63,7 +65,7 @@ pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;
 pub use params::{Params, TreeMethod, DEFAULT_CONTEXT_BINS};
-pub use tree::{Node, Tree};
+pub use tree::{Node, Tree, TreeDefect};
 
 /// Crate-wide result alias; the default error is the [`GbdtError`]
 /// umbrella, but stage-specific APIs narrow it (`Result<T, TrainError>`,

@@ -147,23 +147,119 @@ impl Tree {
     /// Structural sanity check used by tests and deserialisation:
     /// child indices in range, no cycles, every non-root reachable once.
     pub fn validate(&self) -> bool {
-        if self.nodes.is_empty() {
-            return false;
-        }
-        let n = self.nodes.len();
-        let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        while let Some(idx) = stack.pop() {
-            if idx >= n || seen[idx] {
-                return false;
+        check_structure(&self.nodes, None).is_ok()
+    }
+
+    /// [`Tree::validate`] with a located verdict: the first defect is
+    /// returned with the offending node index, and split features are
+    /// additionally bounds-checked against `n_features`. Decoding uses
+    /// this so a malformed artifact is rejected *at decode time* with an
+    /// error naming the node, instead of panicking at predict time.
+    pub fn check_structure(&self, n_features: usize) -> Result<(), TreeDefect> {
+        check_structure(&self.nodes, Some(n_features))
+    }
+}
+
+/// A structural defect in a tree's node list, locating the offending
+/// node (indices are tree-relative, root = 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeDefect {
+    /// The tree has no nodes at all.
+    Empty,
+    /// A split node tests a feature the model does not have.
+    FeatureOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// The out-of-range feature it tests.
+        feature: usize,
+        /// The model's feature count.
+        n_features: usize,
+    },
+    /// A split node points at a child index outside the tree.
+    ChildOutOfRange {
+        /// Offending split node index.
+        node: usize,
+        /// The out-of-range child index it holds.
+        child: usize,
+        /// The tree's node count.
+        len: usize,
+    },
+    /// A node is reached by more than one parent (a cycle or diamond),
+    /// so the node list is not tree-shaped.
+    NotATree {
+        /// The node reached twice.
+        node: usize,
+    },
+    /// A node is unreachable from the root.
+    Unreachable {
+        /// The orphaned node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for TreeDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeDefect::Empty => write!(f, "tree has no nodes"),
+            TreeDefect::FeatureOutOfRange { node, feature, n_features } => {
+                write!(f, "node {node} splits on feature {feature} but the model has {n_features}")
             }
-            seen[idx] = true;
-            if let Node::Split { left, right, .. } = self.nodes[idx] {
-                stack.push(left);
-                stack.push(right);
+            TreeDefect::ChildOutOfRange { node, child, len } => {
+                write!(f, "node {node} has child index {child} outside the tree ({len} nodes)")
+            }
+            TreeDefect::NotATree { node } => {
+                write!(f, "node {node} is reached by more than one parent")
+            }
+            TreeDefect::Unreachable { node } => {
+                write!(f, "node {node} is unreachable from the root")
             }
         }
-        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Shared walker behind [`Tree::validate`] and [`Tree::check_structure`].
+/// Feature bounds are only checked when `n_features` is given (the
+/// boolean `validate` predates models knowing their width here).
+fn check_structure(nodes: &[Node], n_features: Option<usize>) -> Result<(), TreeDefect> {
+    if nodes.is_empty() {
+        return Err(TreeDefect::Empty);
+    }
+    let n = nodes.len();
+    // Index-order pre-pass so the *lowest* offending node is reported
+    // deterministically, before reachability (which visits DFS-order).
+    for (idx, node) in nodes.iter().enumerate() {
+        if let Node::Split { feature, left, right, .. } = node {
+            if let Some(width) = n_features {
+                if *feature >= width {
+                    return Err(TreeDefect::FeatureOutOfRange {
+                        node: idx,
+                        feature: *feature,
+                        n_features: width,
+                    });
+                }
+            }
+            for child in [*left, *right] {
+                if child >= n {
+                    return Err(TreeDefect::ChildOutOfRange { node: idx, child, len: n });
+                }
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(idx) = stack.pop() {
+        if seen[idx] {
+            return Err(TreeDefect::NotATree { node: idx });
+        }
+        seen[idx] = true;
+        if let Node::Split { left, right, .. } = nodes[idx] {
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    match seen.iter().position(|s| !s) {
+        Some(node) => Err(TreeDefect::Unreachable { node }),
+        None => Ok(()),
     }
 }
 
@@ -257,5 +353,62 @@ mod tests {
     #[test]
     fn validate_rejects_empty() {
         assert!(!Tree::new().validate());
+    }
+
+    #[test]
+    fn check_structure_accepts_sample_tree() {
+        assert_eq!(sample_tree().check_structure(2), Ok(()));
+    }
+
+    #[test]
+    fn check_structure_names_out_of_range_feature() {
+        let t = sample_tree();
+        // Feature 1 (tested at node 2) is out of range for a 1-wide model.
+        assert_eq!(
+            t.check_structure(1),
+            Err(TreeDefect::FeatureOutOfRange { node: 2, feature: 1, n_features: 1 })
+        );
+    }
+
+    #[test]
+    fn check_structure_names_out_of_range_child() {
+        let mut t = Tree::new();
+        t.push(Node::Split {
+            feature: 0,
+            threshold: 0.0,
+            default_left: true,
+            left: 1,
+            right: 9,
+            cover: 1.0,
+            gain: 0.0,
+        });
+        t.push(Node::Leaf { weight: 0.0, cover: 1.0 });
+        assert_eq!(
+            t.check_structure(1),
+            Err(TreeDefect::ChildOutOfRange { node: 0, child: 9, len: 2 })
+        );
+    }
+
+    #[test]
+    fn check_structure_rejects_cycles_and_orphans() {
+        // Root pointing at itself: reached twice.
+        let mut cyclic = Tree::new();
+        cyclic.push(Node::Split {
+            feature: 0,
+            threshold: 0.0,
+            default_left: true,
+            left: 0,
+            right: 1,
+            cover: 1.0,
+            gain: 0.0,
+        });
+        cyclic.push(Node::Leaf { weight: 0.0, cover: 1.0 });
+        assert_eq!(cyclic.check_structure(1), Err(TreeDefect::NotATree { node: 0 }));
+
+        let mut orphan = Tree::new();
+        orphan.push(Node::Leaf { weight: 0.0, cover: 1.0 });
+        orphan.push(Node::Leaf { weight: 0.0, cover: 1.0 });
+        assert_eq!(orphan.check_structure(1), Err(TreeDefect::Unreachable { node: 1 }));
+        assert_eq!(Tree::new().check_structure(1), Err(TreeDefect::Empty));
     }
 }

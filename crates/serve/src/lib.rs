@@ -1,0 +1,480 @@
+//! # msaw-serve
+//!
+//! The serving front-end over persisted model artifacts: a
+//! [`PredictionService`] owns a loaded [`ModelArtifact`] and accepts
+//! concurrent prediction requests from any number of client threads,
+//! coalescing them into large batches so the flat-forest block kernel
+//! runs at batch throughput even when every caller submits a handful
+//! of rows.
+//!
+//! ## Architecture
+//!
+//! No async runtime is available (dependencies are vendored), so the
+//! service is built on threads and channels — the same shape an async
+//! executor would reduce to for a CPU-bound model server:
+//!
+//! ```text
+//! client threads          batcher thread             worker pool
+//! ServiceHandle ─┐
+//! ServiceHandle ─┼─ mpsc ─► coalesce ≤ max_batch ─► try_predict_batch_on
+//! ServiceHandle ─┘          split per request        (256-row blocks)
+//!      ▲                        │
+//!      └── Ticket::wait ◄───────┘  (per-request reply channel)
+//! ```
+//!
+//! * [`ServiceHandle::submit`] validates the request's feature count,
+//!   enqueues it, and returns a [`Ticket`] immediately — submission
+//!   never blocks on inference.
+//! * The batcher drains whatever is queued (up to
+//!   [`ServeConfig::max_batch_rows`]), stacks the rows into one
+//!   matrix, and predicts through
+//!   [`FlatForest::try_predict_batch_on`], which runs 256-row blocks
+//!   on the panic-containing worker pool — a poisoned row yields a
+//!   typed [`ServeError`], never a crashed server.
+//! * Results are split back per request and delivered on each ticket's
+//!   private channel; a request with [`explain`](RequestOptions)
+//!   set also carries exact TreeSHAP attributions for each row.
+//!
+//! Determinism: predictions go through the same block kernel as the
+//! offline path, so served scores are bit-identical to
+//! `FlatForest::predict_batch` at any worker count and any request
+//! interleaving — batching changes latency, never values.
+
+use msaw_gbdt::{FlatForest, ModelArtifact, PredictError};
+use msaw_shap::{Explanation, PathArena, TreeExplainer};
+use msaw_tabular::Matrix;
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`PredictionService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads for the prediction pool (0 = the pool default).
+    pub workers: usize,
+    /// Coalescing ceiling: the batcher stops draining the queue once
+    /// this many rows are pending. One flat-forest block is 256 rows,
+    /// so multiples of 256 keep the kernel's lanes full.
+    pub max_batch_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 0, max_batch_rows: 4096 }
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Attach an exact TreeSHAP [`Explanation`] to every row of the
+    /// response (slower; runs over the booster trees, not the flat
+    /// forest).
+    pub explain: bool,
+}
+
+/// Failures a serving client can observe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The submitted rows have the wrong width for the model.
+    FeatureCount { expected: usize, actual: usize },
+    /// The submitted batch was empty.
+    EmptyRequest,
+    /// Inference failed (a contained panic in the worker pool).
+    Predict(PredictError),
+    /// The service shut down before answering.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::FeatureCount { expected, actual } => {
+                write!(f, "model expects {expected} features, request rows have {actual}")
+            }
+            ServeError::EmptyRequest => write!(f, "request contains no rows"),
+            ServeError::Predict(e) => write!(f, "inference failed: {e}"),
+            ServeError::Closed => write!(f, "prediction service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PredictError> for ServeError {
+    fn from(e: PredictError) -> Self {
+        ServeError::Predict(e)
+    }
+}
+
+/// One request's answer: a prediction per submitted row, in submission
+/// order, plus per-row explanations when asked for.
+#[derive(Debug, Clone)]
+pub struct PredictionOutput {
+    /// Objective-transformed predictions (probabilities for logistic
+    /// models), one per row.
+    pub predictions: Vec<f64>,
+    /// Exact TreeSHAP attributions per row, present iff the request
+    /// set [`RequestOptions::explain`].
+    pub explanations: Option<Vec<Explanation>>,
+}
+
+/// A queued request travelling to the batcher thread.
+struct Request {
+    /// Row-major feature values, `nrows × n_features`.
+    values: Vec<f64>,
+    nrows: usize,
+    explain: bool,
+    reply: mpsc::Sender<Result<PredictionOutput, ServeError>>,
+}
+
+/// What travels over the service queue. `Shutdown` is enqueued by
+/// [`PredictionService::shutdown`]; FIFO order means every request
+/// accepted before it is still answered.
+enum Message {
+    Predict(Request),
+    Shutdown,
+}
+
+/// A pending response. Obtain with [`ServiceHandle::submit`], redeem
+/// with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<PredictionOutput, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the service answers.
+    pub fn wait(self) -> Result<PredictionOutput, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// A cloneable client endpoint; every clone feeds the same batcher.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    tx: mpsc::Sender<Message>,
+    n_features: usize,
+}
+
+impl ServiceHandle {
+    /// Feature width the model expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Enqueue `rows` for prediction. Validates the width up front and
+    /// returns immediately; the returned [`Ticket`] resolves once the
+    /// batcher has run the rows through the model.
+    pub fn submit(&self, rows: &Matrix, options: RequestOptions) -> Result<Ticket, ServeError> {
+        if rows.ncols() != self.n_features {
+            return Err(ServeError::FeatureCount {
+                expected: self.n_features,
+                actual: rows.ncols(),
+            });
+        }
+        if rows.nrows() == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+        let (reply, rx) = mpsc::channel();
+        let request = Request {
+            values: rows.as_slice().to_vec(),
+            nrows: rows.nrows(),
+            explain: options.explain,
+            reply,
+        };
+        self.tx.send(Message::Predict(request)).map_err(|_| ServeError::Closed)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: submit one row and wait for its prediction.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, ServeError> {
+        let matrix = Matrix::from_rows(std::slice::from_ref(&row.to_vec()));
+        let out = self.submit(&matrix, RequestOptions::default())?.wait()?;
+        Ok(out.predictions[0])
+    }
+}
+
+/// The serving process: a loaded model plus its batcher thread.
+///
+/// Dropping the service (or calling [`shutdown`](Self::shutdown))
+/// closes the queue; requests already accepted are answered first.
+#[derive(Debug)]
+pub struct PredictionService {
+    handle: ServiceHandle,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl PredictionService {
+    /// Start serving `artifact` with the given configuration.
+    pub fn spawn(artifact: ModelArtifact, config: ServeConfig) -> PredictionService {
+        let n_features = artifact.forest.n_features();
+        let (tx, rx) = mpsc::channel::<Message>();
+        let batcher = std::thread::Builder::new()
+            .name("msaw-serve-batcher".into())
+            .spawn(move || batcher_loop(artifact, config, rx))
+            .expect("spawn batcher thread");
+        PredictionService { handle: ServiceHandle { tx, n_features }, batcher: Some(batcher) }
+    }
+
+    /// A new client endpoint.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stop accepting requests, answer everything already queued, and
+    /// join the batcher thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // A shutdown message (rather than dropping senders) lets
+        // cloned handles outlive the service without wedging the join:
+        // the batcher exits as soon as it dequeues the marker, having
+        // answered everything enqueued before it.
+        if let Some(thread) = self.batcher.take() {
+            let _ = self.handle.tx.send(Message::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The batcher: block on the first request, drain whatever else is
+/// queued up to the row ceiling, predict once, split the answers.
+fn batcher_loop(artifact: ModelArtifact, config: ServeConfig, rx: mpsc::Receiver<Message>) {
+    let forest = &artifact.forest;
+    let explainer = TreeExplainer::new(&artifact.booster);
+    let mut arena = PathArena::new();
+    while let Ok(first) = rx.recv() {
+        let first = match first {
+            Message::Predict(request) => request,
+            Message::Shutdown => return,
+        };
+        let mut batch = vec![first];
+        let mut total_rows = batch[0].nrows;
+        let mut stop = false;
+        while total_rows < config.max_batch_rows {
+            match rx.try_recv() {
+                Ok(Message::Predict(request)) => {
+                    total_rows += request.nrows;
+                    batch.push(request);
+                }
+                Ok(Message::Shutdown) => {
+                    stop = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        run_batch(forest, &explainer, &mut arena, config, batch, total_rows);
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Predict one coalesced batch and deliver each request's slice.
+fn run_batch(
+    forest: &FlatForest,
+    explainer: &TreeExplainer<'_>,
+    arena: &mut PathArena,
+    config: ServeConfig,
+    batch: Vec<Request>,
+    total_rows: usize,
+) {
+    let n_features = forest.n_features();
+    let mut values = Vec::with_capacity(total_rows * n_features);
+    for request in &batch {
+        values.extend_from_slice(&request.values);
+    }
+    let matrix = Matrix::from_vec(values, total_rows, n_features);
+    let workers = if config.workers == 0 {
+        msaw_parallel::default_workers(total_rows.div_ceil(256))
+    } else {
+        config.workers
+    };
+    let predictions = match forest.try_predict_batch_on(workers, &matrix) {
+        Ok(p) => p,
+        Err(e) => {
+            // A contained panic poisons only this coalesced batch;
+            // every caller in it learns which block failed, and the
+            // service keeps running for the next batch.
+            for request in &batch {
+                let _ = request.reply.send(Err(ServeError::Predict(e.clone())));
+            }
+            return;
+        }
+    };
+    let mut offset = 0;
+    for request in batch {
+        let slice = &predictions[offset..offset + request.nrows];
+        let explanations = request.explain.then(|| {
+            (0..request.nrows)
+                .map(|i| {
+                    let row = &request.values[i * n_features..(i + 1) * n_features];
+                    explainer.shap_values_row_with(row, arena)
+                })
+                .collect()
+        });
+        let _ =
+            request.reply.send(Ok(PredictionOutput { predictions: slice.to_vec(), explanations }));
+        offset += request.nrows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_gbdt::{Booster, Params};
+
+    fn artifact() -> ModelArtifact {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 17) as f64, if i % 9 == 0 { f64::NAN } else { (i % 6) as f64 }])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] - if r[1].is_nan() { 3.0 } else { r[1].clamp(0.0, 3.0) })
+            .collect();
+        let params = Params { n_estimators: 8, ..Params::regression() };
+        let model = Booster::train(&params, &Matrix::from_rows(&rows), &labels).unwrap();
+        ModelArtifact::from_booster(model, None)
+    }
+
+    fn query_rows(n: usize) -> Matrix {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|i| vec![(i % 13) as f64, if i % 5 == 0 { f64::NAN } else { i as f64 }])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn served_predictions_match_the_offline_batch_path() {
+        let a = artifact();
+        let expected = a.forest.predict_batch(&query_rows(700));
+        let service = PredictionService::spawn(a, ServeConfig::default());
+        let out = service
+            .handle()
+            .submit(&query_rows(700), RequestOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.predictions.len(), 700);
+        for (got, want) in out.predictions.iter().zip(&expected) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_their_own_rows_back() {
+        let a = artifact();
+        let forest = a.forest.clone();
+        let service = PredictionService::spawn(a, ServeConfig::default());
+        let mut clients = Vec::new();
+        for c in 0..8usize {
+            let handle = service.handle();
+            clients.push(std::thread::spawn(move || {
+                let rows = query_rows(40 + c * 7);
+                let out = handle.submit(&rows, RequestOptions::default()).unwrap().wait().unwrap();
+                (rows, out)
+            }));
+        }
+        for client in clients {
+            let (rows, out) = client.join().unwrap();
+            let expected = forest.predict_batch(&rows);
+            assert_eq!(out.predictions.len(), rows.nrows());
+            for (got, want) in out.predictions.iter().zip(&expected) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn explanations_reconstruct_the_raw_prediction() {
+        let a = artifact();
+        let forest = a.forest.clone();
+        let service = PredictionService::spawn(a, ServeConfig::default());
+        let rows = query_rows(5);
+        let out = service
+            .handle()
+            .submit(&rows, RequestOptions { explain: true })
+            .unwrap()
+            .wait()
+            .unwrap();
+        let explanations = out.explanations.expect("asked for explanations");
+        assert_eq!(explanations.len(), 5);
+        for (i, e) in explanations.iter().enumerate() {
+            let raw = forest.predict_raw_row(rows.row(i));
+            let reconstructed = e.base_value + e.values.iter().sum::<f64>();
+            assert!((reconstructed - raw).abs() < 1e-9);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn wrong_width_and_empty_requests_are_rejected_at_submit() {
+        let service = PredictionService::spawn(artifact(), ServeConfig::default());
+        let handle = service.handle();
+        let wide = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(
+            handle.submit(&wide, RequestOptions::default()).unwrap_err(),
+            ServeError::FeatureCount { expected: 2, actual: 3 }
+        );
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(
+            handle.submit(&empty, RequestOptions::default()).unwrap_err(),
+            ServeError::EmptyRequest
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn handles_outliving_the_service_observe_closed() {
+        let service = PredictionService::spawn(artifact(), ServeConfig::default());
+        let handle = service.handle();
+        service.shutdown();
+        let rows = query_rows(1);
+        match handle.submit(&rows, RequestOptions::default()) {
+            Err(ServeError::Closed) => {}
+            Ok(ticket) => assert_eq!(ticket.wait().unwrap_err(), ServeError::Closed),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_batch_ceiling_still_answers_everyone() {
+        // Force many small coalesced batches to exercise the split path.
+        let a = artifact();
+        let forest = a.forest.clone();
+        let config = ServeConfig { workers: 2, max_batch_rows: 8 };
+        let service = PredictionService::spawn(a, config);
+        let handle = service.handle();
+        let rows = query_rows(30);
+        let tickets: Vec<Ticket> =
+            (0..6).map(|_| handle.submit(&rows, RequestOptions::default()).unwrap()).collect();
+        let expected = forest.predict_batch(&rows);
+        for ticket in tickets {
+            let out = ticket.wait().unwrap();
+            for (got, want) in out.predictions.iter().zip(&expected) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        service.shutdown();
+    }
+}

@@ -37,8 +37,22 @@ pub struct CsvSchema {
     pub columns: Vec<(String, DataType)>,
 }
 
+/// Strip line-ending debris `BufRead::lines` leaves behind: it removes
+/// `\r\n` pairs, but a file whose final line has no newline — or one
+/// saved with bare-`\r` endings — still carries a trailing `\r` into
+/// the last cell, where it silently breaks numeric parsing and header
+/// matching.
+fn trim_line(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
 /// Read a CSV produced by [`write_csv`] given explicit column types.
 /// The header must match `schema` by name and order.
+///
+/// Tolerates the two most common interop artifacts: CRLF line endings
+/// (a trailing `\r` is stripped from every line) and a UTF-8 byte
+/// order mark in front of the first header cell (spreadsheet exports
+/// prepend one; it is not part of the column name).
 ///
 /// Malformed input — empty file, header-only file, a row with the wrong
 /// cell count (including a truncated final row), an unparsable cell —
@@ -51,6 +65,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
         Some((i, Err(e))) => return Err(TabularError::Csv { line: i + 1, message: e.to_string() }),
         None => return Err(TabularError::Csv { line: 1, message: "empty input".into() }),
     };
+    let header = trim_line(header.strip_prefix('\u{feff}').unwrap_or(&header));
     let header_names: Vec<&str> = header.split(',').collect();
     if header_names.len() != schema.columns.len() {
         return Err(TabularError::Csv {
@@ -91,6 +106,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<Frame> {
     let mut n_rows = 0usize;
     for (idx, line) in lines {
         let line = line.map_err(|e| TabularError::Csv { line: idx + 1, message: e.to_string() })?;
+        let line = trim_line(&line);
         if line.is_empty() {
             continue;
         }
@@ -292,6 +308,39 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn crlf_input_parses_like_lf_input() {
+        // `BufRead::lines` handles \r\n pairs; the reader must also
+        // survive a final line that ends in \r with no newline.
+        let input = "a,b\r\n1,2\r\n3,4\r";
+        let f = read_csv(Cursor::new(input), &two_floats()).unwrap();
+        assert_eq!(f.nrows(), 2);
+        assert_eq!(f.f64_column("b").unwrap(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn utf8_bom_on_the_header_is_ignored() {
+        let input = "\u{feff}a,b\n1,2\n";
+        let f = read_csv(Cursor::new(input), &two_floats()).unwrap();
+        assert_eq!(f.nrows(), 1);
+        assert_eq!(f.f64_column("a").unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn bom_and_crlf_together_round_trip() {
+        let input = "\u{feff}a,b\r\n1,2\r\n";
+        let f = read_csv(Cursor::new(input), &two_floats()).unwrap();
+        assert_eq!(f.nrows(), 1);
+    }
+
+    #[test]
+    fn carriage_return_only_blank_line_is_skipped() {
+        let input = "a\n1\n\r\n2\n";
+        let s = CsvSchema { columns: vec![("a".into(), DataType::Float)] };
+        let f = read_csv(Cursor::new(input), &s).unwrap();
+        assert_eq!(f.nrows(), 2);
     }
 
     #[test]

@@ -28,8 +28,14 @@ cargo build --release -p msaw-bench --bins   # every figure/table binary + bench
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> serialisation fuzz suite"
+cargo test --quiet -p msaw-gbdt --test serialize_robustness
+
 echo "==> cargo test (release codegen + debug assertions)"
 cargo test --workspace --quiet --profile release-dbg
+
+echo "==> serialisation fuzz suite (release codegen + debug assertions)"
+cargo test --quiet -p msaw-gbdt --test serialize_robustness --profile release-dbg
 
 # Perf smoke: rerun the benchmark binaries and fail on a >25% headline
 # regression against the committed BENCH_*.json. Opt out on boxes where
@@ -37,18 +43,21 @@ cargo test --workspace --quiet --profile release-dbg
 if [ "${MSAW_SKIP_PERF_SMOKE:-0}" = "1" ]; then
     echo "==> perf smoke skipped (MSAW_SKIP_PERF_SMOKE=1)"
 else
-    echo "==> perf smoke (bench_grid / bench_predict / bench_shap)"
+    echo "==> perf smoke (bench_grid / bench_predict / bench_shap / bench_serve)"
     perf_tmp=$(mktemp -d)
     trap 'rm -rf "$perf_tmp"' EXIT
     ./target/release/bench_grid "$perf_tmp/grid.json"
     ./target/release/bench_predict "$perf_tmp/predict.json"
     ./target/release/bench_shap "$perf_tmp/shap.json"
+    ./target/release/bench_serve "$perf_tmp/serve.json"
     ./target/release/perf_check BENCH_grid.json "$perf_tmp/grid.json" \
         run_full_grid_secs variants_total_secs
     ./target/release/perf_check BENCH_predict.json "$perf_tmp/predict.json" \
         walk_single_core_secs flat_single_core_secs
     ./target/release/perf_check BENCH_shap.json "$perf_tmp/shap.json" \
         shap_matrix_secs fig7_end_to_end_secs
+    ./target/release/perf_check BENCH_serve.json "$perf_tmp/serve.json" \
+        serve_p50_secs serve_p99_secs
 fi
 
 echo "CI green."

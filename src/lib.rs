@@ -15,7 +15,10 @@
 //! * [`shap`] — exact path-dependent TreeSHAP;
 //! * [`kd`] — the knowledge-driven Frailty Index and ICI;
 //! * [`metrics`] — evaluation metrics and cross-validation;
-//! * [`core`] — the paper's DD-vs-KD learning framework;
+//! * [`core`] — the paper's DD-vs-KD learning framework, including the
+//!   persisted-model registry;
+//! * [`serve`] — the batching prediction service over persisted model
+//!   artifacts;
 //! * [`baselines`] — the interpretable comparators (GA²M-style additive
 //!   model, ridge linear/logistic regression);
 //! * [`tabular`] — the columnar data substrate.
@@ -39,5 +42,6 @@ pub use msaw_gbdt as gbdt;
 pub use msaw_kd as kd;
 pub use msaw_metrics as metrics;
 pub use msaw_preprocess as preprocess;
+pub use msaw_serve as serve;
 pub use msaw_shap as shap;
 pub use msaw_tabular as tabular;

@@ -1,0 +1,133 @@
+//! The full serving path, end to end: train a model on the synthetic
+//! cohort, persist the prediction bundle through the registry, drop
+//! every in-memory trace, reload from disk, and serve it through the
+//! batching service — asserting the served predictions are
+//! **bit-identical** to the in-process flat-forest path at every
+//! worker count, with explanations that satisfy the SHAP efficiency
+//! axiom against the reloaded model.
+
+use mysawh_repro::cohort::{generate, CohortConfig};
+use mysawh_repro::core::experiment::fit_final_model;
+use mysawh_repro::core::{cohort_fingerprint, Approach, ExperimentConfig, ModelKey, ModelRegistry};
+use mysawh_repro::gbdt::ModelArtifact;
+use mysawh_repro::preprocess::{build_samples, FeaturePanel, OutcomeKind, SampleSet};
+use mysawh_repro::serve::{PredictionService, RequestOptions, ServeConfig};
+use std::path::PathBuf;
+
+fn qol_samples() -> (SampleSet, ExperimentConfig) {
+    let data = generate(&CohortConfig::small(7));
+    let cfg = ExperimentConfig::fast();
+    let panel = FeaturePanel::build(&data, &cfg.pipeline);
+    (build_samples(&data, &panel, OutcomeKind::Qol, &cfg.pipeline), cfg)
+}
+
+fn temp_registry_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("msaw_serving_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn persisted_model_served_concurrently_matches_the_in_process_path() {
+    let (set, cfg) = qol_samples();
+    let key;
+    let expected;
+    let registry = ModelRegistry::open(temp_registry_dir("bitident")).unwrap();
+    {
+        // Train, snapshot the in-process predictions, persist — then
+        // let model and artifact fall out of scope entirely.
+        let model = fit_final_model(&set, &cfg);
+        let artifact = ModelArtifact::from_booster(model, None);
+        expected = artifact.forest.predict_batch(&set.features);
+        key = ModelKey::for_samples(&set, Approach::DataDriven);
+        registry.store(&key, &artifact).unwrap();
+    }
+
+    for workers in [1usize, 2, 8] {
+        let reloaded = registry.load(&key).unwrap();
+        let config = ServeConfig { workers, ..ServeConfig::default() };
+        let service = PredictionService::spawn(reloaded, config);
+
+        // Several clients hammer the service concurrently with
+        // overlapping row windows; every answer must be bitwise equal
+        // to the offline path regardless of how requests coalesce.
+        let mut clients = Vec::new();
+        for c in 0..6usize {
+            let handle = service.handle();
+            let rows: Vec<usize> = (0..set.len()).skip(c * 11 % 50).step_by(1 + c % 3).collect();
+            let matrix = set.features.take_rows(&rows);
+            clients.push(std::thread::spawn(move || {
+                let out =
+                    handle.submit(&matrix, RequestOptions::default()).unwrap().wait().unwrap();
+                (rows, out)
+            }));
+        }
+        for client in clients {
+            let (rows, out) = client.join().unwrap();
+            assert_eq!(out.predictions.len(), rows.len());
+            for (got, &row) in out.predictions.iter().zip(&rows) {
+                assert_eq!(
+                    got.to_bits(),
+                    expected[row].to_bits(),
+                    "workers={workers}, row {row}: served prediction diverged"
+                );
+            }
+        }
+        service.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(registry.root());
+}
+
+#[test]
+fn served_explanations_reconstruct_reloaded_predictions() {
+    let (set, cfg) = qol_samples();
+    let registry = ModelRegistry::open(temp_registry_dir("explain")).unwrap();
+    let key = ModelKey::for_samples(&set, Approach::DataDriven);
+    {
+        let model = fit_final_model(&set, &cfg);
+        registry.store(&key, &ModelArtifact::from_booster(model, None)).unwrap();
+    }
+    let reloaded = registry.load(&key).unwrap();
+    let forest = reloaded.forest.clone();
+    let service = PredictionService::spawn(reloaded, ServeConfig::default());
+    let probe = set.features.take_rows(&[0, 17, 42]);
+    let out =
+        service.handle().submit(&probe, RequestOptions { explain: true }).unwrap().wait().unwrap();
+    let explanations = out.explanations.expect("requested explanations");
+    assert_eq!(explanations.len(), 3);
+    for (i, explanation) in explanations.iter().enumerate() {
+        assert_eq!(explanation.values.len(), set.feature_names.len());
+        let raw = forest.predict_raw_row(probe.row(i));
+        let reconstructed = explanation.base_value + explanation.values.iter().sum::<f64>();
+        assert!(
+            (reconstructed - raw).abs() < 1e-7,
+            "row {i}: SHAP values do not sum to the served prediction"
+        );
+    }
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(registry.root());
+}
+
+#[test]
+fn registry_keys_separate_variants_and_cohorts() {
+    let (set, cfg) = qol_samples();
+    let registry = ModelRegistry::open(temp_registry_dir("keys")).unwrap();
+    let model = fit_final_model(&set, &cfg);
+    let artifact = ModelArtifact::from_booster(model, None);
+
+    let dd = ModelKey::for_samples(&set, Approach::DataDriven);
+    let kd = ModelKey::for_samples(&set, Approach::KnowledgeDriven);
+    assert_ne!(dd.file_name(), kd.file_name());
+    registry.store(&dd, &artifact).unwrap();
+    registry.store(&kd, &artifact).unwrap();
+    assert_eq!(registry.list().unwrap().len(), 2);
+
+    // A different cohort fingerprints differently, so a retrain on new
+    // data can never silently overwrite the old artifact.
+    let other = generate(&CohortConfig::small(8));
+    let panel = FeaturePanel::build(&other, &cfg.pipeline);
+    let other_set = build_samples(&other, &panel, OutcomeKind::Qol, &cfg.pipeline);
+    assert_ne!(cohort_fingerprint(&set), cohort_fingerprint(&other_set));
+    assert_ne!(ModelKey::for_samples(&other_set, Approach::DataDriven).file_name(), dd.file_name());
+    let _ = std::fs::remove_dir_all(registry.root());
+}

@@ -120,6 +120,17 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+
+    /// View the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
 }
 
 impl BufMut for BytesMut {
