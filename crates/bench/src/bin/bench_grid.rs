@@ -92,6 +92,48 @@ fn run() -> Result<(), BenchError> {
     });
     eprintln!("run_full_grid total: {total:.3}s (includes setup)");
 
+    // The histogram-accumulation kernel in isolation: root-node
+    // gradient/hessian histograms over the binned DD QoL matrix with
+    // deterministic synthetic gradients, active kernel vs forced
+    // scalar. Checksums must match exactly — the SIMD path is
+    // bit-identical by contract.
+    let sets = build_variant_sets(&data, &panel, OutcomeKind::Qol, &cfg);
+    let binned = msaw_gbdt::binning::BinnedMatrix::fit(&sets.dd.features, 64);
+    let nrows = binned.nrows();
+    let grad: Vec<f64> = (0..nrows).map(|i| ((i * 37 + 11) % 101) as f64 / 50.5 - 1.0).collect();
+    let hess: Vec<f64> = (0..nrows).map(|i| ((i * 53 + 7) % 89) as f64 / 89.0 + 0.25).collect();
+    const HIST_PASSES: usize = 50;
+    let hist_kernel = msaw_gbdt::simd::kernel_name();
+    let mut check_simd = 0.0;
+    let hist_secs = time_median(5, || {
+        for _ in 0..HIST_PASSES {
+            check_simd =
+                std::hint::black_box(msaw_gbdt::build_hists_for_bench(&binned, &grad, &hess));
+        }
+    }) / HIST_PASSES as f64;
+    msaw_gbdt::simd::force_level(Some(msaw_gbdt::SimdLevel::Scalar));
+    let mut check_scalar = 0.0;
+    let hist_scalar_secs = time_median(5, || {
+        for _ in 0..HIST_PASSES {
+            check_scalar =
+                std::hint::black_box(msaw_gbdt::build_hists_for_bench(&binned, &grad, &hess));
+        }
+    }) / HIST_PASSES as f64;
+    msaw_gbdt::simd::force_level(None);
+    assert_eq!(
+        check_simd.to_bits(),
+        check_scalar.to_bits(),
+        "histogram kernels diverged between {hist_kernel} and scalar"
+    );
+    eprintln!(
+        "hist build ({} rows x {} features): {:.3}ms {hist_kernel} vs {:.3}ms scalar ({:.2}x)",
+        nrows,
+        binned.ncols(),
+        hist_secs * 1e3,
+        hist_scalar_secs * 1e3,
+        hist_scalar_secs / hist_secs
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"cohort\": \"small\",\n  \"patients\": {},\n  \"seed\": {},\n  \"workers\": {},\n",
@@ -107,7 +149,11 @@ fn run() -> Result<(), BenchError> {
     }
     json.push_str("  },\n");
     json.push_str(&format!("  \"variants_total_secs\": {variants_total:.6},\n"));
-    json.push_str(&format!("  \"run_full_grid_secs\": {total:.6}\n}}\n"));
+    json.push_str(&format!("  \"run_full_grid_secs\": {total:.6},\n"));
+    json.push_str(&format!("  \"hist_kernel\": \"{hist_kernel}\",\n"));
+    json.push_str(&format!("  \"hist_build_secs\": {hist_secs:.9},\n"));
+    json.push_str(&format!("  \"hist_build_scalar_secs\": {hist_scalar_secs:.9},\n"));
+    json.push_str(&format!("  \"hist_build_speedup\": {:.3}\n}}\n", hist_scalar_secs / hist_secs));
     std::fs::write(&out_path, json)
         .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
     println!("wrote {out_path}");

@@ -77,17 +77,35 @@ fn run() -> Result<(), BenchError> {
         }
     }) / PASSES as f64;
     eprintln!("flat forest ({workers} workers):   {:.3}ms/batch", flat_multi_secs * 1e3);
+
+    // The always-compiled scalar fallback on the same single core, via
+    // the explicit-level entry point: both the regression guard for the
+    // fallback and the denominator of the SIMD speedup headline.
+    let flat_scalar_secs = time_median(5, || {
+        for _ in 0..PASSES {
+            std::hint::black_box(flat.predict_raw_batch_on_with(
+                1,
+                &set.features,
+                msaw_gbdt::SimdLevel::Scalar,
+            ));
+        }
+    }) / PASSES as f64;
+    let simd_kernel = msaw_gbdt::simd::kernel_name();
+    eprintln!("flat forest (scalar, 1 core): {:.3}ms/batch", flat_scalar_secs * 1e3);
     eprintln!(
-        "speedups: {:.2}x single-core, {:.2}x with {workers} workers",
+        "speedups: {:.2}x single-core, {:.2}x with {workers} workers, \
+         {:.2}x {simd_kernel} kernel vs scalar",
         walk_secs / flat_single_secs,
-        walk_secs / flat_multi_secs
+        walk_secs / flat_multi_secs,
+        flat_scalar_secs / flat_single_secs,
     );
 
     let json = format!(
         "{{\n  \"cohort\": \"paper\",\n  \"patients\": {},\n  \"seed\": {},\n  \
          \"rows\": {},\n  \"features\": {},\n  \"trees\": {},\n  \"nodes\": {},\n  \
          \"walk_single_core_secs\": {:.9},\n  \"flat_single_core_secs\": {:.9},\n  \
-         \"flat_multi_worker_secs\": {:.9},\n  \"workers\": {},\n  \
+         \"flat_multi_worker_secs\": {:.9},\n  \"flat_scalar_single_core_secs\": {:.9},\n  \
+         \"simd_kernel\": \"{}\",\n  \"simd_speedup\": {:.3},\n  \"workers\": {},\n  \
          \"flat_single_core_speedup\": {:.3},\n  \"flat_multi_worker_speedup\": {:.3}\n}}\n",
         data.patients.len(),
         EXPERIMENT_SEED,
@@ -98,6 +116,9 @@ fn run() -> Result<(), BenchError> {
         walk_secs,
         flat_single_secs,
         flat_multi_secs,
+        flat_scalar_secs,
+        simd_kernel,
+        flat_scalar_secs / flat_single_secs,
         workers,
         walk_secs / flat_single_secs,
         walk_secs / flat_multi_secs,

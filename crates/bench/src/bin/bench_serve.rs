@@ -66,7 +66,7 @@ fn run() -> Result<(), BenchError> {
     let trees = artifact.booster.trees().len();
     let nodes = artifact.forest.n_nodes();
 
-    let service = PredictionService::spawn(artifact, ServeConfig::default());
+    let service = PredictionService::spawn(artifact, ServeConfig::default()).unwrap();
     let total_requests = CLIENTS * REQUESTS_PER_CLIENT;
     eprintln!(
         "serving: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests x {ROWS_PER_REQUEST} rows..."

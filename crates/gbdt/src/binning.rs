@@ -156,6 +156,15 @@ impl BinnedMatrix {
         &self.codes[row * self.ncols..(row + 1) * self.ncols]
     }
 
+    /// Raw in-band code of `(row, feature)` — bins `0..=cuts` for
+    /// present values, [`Self::missing_code`] for missing. The
+    /// branch-free accumulation paths index histograms with this
+    /// directly, letting the missing mass land in the trailing slot.
+    #[inline]
+    pub(crate) fn code(&self, row: usize, feature: usize) -> u16 {
+        self.codes[row * self.ncols + feature]
+    }
+
     /// Bin code of `(row, feature)`; `None` = missing.
     #[inline]
     pub fn bin(&self, row: usize, feature: usize) -> Option<u16> {

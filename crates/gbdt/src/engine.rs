@@ -187,10 +187,13 @@ impl FeatureListSet {
 /// One node's histograms, flattened over the round's feature subsample:
 /// feature `fi` owns slots `data[bounds[fi]..bounds[fi + 1]]` — its
 /// bins `0..=cuts` plus the trailing missing slot (the in-band missing
-/// code indexes it directly).
+/// code indexes it directly). Cells are `[grad, hess]` pairs —
+/// `[f64; 2]` rather than a tuple because the array layout is
+/// guaranteed, which is what lets the SIMD kernels view the buffer as a
+/// flat f64 slice.
 #[derive(Debug, Default)]
 pub(crate) struct NodeHists {
-    data: Vec<(f64, f64)>,
+    data: Vec<[f64; 2]>,
     bounds: Vec<usize>,
 }
 
@@ -201,7 +204,7 @@ impl NodeHists {
         self.bounds.push(0);
     }
 
-    fn feature(&self, fi: usize) -> &[(f64, f64)] {
+    fn feature(&self, fi: usize) -> &[[f64; 2]] {
         &self.data[self.bounds[fi]..self.bounds[fi + 1]]
     }
 }
@@ -738,17 +741,43 @@ fn push_split(tree: &mut TreeBuf, split: &SplitCandidate, cover: f64) -> usize {
 
 /// Accumulate `(grad, hess)` sums for the features `fi_range` of the
 /// round's subsample into `data`, a slice covering exactly those
-/// features' slots (`bounds` stays set-global). Row-major: each row's
-/// contiguous code slice is read once, and the in-band missing code
-/// lands the missing mass in the trailing slot with no branch. Per
-/// `(feature, slot)` cell the additions happen in row order, so chunked
-/// parallel accumulation is bit-identical to the serial pass.
+/// features' slots (`bounds` stays set-global) — dispatching on the
+/// kernel `level`. Per `(feature, slot)` cell the additions happen in
+/// row order on every level (the AVX2 kernel only vectorizes slot-index
+/// computation and uses pair-adds, never per-lane sub-histograms), so
+/// chunked parallel accumulation stays bit-identical to the serial pass
+/// and the SIMD pass bit-identical to the scalar one.
 fn accumulate_hists(
+    level: crate::simd::SimdLevel,
     binned: &BinnedMatrix,
     rctx: &RoundCtx,
     rows: &[usize],
     fi_range: std::ops::Range<usize>,
-    data: &mut [(f64, f64)],
+    data: &mut [[f64; 2]],
+    bounds: &[usize],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if level >= crate::simd::SimdLevel::Avx2 {
+        // SAFETY: `active_level` never reports Avx2-or-above without
+        // AVX2 CPU support (Avx512 implies it).
+        unsafe { accumulate_hists_avx2(binned, rctx, rows, fi_range, data, bounds) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = level;
+    accumulate_hists_scalar(binned, rctx, rows, fi_range, data, bounds);
+}
+
+/// The scalar accumulation pass (the always-compiled fallback).
+/// Row-major: each row's contiguous code slice is read once, and the
+/// in-band missing code lands the missing mass in the trailing slot
+/// with no branch.
+fn accumulate_hists_scalar(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    rows: &[usize],
+    fi_range: std::ops::Range<usize>,
+    data: &mut [[f64; 2]],
     bounds: &[usize],
 ) {
     let base = bounds[fi_range.start];
@@ -759,9 +788,78 @@ fn accumulate_hists(
         for fi in fi_range.clone() {
             let slot = bounds[fi] - base + codes[rctx.features[fi]] as usize;
             let cell = &mut data[slot];
-            cell.0 += g;
-            cell.1 += h;
+            cell[0] += g;
+            cell[1] += h;
         }
+    }
+}
+
+/// The AVX2 accumulation pass. Features are processed in stack-array
+/// chunks of up to 64; a chunk whose features are the identity mapping
+/// (`features[fi] == fi`, the default `colsample_bytree = 1.0` case)
+/// loads 8 row codes at a time, widens them, adds the precomputed slot
+/// offsets in one vector op, and applies the 8 `(g, h)` pair-adds to
+/// their (always distinct) cells in feature order. Non-identity chunks
+/// fall back to the scalar pass over just that chunk. No heap
+/// allocation on any path — the training hot path must stay
+/// allocation-free.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_hists_avx2(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    rows: &[usize],
+    fi_range: std::ops::Range<usize>,
+    data: &mut [[f64; 2]],
+    bounds: &[usize],
+) {
+    use crate::simd::x86::{pack_gh, pair_add};
+    use std::arch::x86_64::*;
+    const CHUNK: usize = 64;
+    let base = bounds[fi_range.start];
+    let mut fi = fi_range.start;
+    while fi < fi_range.end {
+        let end = (fi + CHUNK).min(fi_range.end);
+        let identity =
+            (fi..end).all(|k| rctx.features[k] == k) && bounds[end] - base <= i32::MAX as usize;
+        if !identity {
+            let lo = bounds[fi] - base;
+            let hi = bounds[end] - base;
+            accumulate_hists_scalar(binned, rctx, rows, fi..end, &mut data[lo..hi], bounds);
+            fi = end;
+            continue;
+        }
+        let nf_chunk = end - fi;
+        let mut off = [0i32; CHUNK];
+        for (c, o) in off[..nf_chunk].iter_mut().enumerate() {
+            *o = (bounds[fi + c] - base) as i32;
+        }
+        let full = nf_chunk / 8 * 8;
+        for &p in rows {
+            let codes = binned.row_codes(rctx.map[p]);
+            let gh = pack_gh(rctx.grad[p], rctx.hess[p]);
+            let cp = codes.as_ptr().add(fi);
+            let mut c = 0usize;
+            while c < full {
+                let raw = _mm_loadu_si128(cp.add(c) as *const __m128i);
+                let slots = _mm256_add_epi32(
+                    _mm256_cvtepu16_epi32(raw),
+                    _mm256_loadu_si256(off.as_ptr().add(c) as *const __m256i),
+                );
+                let mut s = [0i32; 8];
+                _mm256_storeu_si256(s.as_mut_ptr() as *mut __m256i, slots);
+                for &si in &s {
+                    pair_add(data.get_unchecked_mut(si as usize), gh);
+                }
+                c += 8;
+            }
+            while c < nf_chunk {
+                let slot = off[c] as usize + *codes.get_unchecked(fi + c) as usize;
+                pair_add(data.get_unchecked_mut(slot), gh);
+                c += 1;
+            }
+        }
+        fi = end;
     }
 }
 
@@ -773,19 +871,22 @@ fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize], out: &mut
     let nf = rctx.features.len();
     for &f in rctx.features {
         let new_len = out.data.len() + binned.slots(f);
-        out.data.resize(new_len, (0.0, 0.0));
+        out.data.resize(new_len, [0.0; 2]);
         out.bounds.push(new_len);
     }
+    // Read the dispatch level once per node so a concurrent override
+    // cannot change kernels between this node's parallel chunks.
+    let level = crate::simd::active_level();
     let threads = rctx.scan_threads(rows.len()).min(nf.max(1));
     if threads <= 1 || nf < 2 {
-        accumulate_hists(binned, rctx, rows, 0..nf, &mut out.data, &out.bounds);
+        accumulate_hists(level, binned, rctx, rows, 0..nf, &mut out.data, &out.bounds);
         return;
     }
     let chunk = nf.div_ceil(threads);
     let NodeHists { data, bounds } = out;
     std::thread::scope(|s| {
         let bounds: &[usize] = bounds;
-        let mut rest: &mut [(f64, f64)] = data;
+        let mut rest: &mut [[f64; 2]] = data;
         let mut consumed = 0usize;
         let mut start = 0usize;
         while start < nf {
@@ -793,7 +894,7 @@ fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize], out: &mut
             let (head, tail) = rest.split_at_mut(bounds[end] - consumed);
             rest = tail;
             consumed = bounds[end];
-            s.spawn(move || accumulate_hists(binned, rctx, rows, start..end, head, bounds));
+            s.spawn(move || accumulate_hists(level, binned, rctx, rows, start..end, head, bounds));
             start = end;
         }
     });
@@ -801,17 +902,33 @@ fn build_hists(binned: &BinnedMatrix, rctx: &RoundCtx, rows: &[usize], out: &mut
 
 /// The subtraction trick: `parent − child` slot-wise gives the sibling's
 /// histogram without touching its rows. Mutates the parent in place.
+/// The AVX2 path subtracts four f64 lanes at a time over the flattened
+/// cells — still one IEEE subtraction per cell component, bit-identical
+/// to the scalar loop.
 fn subtract_hists(parent: &mut NodeHists, child: &NodeHists) {
-    for (ps, cs) in parent.data.iter_mut().zip(&child.data) {
-        ps.0 -= cs.0;
-        ps.1 -= cs.1;
+    let n = parent.data.len().min(child.data.len());
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::active_level() >= crate::simd::SimdLevel::Avx2 {
+        // SAFETY: `active_level` never reports Avx2-or-above without
+        // AVX2 CPU support (Avx512 implies it).
+        unsafe {
+            crate::simd::x86::sub_f64_avx2(
+                parent.data[..n].as_flattened_mut(),
+                child.data[..n].as_flattened(),
+            )
+        };
+        return;
+    }
+    for (ps, cs) in parent.data[..n].iter_mut().zip(&child.data[..n]) {
+        ps[0] -= cs[0];
+        ps[1] -= cs[1];
     }
 }
 
 fn scan_hist(
     feature: usize,
     cuts: &[f64],
-    hist: &[(f64, f64)],
+    hist: &[[f64; 2]],
     total_g: f64,
     total_h: f64,
     tracker: &mut BestTracker,
@@ -819,15 +936,36 @@ fn scan_hist(
     if cuts.is_empty() {
         return;
     }
-    let (g_miss, h_miss) = hist[hist.len() - 1];
+    let [g_miss, h_miss] = hist[hist.len() - 1];
     let mut gl = 0.0;
     let mut hl = 0.0;
     // Boundary after bin i corresponds to threshold cuts[i].
     for (i, &cut) in cuts.iter().enumerate() {
-        gl += hist[i].0;
-        hl += hist[i].1;
+        gl += hist[i][0];
+        hl += hist[i][1];
         tracker.offer_both(feature, cut, gl, hl, g_miss, h_miss, total_g, total_h);
     }
+}
+
+/// Bench/test hook: build one root-node histogram set over all rows and
+/// features of `binned` (identity position map, serial) and return a
+/// checksum of the accumulated cells. This is exactly the per-node
+/// kernel `bench_grid` times and `perf_check` gates; the checksum keeps
+/// the work observable so the timing loop cannot be optimised away.
+#[doc(hidden)]
+pub fn build_hists_for_bench(binned: &BinnedMatrix, grad: &[f64], hess: &[f64]) -> f64 {
+    let n = binned.nrows();
+    assert_eq!(grad.len(), n, "one gradient per row");
+    assert_eq!(hess.len(), n, "one hessian per row");
+    let mut params = Params::regression();
+    params.parallel_split_threshold = usize::MAX;
+    let map: Vec<usize> = (0..n).collect();
+    let features: Vec<usize> = (0..binned.ncols()).collect();
+    let rctx = RoundCtx { map: &map, grad, hess, features: &features, params: &params };
+    let rows: Vec<usize> = (0..n).collect();
+    let mut out = NodeHists::default();
+    build_hists(binned, &rctx, &rows, &mut out);
+    out.data.iter().map(|c| c[0] + c[1]).sum()
 }
 
 fn find_split_hist(

@@ -56,7 +56,13 @@ const LANES: usize = 8;
 /// One compiled node: 24 bytes, three loads per hop, no enum tag.
 /// Fields are crate-visible so the artifact codec can persist the
 /// compiled array verbatim and validate a loaded one field-by-field.
+///
+/// `#[repr(C)]` pins the field layout the AVX2 kernel's gathers address
+/// by byte offset (checked below at compile time); the codec persists
+/// fields individually, so the representation change is invisible on
+/// disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub(crate) struct FlatNode {
     /// Split threshold; holds the leaf *weight* for leaves.
     pub(crate) threshold: f64,
@@ -68,6 +74,23 @@ pub(crate) struct FlatNode {
 
 /// Crate-visible alias of [`DEFAULT_LEFT_BIT`] for the artifact codec.
 pub(crate) const FLAT_DEFAULT_LEFT_BIT: u32 = DEFAULT_LEFT_BIT;
+
+// The SIMD traversal kernel gathers node fields by byte offset; if this
+// layout ever changes, fail the build rather than read garbage.
+const _: () = {
+    assert!(std::mem::size_of::<FlatNode>() == 24);
+    assert!(std::mem::offset_of!(FlatNode, threshold) == 0);
+    assert!(std::mem::offset_of!(FlatNode, children) == 8);
+    assert!(std::mem::offset_of!(FlatNode, feature_and_default) == 16);
+};
+
+/// Which rows of a matrix a batch block covers: a contiguous run
+/// starting at an offset, or an arbitrary index gather (the OOF/grid
+/// row-view shape).
+enum RowSel<'a> {
+    Contiguous(usize),
+    Gather(&'a [usize]),
+}
 
 /// An ensemble compiled into a contiguous node array for batched
 /// prediction. Build one with [`Booster::flat_forest`] (or
@@ -396,10 +419,85 @@ impl FlatForest {
         }
     }
 
+    /// Route one block through the level's kernel. The vector paths
+    /// validate the block's row indices and width once, precompute
+    /// each row's flat offset into the matrix buffer on the stack, and
+    /// hand the whole block to the level's kernel (AVX2 or AVX-512);
+    /// every other level runs the scalar [`Self::accumulate`]
+    /// unchanged. All produce bit-identical sums (see `simd.rs`
+    /// module docs).
+    fn accumulate_block(
+        &self,
+        level: crate::simd::SimdLevel,
+        data: &Matrix,
+        rows: RowSel,
+        out: &mut [f64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level >= crate::simd::SimdLevel::Avx2 && out.len() <= BLOCK_ROWS {
+            let ncols = data.ncols();
+            assert_eq!(ncols, self.n_features, "row width mismatch");
+            let mut off = [0i64; BLOCK_ROWS];
+            match rows {
+                RowSel::Contiguous(start) => {
+                    assert!(start + out.len() <= data.nrows(), "row range out of bounds");
+                    for (k, o) in off[..out.len()].iter_mut().enumerate() {
+                        *o = ((start + k) * ncols) as i64;
+                    }
+                }
+                RowSel::Gather(block) => {
+                    assert_eq!(block.len(), out.len());
+                    for (o, &r) in off[..out.len()].iter_mut().zip(block) {
+                        assert!(r < data.nrows(), "row index out of bounds");
+                        *o = (r * ncols) as i64;
+                    }
+                }
+            }
+            // SAFETY: the level's ISA is guaranteed by `active_level`'s
+            // capability clamp; the forest's construction validated
+            // every node, and the row offsets were just bounds-checked
+            // against `data`.
+            unsafe {
+                if level == crate::simd::SimdLevel::Avx512 {
+                    crate::simd::x86::accumulate_avx512(
+                        &self.nodes,
+                        &self.roots,
+                        &self.depths,
+                        data.as_slice(),
+                        &off[..out.len()],
+                        out,
+                    );
+                } else {
+                    crate::simd::x86::accumulate_avx2(
+                        &self.nodes,
+                        &self.roots,
+                        &self.depths,
+                        data.as_slice(),
+                        &off[..out.len()],
+                        out,
+                    );
+                }
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = level;
+        match rows {
+            RowSel::Contiguous(start) => self.accumulate(|k| data.row(start + k), out),
+            RowSel::Gather(block) => self.accumulate(|k| data.row(block[k]), out),
+        }
+    }
+
     /// One block's raw scores.
-    fn raw_block(&self, data: &Matrix, start: usize, end: usize) -> Vec<f64> {
+    fn raw_block(
+        &self,
+        level: crate::simd::SimdLevel,
+        data: &Matrix,
+        start: usize,
+        end: usize,
+    ) -> Vec<f64> {
         let mut out = vec![0.0; end - start];
-        self.accumulate(|k| data.row(start + k), &mut out);
+        self.accumulate_block(level, data, RowSel::Contiguous(start), &mut out);
         for o in &mut out {
             // IEEE addition commutes bit-for-bit, so this equals `base + acc`.
             *o += self.base_score;
@@ -419,9 +517,22 @@ impl FlatForest {
 
     /// [`Self::predict_raw_batch`] on exactly `workers` threads.
     pub fn predict_raw_batch_on(&self, workers: usize, data: &Matrix) -> Vec<f64> {
+        self.predict_raw_batch_on_with(workers, data, crate::simd::active_level())
+    }
+
+    /// [`Self::predict_raw_batch_on`] with an explicit kernel level —
+    /// the bench/test entry point for comparing tiers without touching
+    /// process-global dispatch state.
+    #[doc(hidden)]
+    pub fn predict_raw_batch_on_with(
+        &self,
+        workers: usize,
+        data: &Matrix,
+        level: crate::simd::SimdLevel,
+    ) -> Vec<f64> {
         debug_assert_eq!(data.ncols(), self.n_features);
         msaw_parallel::run_blocks_on(workers, data.nrows(), BLOCK_ROWS, |range| {
-            self.raw_block(data, range.start, range.end)
+            self.raw_block(level, data, range.start, range.end)
         })
     }
 
@@ -450,8 +561,9 @@ impl FlatForest {
                 actual: data.ncols(),
             });
         }
+        let level = crate::simd::active_level();
         msaw_parallel::try_run_blocks_on(workers, data.nrows(), BLOCK_ROWS, |range| {
-            self.raw_block(data, range.start, range.end)
+            self.raw_block(level, data, range.start, range.end)
         })
         .map_err(|e| crate::error::PredictError::Batch { block: e.job, message: e.message })
     }
@@ -483,10 +595,11 @@ impl FlatForest {
     /// from call sites already running inside a worker pool.
     pub fn predict_raw_rows_on(&self, workers: usize, data: &Matrix, rows: &[usize]) -> Vec<f64> {
         debug_assert_eq!(data.ncols(), self.n_features);
+        let level = crate::simd::active_level();
         msaw_parallel::run_blocks_on(workers, rows.len(), BLOCK_ROWS, |range| {
             let block = &rows[range];
             let mut out = vec![0.0; block.len()];
-            self.accumulate(|k| data.row(block[k]), &mut out);
+            self.accumulate_block(level, data, RowSel::Gather(block), &mut out);
             for o in &mut out {
                 // IEEE addition commutes bit-for-bit, so this equals `base + acc`.
                 *o += self.base_score;

@@ -44,14 +44,15 @@ impl FeatureImportance {
     }
 
     /// Features ranked by descending importance, ties broken by index.
+    ///
+    /// Uses [`f64::total_cmp`] so the sort is total even when scores are
+    /// non-finite (a custom-built or corrupted score vector containing
+    /// `NaN` used to panic here via `partial_cmp`). Under the IEEE total
+    /// order, descending means `+NaN` sorts first and `-NaN` last, with
+    /// infinities between them and the finite values.
     pub fn ranking(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.scores[b]
-                .partial_cmp(&self.scores[a])
-                .expect("importances are finite")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
         order
     }
 
@@ -108,5 +109,24 @@ mod tests {
     fn all_zero_normalisation_is_stable() {
         let imp = FeatureImportance { scores: vec![0.0, 0.0], kind: ImportanceKind::Gain };
         assert_eq!(imp.normalised(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ranking_tolerates_nan_and_infinite_scores() {
+        // Regression test: `ranking` used to panic on NaN via
+        // `partial_cmp(..).expect(..)`. The total order sorts +NaN above
+        // +inf and below that the finite values in descending order.
+        let imp = FeatureImportance {
+            scores: vec![1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0],
+            kind: ImportanceKind::Gain,
+        };
+        assert_eq!(imp.ranking(), vec![1, 4, 2, 0, 5, 3]);
+    }
+
+    #[test]
+    fn ranking_breaks_ties_by_index() {
+        let imp =
+            FeatureImportance { scores: vec![2.0, 5.0, 2.0, 5.0], kind: ImportanceKind::Gain };
+        assert_eq!(imp.ranking(), vec![1, 3, 0, 2]);
     }
 }

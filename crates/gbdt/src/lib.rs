@@ -53,18 +53,22 @@ pub mod importance;
 pub mod objective;
 pub mod params;
 pub mod serialize;
+pub mod simd;
 pub mod split;
 pub mod tree;
 
 pub use artifact::{fnv1a_64, ModelArtifact, ARTIFACT_VERSION};
 pub use booster::{Booster, EvalRecord, FitRun, TrainReport};
 pub use context::{ContextCache, ExactIndex, TrainingContext, MISSING_RANK};
+#[doc(hidden)]
+pub use engine::build_hists_for_bench;
 pub use engine::TreeScratch;
 pub use error::{GbdtError, PredictError, TrainError};
 pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;
 pub use params::{Params, TreeMethod, DEFAULT_CONTEXT_BINS};
+pub use simd::SimdLevel;
 pub use tree::{Node, Tree, TreeDefect};
 
 /// Crate-wide result alias; the default error is the [`GbdtError`]

@@ -210,7 +210,10 @@ fn scan_feature_exact(
 }
 
 /// Histogram search over one feature: scan quantile-bin boundaries using
-/// per-bin accumulated statistics.
+/// per-bin accumulated statistics. Dispatches to the branch-free
+/// in-band SIMD accumulator when a vector level is active; the scalar
+/// loop below stays the always-compiled fallback, and both accumulate
+/// each cell in row order, so the split choice is bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn scan_feature_hist(
     binned: &BinnedMatrix,
@@ -221,15 +224,20 @@ fn scan_feature_hist(
     total_g: f64,
     total_h: f64,
     tracker: &mut BestTracker,
-    hist: &mut Vec<(f64, f64)>,
+    hist: &mut Vec<[f64; 2]>,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::active_level() != crate::simd::SimdLevel::Scalar {
+        scan_feature_hist_simd(binned, rows, grad, hess, feature, total_g, total_h, tracker, hist);
+        return;
+    }
     let cuts = binned.cuts(feature);
     if cuts.is_empty() {
         return;
     }
     let n_bins = cuts.len() + 1;
     hist.clear();
-    hist.resize(n_bins, (0.0, 0.0));
+    hist.resize(n_bins, [0.0; 2]);
     let mut g_miss = 0.0;
     let mut h_miss = 0.0;
     for &r in rows {
@@ -240,8 +248,8 @@ fn scan_feature_hist(
             }
             Some(b) => {
                 let slot = &mut hist[b as usize];
-                slot.0 += grad[r];
-                slot.1 += hess[r];
+                slot[0] += grad[r];
+                slot[1] += hess[r];
             }
         }
     }
@@ -249,8 +257,50 @@ fn scan_feature_hist(
     let mut hl = 0.0;
     // Boundary after bin i corresponds to threshold cuts[i].
     for (i, &cut) in cuts.iter().enumerate() {
-        gl += hist[i].0;
-        hl += hist[i].1;
+        gl += hist[i][0];
+        hl += hist[i][1];
+        tracker.offer_both(feature, cut, gl, hl, g_miss, h_miss, total_g, total_h);
+    }
+}
+
+/// The vector twin of [`scan_feature_hist`]: one extra trailing slot
+/// receives the missing mass through the raw in-band code — no per-row
+/// present/missing branch — and each `(g, h)` cell is updated with a
+/// 128-bit pair-add (two independent IEEE additions). Every cell sees
+/// the same additions in the same row order as the scalar loop, so the
+/// offered candidates are bitwise identical.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn scan_feature_hist_simd(
+    binned: &BinnedMatrix,
+    rows: &[usize],
+    grad: &[f64],
+    hess: &[f64],
+    feature: usize,
+    total_g: f64,
+    total_h: f64,
+    tracker: &mut BestTracker,
+    hist: &mut Vec<[f64; 2]>,
+) {
+    use crate::simd::x86::{pack_gh, pair_add};
+    let cuts = binned.cuts(feature);
+    if cuts.is_empty() {
+        return;
+    }
+    let n_bins = cuts.len() + 1;
+    hist.clear();
+    hist.resize(n_bins + 1, [0.0; 2]);
+    for &r in rows {
+        let gh = pack_gh(grad[r], hess[r]);
+        pair_add(&mut hist[binned.code(r, feature) as usize], gh);
+    }
+    let [g_miss, h_miss] = hist[n_bins];
+    let mut gl = 0.0;
+    let mut hl = 0.0;
+    // Boundary after bin i corresponds to threshold cuts[i].
+    for (i, &cut) in cuts.iter().enumerate() {
+        gl += hist[i][0];
+        hl += hist[i][1];
         tracker.offer_both(feature, cut, gl, hl, g_miss, h_miss, total_g, total_h);
     }
 }

@@ -28,6 +28,11 @@ cargo build --release -p msaw-bench --bins   # every figure/table binary + bench
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo test (scalar SIMD fallback forced)"
+# The vector kernels are runtime-dispatched; this pass pins the
+# always-compiled scalar fallback so it stays green on its own.
+MSAW_FORCE_SCALAR=1 cargo test --workspace --quiet
+
 echo "==> serialisation fuzz suite"
 cargo test --quiet -p msaw-gbdt --test serialize_robustness
 
@@ -51,9 +56,9 @@ else
     ./target/release/bench_shap "$perf_tmp/shap.json"
     ./target/release/bench_serve "$perf_tmp/serve.json"
     ./target/release/perf_check BENCH_grid.json "$perf_tmp/grid.json" \
-        run_full_grid_secs variants_total_secs
+        run_full_grid_secs variants_total_secs hist_build_secs
     ./target/release/perf_check BENCH_predict.json "$perf_tmp/predict.json" \
-        walk_single_core_secs flat_single_core_secs
+        walk_single_core_secs flat_single_core_secs flat_scalar_single_core_secs
     ./target/release/perf_check BENCH_shap.json "$perf_tmp/shap.json" \
         shap_matrix_secs fig7_end_to_end_secs
     ./target/release/perf_check BENCH_serve.json "$perf_tmp/serve.json" \

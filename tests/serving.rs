@@ -46,7 +46,7 @@ fn persisted_model_served_concurrently_matches_the_in_process_path() {
     for workers in [1usize, 2, 8] {
         let reloaded = registry.load(&key).unwrap();
         let config = ServeConfig { workers, ..ServeConfig::default() };
-        let service = PredictionService::spawn(reloaded, config);
+        let service = PredictionService::spawn(reloaded, config).unwrap();
 
         // Several clients hammer the service concurrently with
         // overlapping row windows; every answer must be bitwise equal
@@ -89,7 +89,7 @@ fn served_explanations_reconstruct_reloaded_predictions() {
     }
     let reloaded = registry.load(&key).unwrap();
     let forest = reloaded.forest.clone();
-    let service = PredictionService::spawn(reloaded, ServeConfig::default());
+    let service = PredictionService::spawn(reloaded, ServeConfig::default()).unwrap();
     let probe = set.features.take_rows(&[0, 17, 42]);
     let out =
         service.handle().submit(&probe, RequestOptions { explain: true }).unwrap().wait().unwrap();
