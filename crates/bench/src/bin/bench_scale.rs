@@ -1,0 +1,112 @@
+//! Scaling curves for the streaming population-scale pipeline: runs
+//! the generate → sketch → encode → out-of-core-fit pipeline
+//! (`msaw_core::scale`) at 261 → 10k → 100k → 1M patients and records
+//! per-stage wall times, fit throughput, and peak RSS into
+//! `BENCH_scale.json`. Scales run ascending so the monotonic `VmHWM`
+//! reading attributes peak memory to each scale as it grows; blocks
+//! spill to disk from 100k patients up, which is what keeps the 1M fit
+//! inside a bounded resident set.
+//!
+//! CI gates the 10k point (seconds and peak RSS; smaller is better —
+//! throughput is gated via its reciprocal `fit_secs_per_mrow`).
+//!
+//! Usage: `bench_scale [out.json] [max_patients]` — the second argument
+//! caps the sweep (CI smokes at 10000; the committed baseline is the
+//! full 1M sweep).
+
+use msaw_bench::{exit_on_error, BenchError, EXPERIMENT_SEED};
+use msaw_cohort::CohortConfig;
+use msaw_core::scale::{run_scale, ScaleConfig};
+use msaw_preprocess::OutcomeKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The sweep: paper scale, then 10⁴ / 10⁵ / 10⁶ patients.
+const SCALES: [usize; 4] = [261, 10_000, 100_000, 1_000_000];
+/// Spill binned blocks to disk from this scale up; below it the code
+/// matrix is small enough to keep resident.
+const SPILL_FROM: usize = 100_000;
+
+fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let usage = || BenchError::Usage("bench_scale [BENCH_scale.json] [max_patients]".to_string());
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let max_patients = match args.next() {
+        Some(s) => s.parse::<usize>().map_err(|_| usage())?,
+        None => *SCALES.last().unwrap(),
+    };
+    if args.next().is_some() {
+        return Err(usage());
+    }
+
+    let spill_dir = std::env::temp_dir().join(format!("msaw_bench_scale_{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir)
+        .map_err(|source| BenchError::Io { path: spill_dir.display().to_string(), source })?;
+
+    let mut body = String::new();
+    let wall = Instant::now();
+    for &n in SCALES.iter().filter(|&&n| n <= max_patients) {
+        let cohort = CohortConfig::scaled(EXPERIMENT_SEED, n);
+        let mut cfg = ScaleConfig::new(OutcomeKind::Qol);
+        let spill = n >= SPILL_FROM;
+        if spill {
+            cfg.spill_path = Some(spill_dir.join(format!("scale_{n}.mscb")));
+        }
+        eprintln!(
+            "scale {n}: {} patients, {}...",
+            cohort.total_patients(),
+            if spill { "spilled blocks" } else { "in-memory blocks" }
+        );
+        let report = run_scale(&cohort, &cfg).map_err(BenchError::Pipeline)?;
+        let trees = cfg.params.n_estimators;
+        let secs_per_mrow =
+            if report.fit_rows_per_sec > 0.0 { 1.0e6 / report.fit_rows_per_sec } else { 0.0 };
+        let rss = report.peak_rss_mb.unwrap_or(0.0);
+        eprintln!(
+            "  {} rows | sketch {:.2}s encode {:.2}s fit {:.2}s | {:.0} row-trees/s | peak RSS {:.0} MiB",
+            report.n_rows,
+            report.sketch_secs,
+            report.encode_secs,
+            report.fit_secs,
+            report.fit_rows_per_sec,
+            rss,
+        );
+        if let Some(path) = &cfg.spill_path {
+            let _ = std::fs::remove_file(path);
+        }
+        write!(
+            body,
+            "  \"scale{n}_patients\": {},\n  \"scale{n}_rows\": {},\n  \
+             \"scale{n}_trees\": {trees},\n  \"scale{n}_spilled\": {},\n  \
+             \"scale{n}_sketch_secs\": {:.6},\n  \"scale{n}_encode_secs\": {:.6},\n  \
+             \"scale{n}_fit_secs\": {:.6},\n  \"scale{n}_fit_rows_per_sec\": {:.1},\n  \
+             \"scale{n}_fit_secs_per_mrow\": {:.6},\n  \"scale{n}_peak_rss_mb\": {:.1},\n",
+            report.n_patients,
+            report.n_rows,
+            if report.spilled { "true" } else { "false" },
+            report.sketch_secs,
+            report.encode_secs,
+            report.fit_secs,
+            report.fit_rows_per_sec,
+            secs_per_mrow,
+            rss,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    let json = format!(
+        "{{\n  \"cohort\": \"scaled\",\n  \"seed\": {EXPERIMENT_SEED},\n  \
+         \"outcome\": \"QoL\",\n  \"max_patients\": {max_patients},\n{body}  \
+         \"wall_secs\": {:.3}\n}}\n",
+        wall.elapsed().as_secs_f64(),
+    );
+    std::fs::write(&out_path, json)
+        .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
+    println!("wrote {out_path}");
+    Ok(())
+}

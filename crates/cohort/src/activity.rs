@@ -76,6 +76,18 @@ pub fn simulate(
 }
 
 impl ActivityTrace {
+    /// Bitwise channel equality. Traces encode not-worn days as `NaN`,
+    /// so `PartialEq` is irreflexive on any realistic trace — use this
+    /// wherever two traces are compared for being *the same data*.
+    pub fn bits_eq(&self, other: &ActivityTrace) -> bool {
+        fn eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        eq(&self.steps, &other.steps)
+            && eq(&self.sleep_hours, &other.sleep_hours)
+            && eq(&self.calories, &other.calories)
+    }
+
     /// Mean of a channel over the days of `month` (1-based), skipping
     /// not-worn days. `NaN` when the whole month is missing.
     pub fn monthly_mean(&self, channel: &[f64], month: usize) -> f64 {

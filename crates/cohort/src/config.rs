@@ -104,6 +104,19 @@ impl CohortConfig {
         cfg
     }
 
+    /// A population-scale cohort: the paper's three clinics with their
+    /// 128:100:33 enrolment proportions stretched to roughly
+    /// `n_patients` total (each clinic keeps at least one patient, so
+    /// tiny targets may round the total up). Noise/spread/shift
+    /// parameters stay at the paper's values — only enrolment scales.
+    pub fn scaled(seed: u64, n_patients: usize) -> Self {
+        let mut cfg = Self::paper(seed);
+        for c in &mut cfg.clinics {
+            c.n_patients = (c.n_patients * n_patients / 261).max(1);
+        }
+        cfg
+    }
+
     /// Total number of patients.
     pub fn total_patients(&self) -> usize {
         self.clinics.iter().map(|c| c.n_patients).sum()
@@ -137,6 +150,20 @@ mod tests {
         let cfg = CohortConfig::small(1);
         assert!(cfg.total_patients() < 60);
         assert!(cfg.clinics.iter().all(|c| c.n_patients >= 4));
+    }
+
+    #[test]
+    fn scaled_cohort_preserves_proportions() {
+        let cfg = CohortConfig::scaled(1, 100_000);
+        let total = cfg.total_patients() as f64;
+        assert!((99_000.0..=101_000.0).contains(&total));
+        let modena = cfg.clinics[0].n_patients as f64;
+        assert!((modena / total - 128.0 / 261.0).abs() < 0.01);
+        // Degenerate targets still give every clinic one patient.
+        let tiny = CohortConfig::scaled(1, 1);
+        assert!(tiny.clinics.iter().all(|c| c.n_patients == 1));
+        // Paper-scale target reproduces the paper cohort exactly.
+        assert_eq!(CohortConfig::scaled(1, 261).clinics, CohortConfig::paper(1).clinics);
     }
 
     #[test]

@@ -2,17 +2,15 @@
 //! activity traces, clinical assessments and outcomes into one
 //! deterministic [`CohortData`].
 
-use crate::activity::{self, ActivityTrace};
-use crate::clinical::{self, clinical_panel, ClinicalAssessment, ClinicalVariable};
+use crate::activity::ActivityTrace;
+use crate::clinical::{ClinicalAssessment, ClinicalVariable};
 use crate::config::CohortConfig;
 use crate::domains::{Domain, DomainVector};
-use crate::missing::inject_gaps;
-use crate::outcomes::{self, OutcomeRecord};
+use crate::outcomes::OutcomeRecord;
 use crate::patient::{Patient, PatientId};
-use crate::pro::{N_PRO, QUESTION_BANK};
 use crate::rng::{normal, substream, Stream};
+use crate::stream::CohortStream;
 use crate::trajectory::{self, Trajectory};
-use crate::{STUDY_MONTHS, VISIT_MONTHS, WEEKS_PER_MONTH};
 use serde::{Deserialize, Serialize};
 
 /// Weekly PRO observations: `series[patient][question][week]`,
@@ -74,7 +72,11 @@ impl CohortData {
 }
 
 /// Draw a patient's demographics and baseline latent state.
-fn make_patient(id: u32, clinic_cfg: &crate::config::ClinicConfig, seed: u64) -> Patient {
+pub(crate) fn make_patient(
+    id: u32,
+    clinic_cfg: &crate::config::ClinicConfig,
+    seed: u64,
+) -> Patient {
     let mut rng = substream(seed, Stream::Baseline, id as u64, 0);
     // OPLWH: 50+, right-skewed age distribution.
     let age = 50.0 + 14.0 * (normal(&mut rng).abs() * 0.6 + 0.2).min(2.2);
@@ -101,64 +103,30 @@ fn make_patient(id: u32, clinic_cfg: &crate::config::ClinicConfig, seed: u64) ->
 }
 
 /// Generate the full cohort for `config`.
+///
+/// A thin collect over [`CohortStream`]: each patient is produced by
+/// the streaming generator (whose draws are keyed purely on the
+/// patient id) and appended in id order, so this materialised form and
+/// the streamed form are byte-identical by construction — pinned by
+/// `tests/stream_equivalence.rs`.
 pub fn generate(config: &CohortConfig) -> CohortData {
-    let seed = config.seed;
-    let n_weeks = STUDY_MONTHS * WEEKS_PER_MONTH;
-    let panel = clinical_panel();
+    let n = config.total_patients();
+    let mut patients = Vec::with_capacity(n);
+    let mut latent = Vec::with_capacity(n);
+    let mut pro_series = Vec::with_capacity(n);
+    let mut activity_traces = Vec::with_capacity(n);
+    let mut clinical_records = Vec::with_capacity(n * crate::VISIT_MONTHS.len());
+    let mut outcome_records = Vec::with_capacity(n * 2);
 
-    let mut patients = Vec::with_capacity(config.total_patients());
-    let mut latent = Vec::with_capacity(config.total_patients());
-    let mut pro_series = Vec::with_capacity(config.total_patients());
-    let mut activity_traces = Vec::with_capacity(config.total_patients());
-    let mut clinical_records = Vec::new();
-    let mut outcome_records = Vec::new();
-
-    let mut next_id = 0u32;
-    for clinic_cfg in &config.clinics {
-        for _ in 0..clinic_cfg.n_patients {
-            let patient = make_patient(next_id, clinic_cfg, seed);
-            next_id += 1;
-            let traj = trajectory::simulate(&patient, clinic_cfg, seed);
-            let balance = trajectory::balance_trait(&patient, seed);
-
-            // Weekly PRO answers for all 56 questions, then gaps.
-            let mut per_question: Vec<Vec<Option<u8>>> = Vec::with_capacity(N_PRO);
-            for (q_idx, question) in QUESTION_BANK.iter().enumerate() {
-                let mut rng_answers =
-                    substream(seed, Stream::Pro, patient.id.0 as u64, q_idx as u64);
-                let mut series: Vec<Option<u8>> = (0..n_weeks)
-                    .map(|week| {
-                        let month = week / WEEKS_PER_MONTH + 1;
-                        let domain_theta = traj.capacity[month].get(question.domain);
-                        let bl = question.balance_loading;
-                        let theta = (1.0 - bl) * domain_theta + bl * balance;
-                        Some(question.answer(theta, clinic_cfg.observation_noise, &mut rng_answers))
-                    })
-                    .collect();
-                let mut rng_gaps = substream(seed, Stream::Gaps, patient.id.0 as u64, q_idx as u64);
-                inject_gaps(&mut series, &config.missingness, &mut rng_gaps);
-                per_question.push(series);
-            }
-            pro_series.push(per_question);
-
-            activity_traces.push(activity::simulate(&patient, &traj, clinic_cfg, seed));
-
-            for month in VISIT_MONTHS {
-                clinical_records.push(clinical::assess(&patient, &traj, month, &panel, seed));
-            }
-            for month in [9, 18] {
-                outcome_records.push(outcomes::measure(
-                    &patient,
-                    &traj,
-                    month,
-                    clinic_cfg.observation_noise,
-                    seed,
-                ));
-            }
-
-            patients.push(patient);
-            latent.push(traj);
-        }
+    let mut stream = CohortStream::new(config);
+    let panel = stream.panel().to_vec();
+    for record in &mut stream {
+        patients.push(record.patient);
+        latent.push(record.latent);
+        pro_series.push(record.pro);
+        activity_traces.push(record.activity);
+        clinical_records.extend(record.clinical);
+        outcome_records.extend(record.outcomes);
     }
 
     CohortData {
@@ -178,6 +146,7 @@ mod tests {
     use super::*;
     use crate::missing::gap_lengths;
     use crate::patient::Clinic;
+    use crate::{STUDY_MONTHS, WEEKS_PER_MONTH};
 
     fn small() -> CohortData {
         generate(&CohortConfig::small(42))

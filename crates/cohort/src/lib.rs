@@ -39,6 +39,7 @@ pub mod outcomes;
 pub mod patient;
 pub mod pro;
 pub mod rng;
+pub mod stream;
 pub mod trajectory;
 pub mod validate;
 
@@ -48,6 +49,7 @@ pub use generator::{generate, CohortData};
 pub use outcomes::OutcomeRecord;
 pub use patient::{Clinic, Patient, PatientId};
 pub use pro::{ProQuestion, N_PRO, QUESTION_BANK};
+pub use stream::{generate_patient, CohortStream, PatientRecord};
 
 /// Months in the study (two 9-month windows).
 pub const STUDY_MONTHS: usize = 18;

@@ -39,6 +39,11 @@ pub enum PipelineError {
     UnknownFeature(String),
     /// The model registry failed to store or load an artifact.
     Registry(crate::registry::RegistryError),
+    /// The out-of-core (chunked) training path failed below the
+    /// parameter layer — spill-file I/O or corruption. Carried rendered
+    /// so this type stays `Clone + PartialEq`; typed parameter/label
+    /// failures arrive as [`PipelineError::Train`] instead.
+    Chunk { message: String },
 }
 
 impl fmt::Display for PipelineError {
@@ -62,6 +67,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Pool(e) => write!(f, "worker pool failed: {e}"),
             PipelineError::UnknownFeature(name) => write!(f, "unknown feature `{name}`"),
             PipelineError::Registry(e) => write!(f, "model registry failed: {e}"),
+            PipelineError::Chunk { message } => {
+                write!(f, "out-of-core training failed: {message}")
+            }
         }
     }
 }

@@ -18,7 +18,11 @@
 //!   with data-driven thresholds (Fig. 7);
 //! * [`registry`] — persisted-model registry keyed by (outcome,
 //!   variant, cohort fingerprint), with atomic publish and verified
-//!   load of the v2 prediction-bundle artifacts.
+//!   load of the v2 prediction-bundle artifacts;
+//! * [`scale`] — the population-scale streaming pipeline: cohorts
+//!   generated and featurized chunk by chunk, binned into fixed-size
+//!   row blocks (optionally spilled to disk), and trained out of core —
+//!   bit-identical to the in-memory histogram fit.
 //!
 //! ```no_run
 //! use msaw_cohort::{generate, CohortConfig};
@@ -38,6 +42,7 @@ pub mod grid;
 pub mod interpret;
 pub mod oof;
 pub mod registry;
+pub mod scale;
 
 pub use config::ExperimentConfig;
 pub use error::PipelineError;
@@ -47,4 +52,5 @@ pub use grid::{
     try_run_full_grid_on,
 };
 pub use oof::{oof_predictions, try_oof_predictions};
-pub use registry::{cohort_fingerprint, ModelKey, ModelRegistry, RegistryError};
+pub use registry::{cohort_fingerprint, ModelKey, ModelRegistry, PruneReport, RegistryError};
+pub use scale::{peak_rss_mb, run_scale, ScaleConfig, ScaleReport};

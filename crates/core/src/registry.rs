@@ -104,6 +104,10 @@ pub enum RegistryError {
     NotFound { key_file: String },
     /// The stored artifact failed checksum or structural validation.
     Artifact { key_file: String, source: PredictError },
+    /// `prune` was asked to keep zero artifacts per group, which would
+    /// empty the registry — almost certainly a caller bug, so it is
+    /// rejected rather than obeyed.
+    InvalidKeep,
 }
 
 impl fmt::Display for RegistryError {
@@ -117,6 +121,9 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::Artifact { key_file, source } => {
                 write!(f, "stored model {key_file} is invalid: {source}")
+            }
+            RegistryError::InvalidKeep => {
+                write!(f, "prune requires keep >= 1 (keep = 0 would empty the registry)")
             }
         }
     }
@@ -224,6 +231,81 @@ impl ModelRegistry {
         names.sort();
         Ok(names)
     }
+
+    /// Remove superseded artifacts, keeping the newest `keep` per
+    /// `(outcome, variant)` group.
+    ///
+    /// Retraining on a refreshed cohort publishes under a new
+    /// fingerprint and leaves the old artifact in place (that is the
+    /// point of content-addressed keys), so a long-lived registry
+    /// accretes one file per historical cohort. `prune` is the
+    /// retention policy: within each group, artifacts are ranked newest
+    /// first by modification time (file-name order breaks ties, so the
+    /// ranking is total even on coarse-mtime filesystems) and everything
+    /// past the first `keep` is deleted.
+    ///
+    /// `keep == 0` is a typed [`RegistryError::InvalidKeep`]. Files
+    /// that do not follow the `{outcome}_{variant}_{hash:016x}.msgb`
+    /// naming are not registry artifacts and are never touched.
+    pub fn prune(&self, keep: usize) -> Result<PruneReport, RegistryError> {
+        if keep == 0 {
+            return Err(RegistryError::InvalidKeep);
+        }
+        let mut groups: std::collections::BTreeMap<String, Vec<(std::time::SystemTime, String)>> =
+            std::collections::BTreeMap::new();
+        for name in self.list()? {
+            let Some((group, _)) = split_key_name(&name) else { continue };
+            let path = self.root.join(&name);
+            let err = |e: std::io::Error| RegistryError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            };
+            let mtime = std::fs::metadata(&path).map_err(err)?.modified().map_err(err)?;
+            groups.entry(group.to_string()).or_default().push((mtime, name));
+        }
+        let mut report = PruneReport::default();
+        for members in groups.into_values() {
+            let mut members = members;
+            members.sort_by(|a, b| b.cmp(a));
+            for (rank, (_, name)) in members.into_iter().enumerate() {
+                if rank < keep {
+                    report.kept.push(name);
+                } else {
+                    let path = self.root.join(&name);
+                    std::fs::remove_file(&path)
+                        .map_err(|e| RegistryError::Io { path, message: e.to_string() })?;
+                    report.removed.push(name);
+                }
+            }
+        }
+        report.kept.sort();
+        report.removed.sort();
+        Ok(report)
+    }
+}
+
+/// What [`ModelRegistry::prune`] did: artifact file names deleted and
+/// surviving, each sorted for deterministic reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Artifacts deleted as superseded.
+    pub removed: Vec<String>,
+    /// Artifacts retained (the newest `keep` of each group).
+    pub kept: Vec<String>,
+}
+
+/// Split an artifact file name into its `{outcome}_{variant}` group and
+/// cohort hash; `None` when the name does not follow
+/// [`ModelKey::file_name`]'s `{outcome}_{variant}_{hash:016x}.msgb`
+/// shape (such files are not prune candidates).
+fn split_key_name(name: &str) -> Option<(&str, u64)> {
+    let stem = name.strip_suffix(".msgb")?;
+    let (group, hash) = stem.rsplit_once('_')?;
+    if hash.len() != 16 || !group.contains('_') {
+        return None;
+    }
+    let hash = u64::from_str_radix(hash, 16).ok()?;
+    Some((group, hash))
 }
 
 #[cfg(test)]
@@ -317,6 +399,95 @@ mod tests {
             Err(RegistryError::Artifact { source: PredictError::Decode(_), .. }) => {}
             other => panic!("expected typed artifact error, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    /// Pin a file's mtime so the recency ranking is under test control
+    /// (stores within one test can land in the same clock tick).
+    fn set_mtime(path: &Path, secs_after_epoch: u64) {
+        let f = std::fs::File::options().write(true).open(path).unwrap();
+        f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(secs_after_epoch))
+            .unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_latest_n_per_group() {
+        let registry = temp_registry("prune_policy");
+        // Three generations of QoL/DD (distinct cohorts), two of
+        // QoL/KD, one Falls/DD — plus a stray non-artifact file.
+        let mut qol_dd: Vec<String> = Vec::new();
+        for (gen, seed) in [0.0, 1.0, 2.0].into_iter().enumerate() {
+            let set = tiny_set(seed);
+            let key = ModelKey::for_samples(&set, Approach::DataDriven);
+            let path = registry.store(&key, &tiny_artifact(&set)).unwrap();
+            set_mtime(&path, 1_000 + gen as u64);
+            qol_dd.push(key.file_name());
+        }
+        let mut qol_kd: Vec<String> = Vec::new();
+        for (gen, seed) in [0.0, 1.0].into_iter().enumerate() {
+            let set = tiny_set(seed);
+            let key = ModelKey::for_samples(&set, Approach::KnowledgeDriven);
+            let path = registry.store(&key, &tiny_artifact(&set)).unwrap();
+            set_mtime(&path, 2_000 + gen as u64);
+            qol_kd.push(key.file_name());
+        }
+        let mut falls_set = tiny_set(0.0);
+        falls_set.outcome = OutcomeKind::Falls;
+        let falls_key = ModelKey::for_samples(&falls_set, Approach::DataDriven);
+        registry.store(&falls_key, &tiny_artifact(&falls_set)).unwrap();
+        let stray = registry.root().join("notes.txt");
+        std::fs::write(&stray, b"not an artifact").unwrap();
+
+        let report = registry.prune(2).unwrap();
+        // QoL/DD: oldest of three goes; QoL/KD and Falls/DD fit.
+        assert_eq!(report.removed, vec![qol_dd[0].clone()]);
+        let mut expect_kept = vec![
+            qol_dd[1].clone(),
+            qol_dd[2].clone(),
+            qol_kd[0].clone(),
+            qol_kd[1].clone(),
+            falls_key.file_name(),
+        ];
+        expect_kept.sort();
+        assert_eq!(report.kept, expect_kept);
+        assert!(!registry.root().join(&qol_dd[0]).exists());
+        assert!(stray.exists(), "non-artifact files are never pruned");
+
+        // keep = 1 now trims each group to its newest member; a second
+        // identical call is a no-op.
+        let report = registry.prune(1).unwrap();
+        assert_eq!(report.removed, {
+            let mut v = vec![qol_dd[1].clone(), qol_kd[0].clone()];
+            v.sort();
+            v
+        });
+        assert_eq!(registry.prune(1).unwrap().removed, Vec::<String>::new());
+        let left = registry.list().unwrap();
+        let mut expect = vec![qol_dd[2].clone(), qol_kd[1].clone(), falls_key.file_name()];
+        expect.sort();
+        assert_eq!(left, expect);
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn prune_ties_break_by_name_and_keep_zero_is_rejected() {
+        let registry = temp_registry("prune_ties");
+        let mut names: Vec<String> = Vec::new();
+        for seed in [0.0, 1.0, 2.0] {
+            let set = tiny_set(seed);
+            let key = ModelKey::for_samples(&set, Approach::DataDriven);
+            let path = registry.store(&key, &tiny_artifact(&set)).unwrap();
+            set_mtime(&path, 5_000); // identical mtimes: pure name tiebreak
+            names.push(key.file_name());
+        }
+        names.sort();
+        let report = registry.prune(1).unwrap();
+        // Greatest name wins on an mtime tie; the other two go.
+        assert_eq!(report.kept, vec![names[2].clone()]);
+        assert_eq!(report.removed, vec![names[0].clone(), names[1].clone()]);
+
+        assert!(matches!(registry.prune(0), Err(RegistryError::InvalidKeep)));
+        assert_eq!(registry.list().unwrap().len(), 1, "rejected prune must not delete");
         let _ = std::fs::remove_dir_all(registry.root());
     }
 

@@ -1,0 +1,258 @@
+//! Population-scale streaming pipeline: generate → featurize → bin →
+//! train, with memory bounded by chunk sizes rather than cohort size.
+//!
+//! The paper's cohort is 261 patients; this module answers "what if it
+//! were a million". It composes the streaming layers end to end:
+//!
+//! 1. **Sketch pass** — a [`SampleStream`] regenerates the cohort chunk
+//!    by chunk; each block updates a [`CutSketch`] (quantile cut
+//!    candidates) and appends its labels. Nothing else is retained.
+//! 2. **Encode pass** — the stream is regenerated (generation is
+//!    deterministic in `(config, patient id)`, so the rows are
+//!    bit-identical) and every row is encoded into a
+//!    [`ChunkedMatrixBuilder`]: fixed-size row blocks of binned `u16`
+//!    codes, in memory or spilled to a checksummed columnar file.
+//! 3. **Fit** — [`train_chunked`] streams the row blocks through
+//!    histogram training, bit-identical to the in-memory
+//!    [`msaw_gbdt::Booster::train`] hist path (pinned by tests here and
+//!    in `msaw-gbdt`).
+//!
+//! Peak memory is `O(chunk_patients + block_rows + labels)`, so the
+//! only term growing with cohort size is the label vector (8 bytes per
+//! sample) — the 100× larger code matrix lives on disk when spilled.
+
+use crate::error::PipelineError;
+use msaw_cohort::CohortConfig;
+use msaw_gbdt::{
+    train_chunked, ChunkError, ChunkedMatrixBuilder, CutSketch, Params, TrainReport, TreeMethod,
+};
+use msaw_preprocess::{FeaturePanel, OutcomeKind, PipelineConfig, SampleStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How a [`run_scale`] invocation should stream and train.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Outcome to label and train on.
+    pub outcome: OutcomeKind,
+    /// Featurization settings (QA gaps, windows, …).
+    pub pipeline: PipelineConfig,
+    /// Training hyper-parameters; must use [`TreeMethod::Hist`]
+    /// (the exact method cannot stream).
+    pub params: Params,
+    /// Patients generated and featurized per streaming chunk.
+    pub chunk_patients: usize,
+    /// Rows per binned block in the chunked matrix.
+    pub block_rows: usize,
+    /// Per-feature distinct-value capacity of the cut sketch.
+    pub sketch_capacity: usize,
+    /// Spill the binned blocks to this file instead of holding them in
+    /// memory. `None` keeps them resident (fine below ~10⁵ patients).
+    pub spill_path: Option<PathBuf>,
+    /// Worker threads for histogram accumulation during the fit.
+    pub workers: usize,
+}
+
+impl ScaleConfig {
+    /// Defaults tuned for the scaling bench: modest forest, bounded
+    /// chunks, in-memory blocks.
+    pub fn new(outcome: OutcomeKind) -> ScaleConfig {
+        ScaleConfig {
+            outcome,
+            pipeline: PipelineConfig::default(),
+            params: Params {
+                n_estimators: 20,
+                max_depth: 4,
+                tree_method: TreeMethod::Hist { max_bins: 32 },
+                ..Params::regression()
+            },
+            chunk_patients: 2048,
+            block_rows: msaw_gbdt::DEFAULT_BLOCK_ROWS,
+            sketch_capacity: msaw_gbdt::DEFAULT_SKETCH_DISTINCT,
+            spill_path: None,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// What a [`run_scale`] run did, with per-stage wall times for the
+/// scaling curves.
+#[derive(Debug)]
+pub struct ScaleReport {
+    /// Patients generated.
+    pub n_patients: usize,
+    /// QA-passing samples (training rows).
+    pub n_rows: usize,
+    /// Feature count.
+    pub n_features: usize,
+    /// Whether the binned blocks were spilled to disk.
+    pub spilled: bool,
+    /// Whether the cut sketch stayed exact (no thinning).
+    pub sketch_exact: bool,
+    /// Wall time of the sketch pass (generate + featurize + sketch).
+    pub sketch_secs: f64,
+    /// Wall time of the encode pass (regenerate + bin + store).
+    pub encode_secs: f64,
+    /// Wall time of the chunked fit.
+    pub fit_secs: f64,
+    /// Fit throughput, rows × trees per second of fit wall time.
+    pub fit_rows_per_sec: f64,
+    /// Peak resident set size of the process so far, if the platform
+    /// exposes it (Linux `VmHWM`). Monotonic across a process, so
+    /// ascending-scale sweeps attribute it to the largest run.
+    pub peak_rss_mb: Option<f64>,
+    /// The trained model and its loss history.
+    pub train: TrainReport,
+}
+
+impl From<ChunkError> for PipelineError {
+    fn from(e: ChunkError) -> Self {
+        match e {
+            // Parameter/label failures keep their typed identity.
+            ChunkError::Train(source) => PipelineError::Train { job: None, source },
+            other => PipelineError::Chunk { message: other.to_string() },
+        }
+    }
+}
+
+/// Run the streaming generate → sketch → encode → fit pipeline for
+/// `cohort` under `cfg`. See the module docs for the pass structure;
+/// the trained model is bit-identical to materialising the cohort and
+/// calling [`msaw_gbdt::Booster::train`] with the same parameters
+/// (while the sketch stays exact, which it does by a wide margin for
+/// this feature panel).
+pub fn run_scale(cohort: &CohortConfig, cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
+    let n_features = FeaturePanel::feature_names().len();
+
+    // Pass 1: sketch cuts and collect labels.
+    let sketch_start = Instant::now();
+    let mut sketch = CutSketch::with_capacity(n_features, cfg.sketch_capacity);
+    let mut labels: Vec<f64> = Vec::new();
+    for block in SampleStream::new(cohort, cfg.outcome, cfg.pipeline.clone(), cfg.chunk_patients) {
+        sketch.update(&block.rows);
+        labels.extend(block.labels);
+    }
+    let sketch_exact = sketch.is_exact();
+    let max_bins = match cfg.params.tree_method {
+        TreeMethod::Hist { max_bins } => max_bins,
+        TreeMethod::Exact => {
+            return Err(PipelineError::Train {
+                job: None,
+                source: msaw_gbdt::TrainError::InvalidParam {
+                    name: "tree_method",
+                    message: "the scale pipeline streams histograms; use TreeMethod::Hist".into(),
+                },
+            })
+        }
+    };
+    let cuts = sketch.cuts(max_bins);
+    let sketch_secs = sketch_start.elapsed().as_secs_f64();
+
+    // Pass 2: regenerate and encode into fixed-size binned blocks.
+    let encode_start = Instant::now();
+    let mut builder = match &cfg.spill_path {
+        Some(path) => ChunkedMatrixBuilder::spilled(cuts, cfg.block_rows, path)?,
+        None => ChunkedMatrixBuilder::in_memory(cuts, cfg.block_rows),
+    };
+    for block in SampleStream::new(cohort, cfg.outcome, cfg.pipeline.clone(), cfg.chunk_patients) {
+        builder.push_rows(&block.rows)?;
+    }
+    let mut matrix = builder.finish()?;
+    let encode_secs = encode_start.elapsed().as_secs_f64();
+
+    // Pass 3: out-of-core fit over the row blocks.
+    let fit_start = Instant::now();
+    let train = train_chunked(&cfg.params, &mut matrix, &labels, cfg.workers)?;
+    let fit_secs = fit_start.elapsed().as_secs_f64();
+    let n_rows = labels.len();
+    let fit_rows_per_sec = if fit_secs > 0.0 {
+        n_rows as f64 * cfg.params.n_estimators as f64 / fit_secs
+    } else {
+        0.0
+    };
+
+    Ok(ScaleReport {
+        n_patients: cohort.total_patients(),
+        n_rows,
+        n_features,
+        spilled: matrix.is_spilled(),
+        sketch_exact,
+        sketch_secs,
+        encode_secs,
+        fit_secs,
+        fit_rows_per_sec,
+        peak_rss_mb: peak_rss_mb(),
+        train,
+    })
+}
+
+/// Peak resident set size of this process in MiB, from Linux's
+/// `/proc/self/status` `VmHWM` line; `None` where that is unavailable.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaw_gbdt::Booster;
+    use msaw_preprocess::build_samples;
+
+    /// The streamed, chunked, out-of-core run must train the same model
+    /// — bit for bit — as materialising the cohort and fitting in
+    /// memory, for both storage modes.
+    #[test]
+    fn scale_run_matches_in_memory_training() {
+        let cohort = CohortConfig::small(42);
+        let mut cfg = ScaleConfig::new(OutcomeKind::Qol);
+        cfg.params.n_estimators = 8;
+        cfg.chunk_patients = 5;
+        cfg.block_rows = 64;
+        cfg.workers = 4;
+
+        let data = msaw_cohort::generate(&cohort);
+        let panel = FeaturePanel::build(&data, &cfg.pipeline);
+        let set = build_samples(&data, &panel, OutcomeKind::Qol, &cfg.pipeline);
+        let reference = Booster::train(&cfg.params, &set.features, &set.labels).unwrap();
+
+        let report = run_scale(&cohort, &cfg).unwrap();
+        assert_eq!(report.n_rows, set.len());
+        assert_eq!(report.n_features, set.features.ncols());
+        assert!(report.sketch_exact);
+        assert!(!report.spilled);
+        assert_eq!(report.train.booster, reference);
+
+        let spill =
+            std::env::temp_dir().join(format!("msaw_scale_test_{}.mscb", std::process::id()));
+        cfg.spill_path = Some(spill.clone());
+        let spilled = run_scale(&cohort, &cfg).unwrap();
+        assert!(spilled.spilled);
+        assert_eq!(spilled.train.booster, reference);
+        let _ = std::fs::remove_file(&spill);
+    }
+
+    #[test]
+    fn exact_method_is_rejected_with_a_typed_error() {
+        let cohort = CohortConfig::small(7);
+        let mut cfg = ScaleConfig::new(OutcomeKind::Qol);
+        cfg.params.tree_method = TreeMethod::Exact;
+        match run_scale(&cohort, &cfg) {
+            Err(PipelineError::Train {
+                source: msaw_gbdt::TrainError::InvalidParam { name: "tree_method", .. },
+                ..
+            }) => {}
+            other => panic!("expected InvalidParam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_mb().expect("VmHWM available");
+            assert!(rss > 1.0, "a test process uses more than 1 MiB, got {rss}");
+        }
+    }
+}

@@ -1,0 +1,1295 @@
+//! Out-of-core histogram training over a chunked binned matrix.
+//!
+//! The in-memory hist path ([`crate::Booster::train`] with
+//! [`TreeMethod::Hist`]) holds the whole row-major `u16` code buffer at
+//! once. This module cuts that buffer into fixed-size row blocks — kept
+//! in memory or spilled to a checksummed on-disk file — and grows each
+//! tree level by level, streaming the blocks through the partition and
+//! histogram-accumulation passes. Peak working memory is one block of
+//! codes plus the per-row scalar state boosting needs anyway
+//! (`raw`/`grad`/`hess`/`node_of`), independent of how many blocks the
+//! dataset spans.
+//!
+//! # Bit-identity to the in-memory path
+//!
+//! [`train_chunked`] is bitwise-equal to the in-memory hist trainer
+//! (pinned by `tests/chunked_equivalence.rs`) because every float is
+//! produced by the same operations in the same order:
+//!
+//! * **Cuts** — [`CutSketch`] merges per-chunk sorted distinct values;
+//!   below its capacity the merged set *is* the column's distinct set,
+//!   so [`cuts_from_distinct`] sees identical input.
+//! * **Histograms** — blocks are streamed in ascending row order and
+//!   rows within a block are ascending, so every `(node, feature, bin)`
+//!   cell receives the same IEEE additions in the same order as the
+//!   recursive grower, whose node row lists stay ascending when
+//!   `subsample == 1.0`. The subtraction trick is the same two
+//!   subtractions per cell.
+//! * **Splits** — each node's scan calls the engine's own
+//!   [`scan_hist`] over features in index order with the same
+//!   [`BestTracker`], so candidate offers and tie-breaks are identical.
+//! * **Tree shape** — the recursion emits nodes in DFS pre-order
+//!   (parent, left subtree, right subtree); the level-order grower here
+//!   re-emits its arena in exactly that order once the tree is grown.
+//!
+//! Worker parallelism fans the accumulation pass across *nodes* (each
+//! worker owns disjoint histograms and scans each block in row order),
+//! so any worker count produces the same bytes.
+
+use crate::binning::{cuts_from_distinct, encode_value};
+use crate::booster::{Booster, EvalRecord, TrainReport};
+use crate::engine::scan_hist;
+use crate::error::{ChunkError, TrainError};
+use crate::fnv1a_64;
+use crate::params::{Params, TreeMethod};
+use crate::split::{BestTracker, SplitCandidate, SplitConfig};
+use crate::tree::{Node, Tree};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default rows per block: 16 Ki rows of 59 features ≈ 1.9 MiB of
+/// codes, big enough to amortise per-block overhead, small enough that
+/// a handful of blocks fit in cache-friendly working memory.
+pub const DEFAULT_BLOCK_ROWS: usize = 16 * 1024;
+
+/// Default per-feature capacity of the [`CutSketch`]: below this many
+/// distinct values the sketch is exact and the resulting cuts are
+/// byte-identical to [`crate::binning::BinnedMatrix::fit`] on the
+/// materialised matrix.
+pub const DEFAULT_SKETCH_DISTINCT: usize = 1 << 16;
+
+/// Magic tag of the spilled chunk file format.
+const MAGIC: &[u8; 4] = b"MSCB";
+/// Spill format version.
+const VERSION: u16 = 1;
+/// Upper bound on per-feature cut counts accepted from a spill header
+/// (cuts are bounded by `max_bins − 1 < u16::MAX` at fit time).
+const MAX_CUTS_PER_FEATURE: usize = u16::MAX as usize;
+
+// ---------------------------------------------------------------------
+// Cut sketch
+// ---------------------------------------------------------------------
+
+/// Streaming per-feature distinct-value accumulator: feed row-major
+/// chunks in any sizes, then derive quantile cuts. Exact (and therefore
+/// bit-identical to the in-memory fit) while a column's distinct count
+/// stays within `capacity`; beyond it the sorted set is thinned to
+/// evenly spaced ranks, which keeps memory bounded at population scale
+/// at the cost of approximate (still deterministic) cuts.
+#[derive(Debug, Clone)]
+pub struct CutSketch {
+    capacity: usize,
+    cols: Vec<Vec<f64>>,
+    /// Per-column flag: set once thinning has discarded distinct values.
+    thinned: Vec<bool>,
+    scratch: Vec<f64>,
+}
+
+impl CutSketch {
+    /// A sketch over `ncols` features with the default capacity.
+    pub fn new(ncols: usize) -> CutSketch {
+        CutSketch::with_capacity(ncols, DEFAULT_SKETCH_DISTINCT)
+    }
+
+    /// A sketch with an explicit per-feature distinct-value capacity
+    /// (clamped to at least 2 so cuts stay derivable).
+    pub fn with_capacity(ncols: usize, capacity: usize) -> CutSketch {
+        CutSketch {
+            capacity: capacity.max(2),
+            cols: vec![Vec::new(); ncols],
+            thinned: vec![false; ncols],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of features the sketch tracks.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether every column's distinct set is still exact.
+    pub fn is_exact(&self) -> bool {
+        self.thinned.iter().all(|&t| !t)
+    }
+
+    /// Absorb a row-major chunk (`rows.len()` must be a multiple of
+    /// `ncols`). `NaN`s are missing and ignored, as in the in-memory fit.
+    pub fn update(&mut self, rows: &[f64]) {
+        let ncols = self.cols.len();
+        assert!(ncols > 0 && rows.len().is_multiple_of(ncols), "row-major chunk width mismatch");
+        let nrows = rows.len() / ncols;
+        for j in 0..ncols {
+            self.scratch.clear();
+            for i in 0..nrows {
+                let v = rows[i * ncols + j];
+                if !v.is_nan() {
+                    self.scratch.push(v);
+                }
+            }
+            if self.scratch.is_empty() {
+                continue;
+            }
+            self.scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+            self.scratch.dedup();
+            let merged = merge_distinct(&self.cols[j], &self.scratch);
+            self.cols[j] = merged;
+            if self.cols[j].len() > self.capacity {
+                thin_even(&mut self.cols[j], self.capacity);
+                self.thinned[j] = true;
+            }
+        }
+    }
+
+    /// Derive the per-feature cut sets, exactly as the in-memory fit
+    /// derives them from each column's distinct values.
+    pub fn cuts(&self, max_bins: u16) -> Vec<Vec<f64>> {
+        self.cols.iter().map(|d| cuts_from_distinct(d, max_bins)).collect()
+    }
+}
+
+/// Merge two sorted deduplicated runs into one.
+fn merge_distinct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if b[j] < a[i] {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Thin a sorted set to `cap` evenly spaced ranks (keeping both ends).
+fn thin_even(vals: &mut Vec<f64>, cap: usize) {
+    let n = vals.len();
+    if n <= cap {
+        return;
+    }
+    let kept: Vec<f64> = (0..cap).map(|k| vals[k * (n - 1) / (cap - 1)]).collect();
+    *vals = kept;
+}
+
+// ---------------------------------------------------------------------
+// Chunked matrix: builder + stores
+// ---------------------------------------------------------------------
+
+/// Incremental encoder: feed row-major feature chunks (any sizes) and
+/// get back a [`ChunkedMatrix`] of fixed-size blocks, kept in memory or
+/// spilled to disk as each block completes — the builder itself never
+/// holds more than one partial block of codes.
+#[derive(Debug)]
+pub struct ChunkedMatrixBuilder {
+    cuts: Vec<Vec<f64>>,
+    ncols: usize,
+    block_rows: usize,
+    nrows: usize,
+    current: Vec<u16>,
+    blocks: Vec<Vec<u16>>,
+    spill: Option<SpillWriter>,
+}
+
+impl ChunkedMatrixBuilder {
+    /// Build an in-memory chunked matrix against fixed `cuts`.
+    pub fn in_memory(cuts: Vec<Vec<f64>>, block_rows: usize) -> ChunkedMatrixBuilder {
+        let ncols = cuts.len();
+        assert!(ncols > 0, "at least one feature required");
+        ChunkedMatrixBuilder {
+            cuts,
+            ncols,
+            block_rows: block_rows.max(1),
+            nrows: 0,
+            current: Vec::new(),
+            blocks: Vec::new(),
+            spill: None,
+        }
+    }
+
+    /// Build a disk-spilled chunked matrix at `path`: completed blocks
+    /// are written (checksummed) immediately and dropped from memory.
+    pub fn spilled(
+        cuts: Vec<Vec<f64>>,
+        block_rows: usize,
+        path: &Path,
+    ) -> Result<ChunkedMatrixBuilder, ChunkError> {
+        let mut b = ChunkedMatrixBuilder::in_memory(cuts, block_rows);
+        b.spill = Some(SpillWriter::create(path, &b.cuts, b.block_rows)?);
+        Ok(b)
+    }
+
+    /// Encode and append a row-major chunk of raw feature values
+    /// (`rows.len()` must be a multiple of the feature count).
+    pub fn push_rows(&mut self, rows: &[f64]) -> Result<(), ChunkError> {
+        assert!(rows.len().is_multiple_of(self.ncols), "row-major chunk width mismatch");
+        for row in rows.chunks_exact(self.ncols) {
+            for (j, &v) in row.iter().enumerate() {
+                self.current.push(encode_value(v, &self.cuts[j]));
+            }
+            self.nrows += 1;
+            if self.current.len() == self.block_rows * self.ncols {
+                self.flush_block()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), ChunkError> {
+        let block = std::mem::take(&mut self.current);
+        match &mut self.spill {
+            Some(w) => w.write_block(&block, block.len() / self.ncols)?,
+            None => self.blocks.push(block),
+        }
+        Ok(())
+    }
+
+    /// Finalise into a [`ChunkedMatrix`] (flushing the partial last
+    /// block and, for spilled builds, patching and sealing the header).
+    pub fn finish(mut self) -> Result<ChunkedMatrix, ChunkError> {
+        if !self.current.is_empty() {
+            self.flush_block()?;
+        }
+        let store = match self.spill {
+            Some(w) => {
+                let disk = w.seal(self.nrows)?;
+                Store::Disk(disk)
+            }
+            None => Store::Memory { blocks: self.blocks },
+        };
+        Ok(ChunkedMatrix {
+            cuts: self.cuts,
+            ncols: self.ncols,
+            nrows: self.nrows,
+            block_rows: self.block_rows,
+            store,
+        })
+    }
+}
+
+/// Serialise the spill header for the given shape. `nrows`/`n_blocks`
+/// are zero placeholders until [`SpillWriter::seal`] patches them; the
+/// trailing checksum always covers the final bytes.
+fn header_bytes(cuts: &[Vec<f64>], block_rows: usize, nrows: usize, n_blocks: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(cuts.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(block_rows as u32).to_le_bytes());
+    out.extend_from_slice(&(nrows as u64).to_le_bytes());
+    out.extend_from_slice(&(n_blocks as u32).to_le_bytes());
+    for c in cuts {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        for &v in c {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let sum = fnv1a_64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Streaming writer for the spill file: header placeholder up front,
+/// one checksummed block record per completed block, header patched on
+/// seal.
+#[derive(Debug)]
+struct SpillWriter {
+    file: File,
+    path: PathBuf,
+    cuts_len: Vec<usize>,
+    block_rows: usize,
+    header_len: u64,
+    offsets: Vec<u64>,
+    rows: Vec<u32>,
+    next_offset: u64,
+    byte_buf: Vec<u8>,
+}
+
+impl SpillWriter {
+    fn create(
+        path: &Path,
+        cuts: &[Vec<f64>],
+        block_rows: usize,
+    ) -> Result<SpillWriter, ChunkError> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let header = header_bytes(cuts, block_rows, 0, 0);
+        file.write_all(&header)?;
+        let header_len = header.len() as u64;
+        Ok(SpillWriter {
+            file,
+            path: path.to_path_buf(),
+            cuts_len: cuts.iter().map(|c| c.len()).collect(),
+            block_rows,
+            header_len,
+            offsets: Vec::new(),
+            rows: Vec::new(),
+            next_offset: header_len,
+            byte_buf: Vec::new(),
+        })
+    }
+
+    fn write_block(&mut self, codes: &[u16], rows: usize) -> Result<(), ChunkError> {
+        self.byte_buf.clear();
+        self.byte_buf.reserve(codes.len() * 2);
+        for &c in codes {
+            self.byte_buf.extend_from_slice(&c.to_le_bytes());
+        }
+        let sum = fnv1a_64(&self.byte_buf);
+        self.offsets.push(self.next_offset);
+        self.rows.push(rows as u32);
+        self.file.write_all(&sum.to_le_bytes())?;
+        self.file.write_all(&(rows as u32).to_le_bytes())?;
+        self.file.write_all(&self.byte_buf)?;
+        self.next_offset += 8 + 4 + self.byte_buf.len() as u64;
+        Ok(())
+    }
+
+    fn seal(mut self, nrows: usize) -> Result<DiskStore, ChunkError> {
+        // Rebuild the header with the final counts; the cuts region is
+        // already on disk and unchanged, so it is read back to keep the
+        // checksum over the true bytes.
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(self.cuts_len.len() as u32).to_le_bytes());
+        header.extend_from_slice(&(self.block_rows as u32).to_le_bytes());
+        header.extend_from_slice(&(nrows as u64).to_le_bytes());
+        header.extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        let fixed = header.len();
+        let cuts_region_len = self.header_len as usize - fixed - 8;
+        let mut cuts_region = vec![0u8; cuts_region_len];
+        self.file.seek(SeekFrom::Start(fixed as u64))?;
+        self.file.read_exact(&mut cuts_region)?;
+        header.extend_from_slice(&cuts_region);
+        let sum = fnv1a_64(&header);
+        header.extend_from_slice(&sum.to_le_bytes());
+        debug_assert_eq!(header.len() as u64, self.header_len);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.flush()?;
+        let verified = vec![false; self.offsets.len()];
+        Ok(DiskStore {
+            file: self.file,
+            path: self.path,
+            offsets: self.offsets,
+            rows: self.rows,
+            verified,
+            byte_buf: Vec::new(),
+            code_buf: Vec::new(),
+        })
+    }
+}
+
+/// The on-disk half of a spilled [`ChunkedMatrix`]: block offsets, lazy
+/// checksum verification, and one reusable decode buffer.
+#[derive(Debug)]
+struct DiskStore {
+    file: File,
+    path: PathBuf,
+    offsets: Vec<u64>,
+    rows: Vec<u32>,
+    verified: Vec<bool>,
+    byte_buf: Vec<u8>,
+    code_buf: Vec<u16>,
+}
+
+#[derive(Debug)]
+enum Store {
+    Memory { blocks: Vec<Vec<u16>> },
+    Disk(DiskStore),
+}
+
+/// A binned matrix cut into fixed-size row blocks — the out-of-core
+/// counterpart of [`crate::binning::BinnedMatrix`]. Blocks live in
+/// memory or in a checksummed spill file; either way
+/// [`train_chunked`] streams them in ascending order and never holds
+/// more than one at a time (disk) or a borrowed slice (memory).
+#[derive(Debug)]
+pub struct ChunkedMatrix {
+    cuts: Vec<Vec<f64>>,
+    ncols: usize,
+    nrows: usize,
+    block_rows: usize,
+    store: Store,
+}
+
+impl ChunkedMatrix {
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Feature count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Rows per block (the last block may be shorter).
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of row blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.nrows.div_ceil(self.block_rows)
+    }
+
+    /// Rows in block `b`.
+    fn rows_in_block(&self, b: usize) -> usize {
+        self.block_rows.min(self.nrows - b * self.block_rows)
+    }
+
+    /// Cut points for one feature.
+    pub fn cuts(&self, feature: usize) -> &[f64] {
+        &self.cuts[feature]
+    }
+
+    /// Whether the blocks are spilled to disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.store, Store::Disk(_))
+    }
+
+    /// Open a spilled chunk file, validating structure, counts and the
+    /// header checksum before trusting any of it. Block payloads are
+    /// checksum-verified lazily on first load.
+    pub fn open(path: &Path) -> Result<ChunkedMatrix, ChunkError> {
+        fn corrupt(what: &'static str, detail: String) -> ChunkError {
+            ChunkError::Corrupt { what, detail }
+        }
+        let mut file = OpenOptions::new().read(true).write(false).open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut fixed = [0u8; 26];
+        read_exact_at(&mut file, 0, &mut fixed)?;
+        if &fixed[0..4] != MAGIC {
+            return Err(corrupt("magic", format!("expected {MAGIC:?}, found {:?}", &fixed[0..4])));
+        }
+        let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+        if version != VERSION {
+            return Err(corrupt("version", format!("expected {VERSION}, found {version}")));
+        }
+        let ncols = u32::from_le_bytes(fixed[6..10].try_into().unwrap()) as usize;
+        let block_rows = u32::from_le_bytes(fixed[10..14].try_into().unwrap()) as usize;
+        let nrows = u64::from_le_bytes(fixed[14..22].try_into().unwrap()) as usize;
+        let n_blocks = u32::from_le_bytes(fixed[22..26].try_into().unwrap()) as usize;
+        if ncols == 0 || block_rows == 0 {
+            return Err(corrupt("shape", format!("ncols={ncols}, block_rows={block_rows}")));
+        }
+        if n_blocks != nrows.div_ceil(block_rows) {
+            return Err(corrupt(
+                "block count",
+                format!("{n_blocks} blocks cannot tile {nrows} rows at {block_rows}/block"),
+            ));
+        }
+        // Cuts region: counts are bounded before any allocation, and
+        // every read is bounded by the real file length.
+        let mut header = fixed.to_vec();
+        let mut pos = 26u64;
+        let mut cuts: Vec<Vec<f64>> = Vec::with_capacity(ncols.min(4096));
+        for j in 0..ncols {
+            let mut cnt = [0u8; 4];
+            read_exact_at(&mut file, pos, &mut cnt)?;
+            header.extend_from_slice(&cnt);
+            pos += 4;
+            let n_cuts = u32::from_le_bytes(cnt) as usize;
+            if n_cuts > MAX_CUTS_PER_FEATURE {
+                return Err(corrupt("cut count", format!("feature {j} claims {n_cuts} cuts")));
+            }
+            if pos + (n_cuts as u64) * 8 > file_len {
+                return Err(corrupt(
+                    "cut region",
+                    format!("feature {j} cuts overrun the file ({file_len} bytes)"),
+                ));
+            }
+            let mut raw = vec![0u8; n_cuts * 8];
+            read_exact_at(&mut file, pos, &mut raw)?;
+            header.extend_from_slice(&raw);
+            pos += raw.len() as u64;
+            cuts.push(
+                raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+            );
+        }
+        let mut sum_bytes = [0u8; 8];
+        read_exact_at(&mut file, pos, &mut sum_bytes)?;
+        let stored = u64::from_le_bytes(sum_bytes);
+        let computed = fnv1a_64(&header);
+        if stored != computed {
+            return Err(corrupt(
+                "header checksum",
+                format!("stored {stored:#018x}, computed {computed:#018x}"),
+            ));
+        }
+        let header_len = pos + 8;
+        // Blocks are laid out contiguously with computable sizes; the
+        // total must land exactly on the end of the file.
+        let mut offsets = Vec::with_capacity(n_blocks);
+        let mut rows = Vec::with_capacity(n_blocks);
+        let mut offset = header_len;
+        for b in 0..n_blocks {
+            let r = block_rows.min(nrows - b * block_rows);
+            offsets.push(offset);
+            rows.push(r as u32);
+            offset += 8 + 4 + (r * ncols * 2) as u64;
+        }
+        if offset != file_len {
+            return Err(corrupt(
+                "file length",
+                format!("blocks end at byte {offset}, file has {file_len}"),
+            ));
+        }
+        Ok(ChunkedMatrix {
+            cuts,
+            ncols,
+            nrows,
+            block_rows,
+            store: Store::Disk(DiskStore {
+                file,
+                path: path.to_path_buf(),
+                offsets,
+                rows,
+                verified: vec![false; n_blocks],
+                byte_buf: Vec::new(),
+                code_buf: Vec::new(),
+            }),
+        })
+    }
+
+    /// Path of the spill file, when spilled.
+    pub fn spill_path(&self) -> Option<&Path> {
+        match &self.store {
+            Store::Disk(d) => Some(&d.path),
+            Store::Memory { .. } => None,
+        }
+    }
+
+    /// Load block `b`'s codes (row-major, `rows_in_block(b) × ncols`).
+    /// Disk blocks are checksum- and range-verified on first load.
+    fn load_block(&mut self, b: usize) -> Result<&[u16], ChunkError> {
+        let expect_rows = self.rows_in_block(b);
+        match &mut self.store {
+            Store::Memory { blocks } => Ok(&blocks[b]),
+            Store::Disk(d) => {
+                let mut head = [0u8; 12];
+                read_exact_at(&mut d.file, d.offsets[b], &mut head)?;
+                let stored_sum = u64::from_le_bytes(head[0..8].try_into().unwrap());
+                let stored_rows = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+                if stored_rows != expect_rows || stored_rows != d.rows[b] as usize {
+                    return Err(ChunkError::Corrupt {
+                        what: "block rows",
+                        detail: format!("block {b}: stored {stored_rows}, expected {expect_rows}"),
+                    });
+                }
+                let n_bytes = expect_rows * self.ncols * 2;
+                d.byte_buf.clear();
+                d.byte_buf.resize(n_bytes, 0);
+                read_exact_at(&mut d.file, d.offsets[b] + 12, &mut d.byte_buf)?;
+                let verify = !d.verified[b];
+                if verify {
+                    let computed = fnv1a_64(&d.byte_buf);
+                    if computed != stored_sum {
+                        return Err(ChunkError::Corrupt {
+                            what: "block checksum",
+                            detail: format!(
+                                "block {b}: stored {stored_sum:#018x}, computed {computed:#018x}"
+                            ),
+                        });
+                    }
+                }
+                d.code_buf.clear();
+                d.code_buf.reserve(n_bytes / 2);
+                for c in d.byte_buf.chunks_exact(2) {
+                    d.code_buf.push(u16::from_le_bytes([c[0], c[1]]));
+                }
+                if verify {
+                    // Range-check codes once so histogram indexing can
+                    // trust them: code ≤ missing code for its column.
+                    for (i, &code) in d.code_buf.iter().enumerate() {
+                        let j = i % self.ncols;
+                        let missing = self.cuts[j].len() as u16 + 1;
+                        if code > missing {
+                            return Err(ChunkError::Corrupt {
+                                what: "code range",
+                                detail: format!(
+                                    "block {b}: code {code} exceeds missing sentinel {missing} \
+                                     for feature {j}"
+                                ),
+                            });
+                        }
+                    }
+                    d.verified[b] = true;
+                }
+                Ok(&d.code_buf)
+            }
+        }
+    }
+}
+
+/// `pread`-style helper: seek then fill `buf`, mapping short files to
+/// an I/O error the caller wraps.
+fn read_exact_at(file: &mut File, offset: u64, buf: &mut [u8]) -> Result<(), ChunkError> {
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Out-of-core training
+// ---------------------------------------------------------------------
+
+/// What a grown arena node has become.
+#[derive(Debug, Clone)]
+enum Fate {
+    /// Awaiting a decision (frontier node with a histogram).
+    Open,
+    /// Finished leaf.
+    Leaf { weight: f64 },
+    /// Finished split; children are arena ids.
+    Split { cand: SplitCandidate, left: u32, right: u32 },
+}
+
+/// One node of the level-order build arena.
+#[derive(Debug)]
+struct BuildNode {
+    g: f64,
+    h: f64,
+    n_rows: usize,
+    fate: Fate,
+    /// Flattened histogram (`bounds` layout) while the node is open.
+    hist: Vec<[f64; 2]>,
+}
+
+/// Routing data for one tentative split during the partition pass.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    feature: usize,
+    missing_code: u16,
+    boundary: usize,
+    default_left: bool,
+    left: u32,
+    right: u32,
+}
+
+/// Accumulate one block's rows into the histograms of the `targets`
+/// nodes owned by this worker. `owner_of[node] == target index` (or
+/// `u32::MAX`); rows are visited in ascending order so each cell sees
+/// the same IEEE additions as the in-memory grower.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_block(
+    codes: &[u16],
+    base_row: usize,
+    ncols: usize,
+    bounds: &[usize],
+    node_of: &[u32],
+    owner_of: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    my_targets: std::ops::Range<usize>,
+    hists: &mut [Vec<[f64; 2]>],
+) {
+    let n_rows = codes.len() / ncols;
+    for local in 0..n_rows {
+        let r = base_row + local;
+        let t = owner_of[node_of[r] as usize];
+        if t == u32::MAX || !my_targets.contains(&(t as usize)) {
+            continue;
+        }
+        let hist = &mut hists[t as usize - my_targets.start];
+        let row = &codes[local * ncols..(local + 1) * ncols];
+        let (g, h) = (grad[r], hess[r]);
+        for (j, &code) in row.iter().enumerate() {
+            let cell = &mut hist[bounds[j] + code as usize];
+            cell[0] += g;
+            cell[1] += h;
+        }
+    }
+}
+
+/// Train a boosted ensemble over a chunked matrix, streaming blocks
+/// through every pass — the out-of-core twin of
+/// [`crate::Booster::train`] with [`TreeMethod::Hist`], bitwise equal
+/// to it for any block size and any `workers ≥ 1` (see the module
+/// docs for the argument, `tests/chunked_equivalence.rs` for the
+/// pinning).
+///
+/// Requires `tree_method == Hist`, `subsample == 1.0` and
+/// `colsample_bytree == 1.0`: row/column subsampling would need the
+/// trainer to consult a shuffled index per round, which breaks the
+/// ascending-row streaming the bit-identity argument rests on.
+pub fn train_chunked(
+    params: &Params,
+    matrix: &mut ChunkedMatrix,
+    labels: &[f64],
+    workers: usize,
+) -> Result<TrainReport, ChunkError> {
+    params.validate().map_err(ChunkError::Train)?;
+    if !matches!(params.tree_method, TreeMethod::Hist { .. }) {
+        return Err(TrainError::InvalidParam {
+            name: "tree_method",
+            message: "chunked training requires the histogram method".to_string(),
+        }
+        .into());
+    }
+    if params.subsample < 1.0 {
+        return Err(TrainError::InvalidParam {
+            name: "subsample",
+            message: "chunked training requires subsample == 1.0".to_string(),
+        }
+        .into());
+    }
+    if params.colsample_bytree < 1.0 {
+        return Err(TrainError::InvalidParam {
+            name: "colsample_bytree",
+            message: "chunked training requires colsample_bytree == 1.0".to_string(),
+        }
+        .into());
+    }
+    let nrows = matrix.nrows();
+    let ncols = matrix.ncols();
+    if nrows == 0 {
+        return Err(TrainError::EmptyDataset.into());
+    }
+    if labels.len() != nrows {
+        return Err(TrainError::LabelLength { rows: nrows, labels: labels.len() }.into());
+    }
+    params.objective.validate_labels(labels).map_err(ChunkError::Train)?;
+    let workers = workers.max(1);
+
+    // Histogram layout shared by every node: feature `j` owns slots
+    // `bounds[j]..bounds[j + 1]` — bins `0..=cuts` plus the missing
+    // slot, exactly the in-memory `NodeHists` layout.
+    let mut bounds = Vec::with_capacity(ncols + 1);
+    bounds.push(0usize);
+    for j in 0..ncols {
+        bounds.push(bounds[j] + matrix.cuts(j).len() + 2);
+    }
+    let total_slots = bounds[ncols];
+    let cfg = SplitConfig {
+        lambda: params.lambda,
+        gamma: params.gamma,
+        min_child_weight: params.min_child_weight,
+    };
+
+    let base_score = params.objective.base_score(labels);
+    let mut raw = vec![base_score; nrows];
+    let mut grad = vec![0.0; nrows];
+    let mut hess = vec![0.0; nrows];
+    let mut node_of = vec![0u32; nrows];
+    let mut hist_pool: Vec<Vec<[f64; 2]>> = Vec::new();
+    let take_hist = |pool: &mut Vec<Vec<[f64; 2]>>| -> Vec<[f64; 2]> {
+        let mut h = pool.pop().unwrap_or_default();
+        h.clear();
+        h.resize(total_slots, [0.0; 2]);
+        h
+    };
+
+    let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
+    let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
+    let n_blocks = matrix.n_blocks();
+
+    for round in 0..params.n_estimators {
+        params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
+
+        // --- Grow one tree, level by level -------------------------
+        node_of.fill(0);
+        let mut arena: Vec<BuildNode> = Vec::new();
+        let root_g: f64 = grad.iter().sum();
+        let root_h: f64 = hess.iter().sum();
+        let mut root_hist = take_hist(&mut hist_pool);
+        for b in 0..n_blocks {
+            let base_row = b * matrix.block_rows();
+            let codes = matrix.load_block(b)?;
+            let n = codes.len() / ncols;
+            for local in 0..n {
+                let r = base_row + local;
+                let row = &codes[local * ncols..(local + 1) * ncols];
+                let (g, h) = (grad[r], hess[r]);
+                for (j, &code) in row.iter().enumerate() {
+                    let cell = &mut root_hist[bounds[j] + code as usize];
+                    cell[0] += g;
+                    cell[1] += h;
+                }
+            }
+        }
+        arena.push(BuildNode {
+            g: root_g,
+            h: root_h,
+            n_rows: nrows,
+            fate: Fate::Open,
+            hist: root_hist,
+        });
+
+        let mut frontier: Vec<u32> = vec![0];
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
+            // Decide every frontier node: leaf out, or pick a split
+            // with the engine's own scanner (same offers, same
+            // tie-breaks as the recursive grower).
+            let mut splitting: Vec<u32> = Vec::new();
+            for &id in &frontier {
+                let node = &arena[id as usize];
+                let (g, h) = (node.g, node.h);
+                let cand = if depth >= params.max_depth || node.n_rows < 2 {
+                    None
+                } else {
+                    let mut tracker = BestTracker::new(cfg, g, h);
+                    for j in 0..ncols {
+                        scan_hist(
+                            j,
+                            matrix.cuts(j),
+                            &node.hist[bounds[j]..bounds[j + 1]],
+                            g,
+                            h,
+                            &mut tracker,
+                        );
+                    }
+                    tracker.best
+                };
+                match cand {
+                    None => {
+                        let weight = -g / (h + params.lambda) * params.learning_rate;
+                        let node = &mut arena[id as usize];
+                        node.fate = Fate::Leaf { weight };
+                        hist_pool.push(std::mem::take(&mut node.hist));
+                    }
+                    Some(cand) => {
+                        let left = arena.len() as u32;
+                        let right = left + 1;
+                        arena.push(BuildNode {
+                            g: cand.left_grad,
+                            h: cand.left_hess,
+                            n_rows: 0,
+                            fate: Fate::Open,
+                            hist: Vec::new(),
+                        });
+                        arena.push(BuildNode {
+                            g: cand.right_grad,
+                            h: cand.right_hess,
+                            n_rows: 0,
+                            fate: Fate::Open,
+                            hist: Vec::new(),
+                        });
+                        arena[id as usize].fate = Fate::Split { cand, left, right };
+                        splitting.push(id);
+                    }
+                }
+            }
+            if splitting.is_empty() {
+                break;
+            }
+
+            // Partition pass: stream blocks in ascending row order and
+            // route each row of a splitting node to its child — the
+            // same in-band-code routing as the recursive grower.
+            let mut route_of: Vec<Option<Route>> = vec![None; arena.len()];
+            for &id in &splitting {
+                if let Fate::Split { cand, left, right } = &arena[id as usize].fate {
+                    let cuts = matrix.cuts(cand.feature);
+                    route_of[id as usize] = Some(Route {
+                        feature: cand.feature,
+                        missing_code: cuts.len() as u16 + 1,
+                        boundary: cuts.partition_point(|&c| c < cand.threshold),
+                        default_left: cand.default_left,
+                        left: *left,
+                        right: *right,
+                    });
+                }
+            }
+            for b in 0..n_blocks {
+                let base_row = b * matrix.block_rows();
+                let codes = matrix.load_block(b)?;
+                let n = codes.len() / ncols;
+                for local in 0..n {
+                    let r = base_row + local;
+                    let Some(route) = route_of[node_of[r] as usize] else { continue };
+                    let code = codes[local * ncols + route.feature];
+                    let goes_left = if code == route.missing_code {
+                        route.default_left
+                    } else {
+                        (code as usize) <= route.boundary
+                    };
+                    let child = if goes_left { route.left } else { route.right };
+                    node_of[r] = child;
+                    arena[child as usize].n_rows += 1;
+                }
+            }
+
+            // Empty-side fallback (numerical pathology, same as the
+            // recursive grower): demote the split back to a leaf with
+            // the node's own mass. All its rows sit in the one
+            // non-empty child, which becomes a ghost carrying the same
+            // weight so the score update needs no re-routing.
+            let mut confirmed: Vec<u32> = Vec::new();
+            for &id in &splitting {
+                let Fate::Split { left, right, .. } = arena[id as usize].fate.clone() else {
+                    unreachable!("splitting nodes keep their split fate until here")
+                };
+                let empty_side =
+                    arena[left as usize].n_rows == 0 || arena[right as usize].n_rows == 0;
+                if empty_side {
+                    let node = &mut arena[id as usize];
+                    let weight = -node.g / (node.h + params.lambda) * params.learning_rate;
+                    node.fate = Fate::Leaf { weight };
+                    hist_pool.push(std::mem::take(&mut node.hist));
+                    arena[left as usize].fate = Fate::Leaf { weight };
+                    arena[right as usize].fate = Fate::Leaf { weight };
+                } else {
+                    confirmed.push(id);
+                }
+            }
+            if confirmed.is_empty() {
+                break;
+            }
+
+            // Accumulation pass: build each smaller child's histogram
+            // by streaming blocks (row-ascending adds), then derive the
+            // larger child by the subtraction trick from the parent's
+            // buffer. Workers own disjoint nodes, so any worker count
+            // adds the same floats in the same order per cell.
+            let mut owner_of: Vec<u32> = vec![u32::MAX; arena.len()];
+            let mut targets: Vec<(u32, u32)> = Vec::new(); // (small child, parent)
+            for &id in &confirmed {
+                let Fate::Split { left, right, .. } = arena[id as usize].fate.clone() else {
+                    unreachable!("confirmed splits keep their split fate")
+                };
+                let small = if arena[left as usize].n_rows <= arena[right as usize].n_rows {
+                    left
+                } else {
+                    right
+                };
+                owner_of[small as usize] = targets.len() as u32;
+                targets.push((small, id));
+            }
+            let mut small_hists: Vec<Vec<[f64; 2]>> =
+                targets.iter().map(|_| take_hist(&mut hist_pool)).collect();
+            for b in 0..n_blocks {
+                let base_row = b * matrix.block_rows();
+                let block_rows_here = matrix.rows_in_block(b);
+                let codes = matrix.load_block(b)?;
+                debug_assert_eq!(codes.len(), block_rows_here * ncols);
+                if workers <= 1 || targets.len() < 2 {
+                    accumulate_block(
+                        codes,
+                        base_row,
+                        ncols,
+                        &bounds,
+                        &node_of,
+                        &owner_of,
+                        &grad,
+                        &hess,
+                        0..targets.len(),
+                        &mut small_hists,
+                    );
+                } else {
+                    let n_workers = workers.min(targets.len());
+                    let chunk = targets.len().div_ceil(n_workers);
+                    let bounds_ref: &[usize] = &bounds;
+                    let node_of_ref: &[u32] = &node_of;
+                    let owner_ref: &[u32] = &owner_of;
+                    let grad_ref: &[f64] = &grad;
+                    let hess_ref: &[f64] = &hess;
+                    std::thread::scope(|s| {
+                        for (w, hists) in small_hists.chunks_mut(chunk).enumerate() {
+                            let start = w * chunk;
+                            let end = start + hists.len();
+                            s.spawn(move || {
+                                accumulate_block(
+                                    codes,
+                                    base_row,
+                                    ncols,
+                                    bounds_ref,
+                                    node_of_ref,
+                                    owner_ref,
+                                    grad_ref,
+                                    hess_ref,
+                                    start..end,
+                                    hists,
+                                );
+                            });
+                        }
+                    });
+                }
+            }
+            for (t, (small, parent)) in targets.iter().enumerate() {
+                let small_hist = std::mem::take(&mut small_hists[t]);
+                let mut larger_hist = std::mem::take(&mut arena[*parent as usize].hist);
+                for (ps, cs) in larger_hist.iter_mut().zip(&small_hist) {
+                    ps[0] -= cs[0];
+                    ps[1] -= cs[1];
+                }
+                let Fate::Split { left, right, .. } = arena[*parent as usize].fate.clone() else {
+                    unreachable!("confirmed splits keep their split fate")
+                };
+                let large = if *small == left { right } else { left };
+                arena[*small as usize].hist = small_hist;
+                arena[large as usize].hist = larger_hist;
+            }
+
+            frontier.clear();
+            for &id in &confirmed {
+                if let Fate::Split { left, right, .. } = arena[id as usize].fate {
+                    frontier.push(left);
+                    frontier.push(right);
+                }
+            }
+            depth += 1;
+        }
+        // Return any still-held histogram buffers to the pool.
+        for node in &mut arena {
+            if !node.hist.is_empty() {
+                hist_pool.push(std::mem::take(&mut node.hist));
+            }
+        }
+
+        // --- Emit the arena in the recursion's DFS pre-order -------
+        let mut nodes: Vec<Node> = Vec::with_capacity(arena.len());
+        emit(&arena, 0, &mut nodes);
+
+        // --- Score update and bookkeeping, as in `FitRun::round` ---
+        let mut leaf_weight = vec![0.0f64; arena.len()];
+        for (i, node) in arena.iter().enumerate() {
+            if let Fate::Leaf { weight } = node.fate {
+                leaf_weight[i] = weight;
+            }
+        }
+        for (r, raw_r) in raw.iter_mut().enumerate() {
+            *raw_r += leaf_weight[node_of[r] as usize];
+        }
+        let train_loss = params.objective.loss(labels, &raw);
+        history.push(EvalRecord { round, train_loss, eval_loss: None });
+        trees.push(Tree::from_nodes(nodes));
+    }
+
+    let best_round = params.n_estimators;
+    Ok(TrainReport {
+        booster: Booster { trees, base_score, objective: params.objective, n_features: ncols },
+        history,
+        best_round,
+    })
+}
+
+/// Emit `id`'s subtree in DFS pre-order (node, left, right) with
+/// tree-relative child links — the exact order and linking the
+/// recursive grower's `TreeBuf` produces.
+fn emit(arena: &[BuildNode], id: u32, nodes: &mut Vec<Node>) -> usize {
+    let node = &arena[id as usize];
+    match &node.fate {
+        Fate::Leaf { weight } => {
+            nodes.push(Node::Leaf { weight: *weight, cover: node.h });
+            nodes.len() - 1
+        }
+        Fate::Split { cand, left, right } => {
+            nodes.push(Node::Split {
+                feature: cand.feature,
+                threshold: cand.threshold,
+                default_left: cand.default_left,
+                left: usize::MAX,
+                right: usize::MAX,
+                cover: node.h,
+                gain: cand.gain,
+            });
+            let idx = nodes.len() - 1;
+            let l = emit(arena, *left, nodes);
+            let r = emit(arena, *right, nodes);
+            if let Node::Split { left: pl, right: pr, .. } = &mut nodes[idx] {
+                *pl = l;
+                *pr = r;
+            }
+            idx
+        }
+        Fate::Open => unreachable!("every arena node is resolved before emission"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinnedMatrix;
+    use msaw_tabular::Matrix;
+
+    /// Deterministic pseudo-random feature matrix with some NaNs.
+    fn synth(nrows: usize, ncols: usize, missing: bool) -> Vec<f64> {
+        let mut out = Vec::with_capacity(nrows * ncols);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for i in 0..nrows {
+            for j in 0..ncols {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let v = if missing && state.is_multiple_of(11) {
+                    f64::NAN
+                } else {
+                    ((state >> 16) % 1000) as f64 / 8.0 + (i + j) as f64 * 0.125
+                };
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("msaw_chunk_{}_{tag}.mscb", std::process::id()))
+    }
+
+    #[test]
+    fn sketch_matches_in_memory_cuts() {
+        let nrows = 200;
+        let ncols = 4;
+        let rows = synth(nrows, ncols, true);
+        let data = Matrix::from_vec(rows.clone(), nrows, ncols);
+        let binned = BinnedMatrix::fit(&data, 16);
+        for chunk in [1usize, 7, 64, nrows] {
+            let mut sketch = CutSketch::new(ncols);
+            for block in rows.chunks(chunk * ncols) {
+                sketch.update(block);
+            }
+            assert!(sketch.is_exact());
+            let cuts = sketch.cuts(16);
+            for (j, c) in cuts.iter().enumerate() {
+                assert_eq!(c, binned.cuts(j), "feature {j} at chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_thins_deterministically_beyond_capacity() {
+        let rows = synth(500, 1, false);
+        let mut a = CutSketch::with_capacity(1, 64);
+        let mut b = CutSketch::with_capacity(1, 64);
+        for block in rows.chunks(17) {
+            a.update(block);
+        }
+        for block in rows.chunks(17) {
+            b.update(block);
+        }
+        assert!(!a.is_exact());
+        assert_eq!(a.cuts(256), b.cuts(256));
+        assert!(a.cuts(256)[0].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn memory_and_disk_stores_hold_identical_codes() {
+        let nrows = 130;
+        let ncols = 3;
+        let rows = synth(nrows, ncols, true);
+        let mut sketch = CutSketch::new(ncols);
+        sketch.update(&rows);
+        let cuts = sketch.cuts(16);
+
+        let mut mem = ChunkedMatrixBuilder::in_memory(cuts.clone(), 32);
+        mem.push_rows(&rows).unwrap();
+        let mut mem = mem.finish().unwrap();
+
+        let path = tmp_path("roundtrip");
+        let mut disk = ChunkedMatrixBuilder::spilled(cuts, 32, &path).unwrap();
+        for block in rows.chunks(9 * ncols) {
+            disk.push_rows(block).unwrap();
+        }
+        disk.finish().unwrap();
+        let mut disk = ChunkedMatrix::open(&path).unwrap();
+
+        assert_eq!(mem.n_blocks(), disk.n_blocks());
+        assert_eq!(mem.nrows(), disk.nrows());
+        assert!(disk.is_spilled() && !mem.is_spilled());
+        for b in 0..mem.n_blocks() {
+            let m = mem.load_block(b).unwrap().to_vec();
+            let d = disk.load_block(b).unwrap().to_vec();
+            assert_eq!(m, d, "block {b}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corruption() {
+        let nrows = 40;
+        let ncols = 2;
+        let rows = synth(nrows, ncols, false);
+        let mut sketch = CutSketch::new(ncols);
+        sketch.update(&rows);
+        let path = tmp_path("corrupt");
+        let mut b = ChunkedMatrixBuilder::spilled(sketch.cuts(8), 16, &path).unwrap();
+        b.push_rows(&rows).unwrap();
+        b.finish().unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ChunkedMatrix::open(&path),
+            Err(ChunkError::Corrupt { what: "magic", .. })
+        ));
+
+        // Header bit flip breaks the header checksum.
+        let mut bad = good.clone();
+        bad[7] ^= 0x01; // ncols high byte
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(ChunkedMatrix::open(&path), Err(ChunkError::Corrupt { .. })));
+
+        // Truncation breaks the length check.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(matches!(
+            ChunkedMatrix::open(&path),
+            Err(ChunkError::Corrupt { what: "file length", .. })
+        ));
+
+        // A flipped code byte passes open() but fails block verify.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let mut m = ChunkedMatrix::open(&path).unwrap();
+        let err = m.load_block(m.n_blocks() - 1);
+        assert!(matches!(err, Err(ChunkError::Corrupt { what: "block checksum", .. })));
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn train_rejects_unsupported_configurations() {
+        let rows = synth(20, 2, false);
+        let mut sketch = CutSketch::new(2);
+        sketch.update(&rows);
+        let mut b = ChunkedMatrixBuilder::in_memory(sketch.cuts(8), 8);
+        b.push_rows(&rows).unwrap();
+        let mut m = b.finish().unwrap();
+        let labels: Vec<f64> = (0..20).map(|i| i as f64).collect();
+
+        let exact = Params::regression();
+        assert!(matches!(
+            train_chunked(&exact, &mut m, &labels, 1),
+            Err(ChunkError::Train(TrainError::InvalidParam { name: "tree_method", .. }))
+        ));
+
+        let mut p = Params::regression();
+        p.tree_method = TreeMethod::Hist { max_bins: 8 };
+        p.subsample = 0.5;
+        assert!(matches!(
+            train_chunked(&p, &mut m, &labels, 1),
+            Err(ChunkError::Train(TrainError::InvalidParam { name: "subsample", .. }))
+        ));
+
+        let mut p = Params::regression();
+        p.tree_method = TreeMethod::Hist { max_bins: 8 };
+        p.colsample_bytree = 0.5;
+        assert!(matches!(
+            train_chunked(&p, &mut m, &labels, 1),
+            Err(ChunkError::Train(TrainError::InvalidParam { name: "colsample_bytree", .. }))
+        ));
+
+        let mut p = Params::regression();
+        p.tree_method = TreeMethod::Hist { max_bins: 8 };
+        assert!(matches!(
+            train_chunked(&p, &mut m, &labels[..5], 1),
+            Err(ChunkError::Train(TrainError::LabelLength { .. }))
+        ));
+    }
+}

@@ -743,10 +743,11 @@ fn push_split(tree: &mut TreeBuf, split: &SplitCandidate, cover: f64) -> usize {
 /// round's subsample into `data`, a slice covering exactly those
 /// features' slots (`bounds` stays set-global) — dispatching on the
 /// kernel `level`. Per `(feature, slot)` cell the additions happen in
-/// row order on every level (the AVX2 kernel only vectorizes slot-index
-/// computation and uses pair-adds, never per-lane sub-histograms), so
-/// chunked parallel accumulation stays bit-identical to the serial pass
-/// and the SIMD pass bit-identical to the scalar one.
+/// row order on every level (the AVX2/AVX-512 kernels only vectorize
+/// slot-index computation and use pair-adds, never per-lane
+/// sub-histograms), so chunked parallel accumulation stays bit-identical
+/// to the serial pass and every SIMD pass bit-identical to the scalar
+/// one.
 fn accumulate_hists(
     level: crate::simd::SimdLevel,
     binned: &BinnedMatrix,
@@ -757,11 +758,19 @@ fn accumulate_hists(
     bounds: &[usize],
 ) {
     #[cfg(target_arch = "x86_64")]
-    if level >= crate::simd::SimdLevel::Avx2 {
-        // SAFETY: `active_level` never reports Avx2-or-above without
-        // AVX2 CPU support (Avx512 implies it).
-        unsafe { accumulate_hists_avx2(binned, rctx, rows, fi_range, data, bounds) };
-        return;
+    {
+        if level >= crate::simd::SimdLevel::Avx512 {
+            // SAFETY: `active_level` never reports Avx512 without
+            // AVX-512F CPU support.
+            unsafe { accumulate_hists_avx512(binned, rctx, rows, fi_range, data, bounds) };
+            return;
+        }
+        if level >= crate::simd::SimdLevel::Avx2 {
+            // SAFETY: `active_level` never reports Avx2-or-above without
+            // AVX2 CPU support.
+            unsafe { accumulate_hists_avx2(binned, rctx, rows, fi_range, data, bounds) };
+            return;
+        }
     }
     #[cfg(not(target_arch = "x86_64"))]
     let _ = level;
@@ -863,6 +872,74 @@ unsafe fn accumulate_hists_avx2(
     }
 }
 
+/// The AVX-512 accumulation pass: the same identity-chunk structure as
+/// [`accumulate_hists_avx2`] but widening 16 row codes per step
+/// (`vpmovzxwd zmm`) and adding 16 slot offsets in one 512-bit op. Only
+/// the slot-index arithmetic widens — the `(g, h)` sums remain 16
+/// sequential pair-adds in feature order, so every `(feature, slot)`
+/// cell sees the same IEEE add order as the scalar and AVX2 passes and
+/// the result stays bit-identical across levels. Non-identity chunks
+/// fall back to the scalar pass; nothing allocates.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn accumulate_hists_avx512(
+    binned: &BinnedMatrix,
+    rctx: &RoundCtx,
+    rows: &[usize],
+    fi_range: std::ops::Range<usize>,
+    data: &mut [[f64; 2]],
+    bounds: &[usize],
+) {
+    use crate::simd::x86::{pack_gh, pair_add};
+    use std::arch::x86_64::*;
+    const CHUNK: usize = 64;
+    let base = bounds[fi_range.start];
+    let mut fi = fi_range.start;
+    while fi < fi_range.end {
+        let end = (fi + CHUNK).min(fi_range.end);
+        let identity =
+            (fi..end).all(|k| rctx.features[k] == k) && bounds[end] - base <= i32::MAX as usize;
+        if !identity {
+            let lo = bounds[fi] - base;
+            let hi = bounds[end] - base;
+            accumulate_hists_scalar(binned, rctx, rows, fi..end, &mut data[lo..hi], bounds);
+            fi = end;
+            continue;
+        }
+        let nf_chunk = end - fi;
+        let mut off = [0i32; CHUNK];
+        for (c, o) in off[..nf_chunk].iter_mut().enumerate() {
+            *o = (bounds[fi + c] - base) as i32;
+        }
+        let full = nf_chunk / 16 * 16;
+        for &p in rows {
+            let codes = binned.row_codes(rctx.map[p]);
+            let gh = pack_gh(rctx.grad[p], rctx.hess[p]);
+            let cp = codes.as_ptr().add(fi);
+            let mut c = 0usize;
+            while c < full {
+                let raw = _mm256_loadu_si256(cp.add(c) as *const __m256i);
+                let slots = _mm512_add_epi32(
+                    _mm512_cvtepu16_epi32(raw),
+                    _mm512_loadu_si512(off.as_ptr().add(c) as *const _),
+                );
+                let mut s = [0i32; 16];
+                _mm512_storeu_si512(s.as_mut_ptr() as *mut _, slots);
+                for &si in &s {
+                    pair_add(data.get_unchecked_mut(si as usize), gh);
+                }
+                c += 16;
+            }
+            while c < nf_chunk {
+                let slot = off[c] as usize + *codes.get_unchecked(fi + c) as usize;
+                pair_add(data.get_unchecked_mut(slot), gh);
+                c += 1;
+            }
+        }
+        fi = end;
+    }
+}
+
 /// Build one node's histograms into `out` (taken from the pool).
 /// Feature-parallel above the `scan_threads` threshold, chunked exactly
 /// like the split scan.
@@ -925,7 +1002,7 @@ fn subtract_hists(parent: &mut NodeHists, child: &NodeHists) {
     }
 }
 
-fn scan_hist(
+pub(crate) fn scan_hist(
     feature: usize,
     cuts: &[f64],
     hist: &[[f64; 2]],

@@ -75,6 +75,55 @@ impl fmt::Display for PredictError {
 
 impl std::error::Error for PredictError {}
 
+/// Errors reachable while building, opening or training on a chunked
+/// (out-of-core) binned matrix — see `crate::chunked`. Spilled chunk
+/// files are untrusted input to `open`, so corruption is a first-class
+/// variant rather than a panic.
+#[derive(Debug)]
+pub enum ChunkError {
+    /// The spill file could not be read or written.
+    Io(std::io::Error),
+    /// The spill file failed structural or checksum validation.
+    /// `what` names the field or region, `detail` says how it failed.
+    Corrupt { what: &'static str, detail: String },
+    /// A training-stage failure (bad parameters or labels).
+    Train(TrainError),
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Io(e) => write!(f, "chunk store I/O error: {e}"),
+            ChunkError::Corrupt { what, detail } => {
+                write!(f, "corrupt chunk store ({what}): {detail}")
+            }
+            ChunkError::Train(e) => write!(f, "chunked training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChunkError::Io(e) => Some(e),
+            ChunkError::Train(e) => Some(e),
+            ChunkError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ChunkError {
+    fn from(e: std::io::Error) -> Self {
+        ChunkError::Io(e)
+    }
+}
+
+impl From<TrainError> for ChunkError {
+    fn from(e: TrainError) -> Self {
+        ChunkError::Train(e)
+    }
+}
+
 /// Crate umbrella over the per-stage errors, for callers that cross
 /// both stages (e.g. load-then-score, train-then-evaluate).
 #[derive(Debug, Clone, PartialEq)]

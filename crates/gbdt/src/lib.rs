@@ -45,6 +45,7 @@
 pub mod artifact;
 pub mod binning;
 pub mod booster;
+pub mod chunked;
 pub mod context;
 mod engine;
 pub mod error;
@@ -59,11 +60,15 @@ pub mod tree;
 
 pub use artifact::{fnv1a_64, ModelArtifact, ARTIFACT_VERSION};
 pub use booster::{Booster, EvalRecord, FitRun, TrainReport};
+pub use chunked::{
+    train_chunked, ChunkedMatrix, ChunkedMatrixBuilder, CutSketch, DEFAULT_BLOCK_ROWS,
+    DEFAULT_SKETCH_DISTINCT,
+};
 pub use context::{ContextCache, ExactIndex, TrainingContext, MISSING_RANK};
 #[doc(hidden)]
 pub use engine::build_hists_for_bench;
 pub use engine::TreeScratch;
-pub use error::{GbdtError, PredictError, TrainError};
+pub use error::{ChunkError, GbdtError, PredictError, TrainError};
 pub use forest::FlatForest;
 pub use importance::{FeatureImportance, ImportanceKind};
 pub use objective::Objective;

@@ -180,6 +180,42 @@ fn hist_training_is_bit_identical_across_levels() {
     }
 }
 
+/// Like [`train_bytes_at`] but with a tunable feature count. The
+/// histogram index-widening kernels process features in lockstep groups
+/// of 8 (AVX2) or 16 (AVX-512); narrow matrices only exercise their
+/// scalar tails, so the hist-path equivalence must be pinned at widths
+/// that reach the vector bodies too.
+fn wide_train_bytes_at(level: SimdLevel, ncols: usize) -> Vec<u8> {
+    let _guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::force_level(Some(level));
+    let data = pseudo_matrix(260, ncols, 5);
+    let labels = pseudo_labels(260);
+    let params = Params {
+        n_estimators: 8,
+        max_depth: 4,
+        tree_method: TreeMethod::Hist { max_bins: 32 },
+        ..Params::regression()
+    };
+    let model = Booster::train(&params, &data, &labels).unwrap();
+    simd::force_level(None);
+    serialize::encode(&model).to_vec()
+}
+
+#[test]
+fn wide_feature_hist_training_is_bit_identical_across_levels() {
+    // 8: one full AVX2 group, AVX-512 tail only. 16: one full AVX-512
+    // group, exactly two AVX2 groups. 17/21: full group(s) plus a
+    // sub-group remainder on both tiers. 40: multiple full groups with
+    // a mixed tail.
+    for ncols in [8usize, 16, 17, 21, 40] {
+        let reference = wide_train_bytes_at(SimdLevel::Scalar, ncols);
+        for level in vector_levels() {
+            let got = wide_train_bytes_at(level, ncols);
+            assert_eq!(got, reference, "hist training diverged at {level:?}, ncols={ncols}");
+        }
+    }
+}
+
 #[test]
 fn exact_training_is_bit_identical_across_levels() {
     let reference = train_bytes_at(SimdLevel::Scalar, true);

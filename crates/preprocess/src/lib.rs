@@ -30,11 +30,14 @@ pub mod error;
 pub mod ingest;
 pub mod interpolate;
 pub mod samples;
+pub mod stream;
 
 pub use aggregate::monthly_means;
 pub use error::SampleError;
 pub use ingest::{frame_to_samples, ingest_frame, read_sample_csv, IngestMode, Ingested};
 pub use interpolate::interpolate;
 pub use samples::{
-    build_samples, FeaturePanel, OutcomeKind, PipelineConfig, SampleMeta, SampleSet,
+    build_samples, FeaturePanel, OutcomeKind, PatientFeatures, PipelineConfig, SampleMeta,
+    SampleSet,
 };
+pub use stream::{collect_samples, patient_samples, SampleBlock, SampleStream};

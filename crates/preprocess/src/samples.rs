@@ -3,8 +3,10 @@
 
 use crate::aggregate::monthly_means;
 use crate::interpolate::interpolate;
+use msaw_cohort::activity::ActivityTrace;
 use msaw_cohort::{
-    Clinic, CohortData, PatientId, N_PRO, QUESTION_BANK, STUDY_MONTHS, WEEKS_PER_MONTH,
+    Clinic, CohortData, OutcomeRecord, PatientId, N_PRO, QUESTION_BANK, STUDY_MONTHS,
+    WEEKS_PER_MONTH,
 };
 use msaw_tabular::Matrix;
 use serde::{Deserialize, Serialize};
@@ -216,6 +218,42 @@ pub struct FeaturePanel {
     pub activity: Vec<[Vec<f64>; 3]>,
 }
 
+/// Monthly feature values for one patient: the per-patient slice of
+/// [`FeaturePanel`], computable from that patient's raw series alone —
+/// the unit of work the streaming featurizer operates on.
+#[derive(Debug, Clone)]
+pub struct PatientFeatures {
+    /// `pro[question][month-1]`, `NaN` = missing after QA.
+    pub pro: Vec<Vec<f64>>,
+    /// `activity[channel][month-1]`, channels = steps, sleep, calories.
+    pub activity: [Vec<f64>; 3],
+}
+
+impl PatientFeatures {
+    /// Interpolate + aggregate one patient's weekly PRO series and
+    /// daily activity trace into monthly features. This is *the*
+    /// featurization — [`FeaturePanel::build`] is a per-patient loop
+    /// over it, so the streamed and materialised paths cannot diverge.
+    pub fn build(
+        pro_series: &[Vec<Option<u8>>],
+        trace: &ActivityTrace,
+        cfg: &PipelineConfig,
+    ) -> PatientFeatures {
+        let mut per_question = Vec::with_capacity(N_PRO);
+        for series in pro_series.iter().take(N_PRO) {
+            let weekly: Vec<Option<f64>> = series.iter().map(|a| a.map(|v| v as f64)).collect();
+            let filled = interpolate(&weekly, cfg.max_interpolation_gap);
+            per_question.push(monthly_means(&filled, WEEKS_PER_MONTH));
+        }
+        let activity = [
+            (1..=STUDY_MONTHS).map(|m| trace.monthly_mean(&trace.steps, m)).collect::<Vec<f64>>(),
+            (1..=STUDY_MONTHS).map(|m| trace.monthly_mean(&trace.sleep_hours, m)).collect(),
+            (1..=STUDY_MONTHS).map(|m| trace.monthly_mean(&trace.calories, m)).collect(),
+        ];
+        PatientFeatures { pro: per_question, activity }
+    }
+}
+
 impl FeaturePanel {
     /// Run interpolation + aggregation over the cohort.
     pub fn build(data: &CohortData, cfg: &PipelineConfig) -> FeaturePanel {
@@ -223,24 +261,9 @@ impl FeaturePanel {
         let mut pro = Vec::with_capacity(n);
         let mut activity = Vec::with_capacity(n);
         for p in 0..n {
-            let mut per_question = Vec::with_capacity(N_PRO);
-            for q in 0..N_PRO {
-                let weekly: Vec<Option<f64>> =
-                    data.pro.series[p][q].iter().map(|a| a.map(|v| v as f64)).collect();
-                let filled = interpolate(&weekly, cfg.max_interpolation_gap);
-                per_question.push(monthly_means(&filled, WEEKS_PER_MONTH));
-            }
-            pro.push(per_question);
-
-            let trace = &data.activity[p];
-            let channels = [
-                (1..=STUDY_MONTHS)
-                    .map(|m| trace.monthly_mean(&trace.steps, m))
-                    .collect::<Vec<f64>>(),
-                (1..=STUDY_MONTHS).map(|m| trace.monthly_mean(&trace.sleep_hours, m)).collect(),
-                (1..=STUDY_MONTHS).map(|m| trace.monthly_mean(&trace.calories, m)).collect(),
-            ];
-            activity.push(channels);
+            let pf = PatientFeatures::build(&data.pro.series[p], &data.activity[p], cfg);
+            pro.push(pf.pro);
+            activity.push(pf.activity);
         }
         FeaturePanel { pro, activity }
     }
@@ -253,6 +276,63 @@ impl FeaturePanel {
         names.push("sleep_hours_monthly_mean".to_string());
         names.push("calories_monthly_mean".to_string());
         names
+    }
+}
+
+/// The label an outcome record yields for one task.
+pub fn label_of(record: &OutcomeRecord, outcome: OutcomeKind) -> f64 {
+    match outcome {
+        OutcomeKind::Qol => record.qol,
+        OutcomeKind::Sppb => record.sppb as f64,
+        OutcomeKind::Falls => f64::from(record.falls),
+    }
+}
+
+/// Append every QA-passing sample of one patient — both windows, all
+/// eight candidate months each — to `rows`/`labels`/`meta`.
+/// `label_for_visit(9·window)` supplies the window's label (or `None`
+/// to skip that window). Both [`build_samples`] and the streaming
+/// featurizer in [`crate::stream`] funnel through this, which is what
+/// makes the two paths byte-identical.
+// A sink per output stream plus the per-patient inputs: the arity is
+// the fan-in, not incidental state to bundle.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_patient_samples<F>(
+    patient: PatientId,
+    clinic: Clinic,
+    pro: &[Vec<f64>],
+    activity: &[Vec<f64>],
+    label_for_visit: F,
+    cfg: &PipelineConfig,
+    rows: &mut Vec<Vec<f64>>,
+    labels: &mut Vec<f64>,
+    meta: &mut Vec<SampleMeta>,
+) where
+    F: Fn(usize) -> Option<f64>,
+{
+    let n_features = pro.len() + activity.len();
+    for window in 1u8..=2 {
+        let visit_month = 9 * window as usize;
+        let Some(label) = label_for_visit(visit_month) else {
+            continue;
+        };
+        for i in 1usize..=8 {
+            let month = i + (window as usize - 1) * 9;
+            let mut row = Vec::with_capacity(n_features);
+            for q in pro {
+                row.push(q[month - 1]);
+            }
+            for channel in activity {
+                row.push(channel[month - 1]);
+            }
+            let missing = row.iter().filter(|v| v.is_nan()).count();
+            if missing > cfg.max_missing_features {
+                continue;
+            }
+            rows.push(row);
+            labels.push(label);
+            meta.push(SampleMeta { patient, clinic, month, window });
+        }
     }
 }
 
@@ -273,39 +353,17 @@ pub fn build_samples(
 
     for patient in &data.patients {
         let p = patient.id.0 as usize;
-        for window in 1u8..=2 {
-            let visit_month = 9 * window as usize;
-            let Some(record) = data.outcome(patient.id, visit_month) else {
-                continue;
-            };
-            let label = match outcome {
-                OutcomeKind::Qol => record.qol,
-                OutcomeKind::Sppb => record.sppb as f64,
-                OutcomeKind::Falls => f64::from(record.falls),
-            };
-            for i in 1usize..=8 {
-                let month = i + (window as usize - 1) * 9;
-                let mut row = Vec::with_capacity(n_features);
-                for q in 0..N_PRO {
-                    row.push(panel.pro[p][q][month - 1]);
-                }
-                for channel in &panel.activity[p] {
-                    row.push(channel[month - 1]);
-                }
-                let missing = row.iter().filter(|v| v.is_nan()).count();
-                if missing > cfg.max_missing_features {
-                    continue;
-                }
-                rows.push(row);
-                labels.push(label);
-                meta.push(SampleMeta {
-                    patient: patient.id,
-                    clinic: patient.clinic,
-                    month,
-                    window,
-                });
-            }
-        }
+        emit_patient_samples(
+            patient.id,
+            patient.clinic,
+            &panel.pro[p],
+            &panel.activity[p],
+            |visit_month| data.outcome(patient.id, visit_month).map(|r| label_of(r, outcome)),
+            cfg,
+            &mut rows,
+            &mut labels,
+            &mut meta,
+        );
     }
 
     let features =

@@ -63,6 +63,15 @@ else
         shap_matrix_secs fig7_end_to_end_secs
     ./target/release/perf_check BENCH_serve.json "$perf_tmp/serve.json" \
         serve_p50_secs serve_p99_secs
+
+    # Scaling smoke: rerun the streaming pipeline's 10k-patient point
+    # and gate its stage seconds, reciprocal fit throughput and peak
+    # RSS against the committed full-sweep baseline.
+    echo "==> perf smoke (bench_scale, 10k-patient point)"
+    ./target/release/bench_scale "$perf_tmp/scale.json" 10000
+    ./target/release/perf_check BENCH_scale.json "$perf_tmp/scale.json" \
+        scale10000_sketch_secs scale10000_encode_secs \
+        scale10000_fit_secs_per_mrow scale10000_peak_rss_mb
 fi
 
 echo "CI green."
