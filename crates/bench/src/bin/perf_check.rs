@@ -5,14 +5,17 @@
 //! Usage:
 //!
 //! ```text
-//! perf_check <committed.json> <fresh.json> <key> [<key>...]
+//! perf_check <committed.json> <fresh.json> <key>[:tol] [<key>[:tol]...]
 //! ```
 //!
 //! Every `<key>` must exist as a numeric field in both files; the check
-//! fails (exit 1) if `fresh > committed * (1 + TOLERANCE)` for any of
-//! them. The 25% tolerance absorbs shared-runner noise while still
-//! catching real regressions; the BENCH_*.json files are seconds, so
-//! smaller is always better.
+//! fails (exit 1) if `fresh > committed * (1 + tol)` for any of them.
+//! The default 25% tolerance absorbs shared-runner noise while still
+//! catching real regressions; a per-key `:tol` suffix (a fraction)
+//! overrides it — `shed_total:0` gates a counter that must never grow
+//! past its committed value, `serve_p999_secs:1.0` gives a noisy tail
+//! percentile 100% headroom. Smaller is always better for every gated
+//! key (latency seconds and failure counters alike).
 //!
 //! The parser is a deliberately tiny flat-JSON scanner (the BENCH files
 //! are flat or one level deep, written by our own binaries) — no JSON
@@ -20,8 +23,23 @@
 
 use std::process::ExitCode;
 
-/// Allowed relative slowdown before the check fails.
+/// Allowed relative slowdown before the check fails, unless the key
+/// carries its own `:tol` suffix.
 const TOLERANCE: f64 = 0.25;
+
+/// Split a `key[:tol]` argument into the JSON key and its tolerance.
+fn parse_key_spec(spec: &str) -> Result<(&str, f64), String> {
+    let Some((key, tol)) = spec.rsplit_once(':') else {
+        return Ok((spec, TOLERANCE));
+    };
+    let tol: f64 = tol
+        .parse()
+        .map_err(|_| format!("bad tolerance in \"{spec}\": expected a number after ':'"))?;
+    if !tol.is_finite() || tol < 0.0 || key.is_empty() {
+        return Err(format!("bad key spec \"{spec}\": tolerance must be a non-negative fraction"));
+    }
+    Ok((key, tol))
+}
 
 /// Extract the numeric value of `"key": <number>` from a JSON text.
 /// Nested objects are fine as long as the key itself is unique and its
@@ -50,19 +68,27 @@ fn run() -> Result<(), String> {
     let fresh = std::fs::read_to_string(fresh_path).map_err(|e| format!("{fresh_path}: {e}"))?;
 
     let mut failures = Vec::new();
-    for key in keys {
+    for spec in keys {
+        let (key, tolerance) = parse_key_spec(spec)?;
         let base = numeric_field(&committed, key)
             .ok_or_else(|| format!("{committed_path}: no numeric field \"{key}\""))?;
         let now = numeric_field(&fresh, key)
             .ok_or_else(|| format!("{fresh_path}: no numeric field \"{key}\""))?;
-        let limit = base * (1.0 + TOLERANCE);
+        let limit = base * (1.0 + tolerance);
         let verdict = if now > limit { "REGRESSED" } else { "ok" };
-        eprintln!("  {key}: committed {base:.6}s, fresh {now:.6}s (limit {limit:.6}s) {verdict}");
+        eprintln!(
+            "  {key}: committed {base:.6}, fresh {now:.6} (limit {limit:.6}, +{:.0}%) {verdict}",
+            tolerance * 100.0
+        );
         if now > limit {
+            let growth = if base > 0.0 {
+                format!("+{:.0}%", (now / base - 1.0) * 100.0)
+            } else {
+                format!("{now:.6} from a zero baseline")
+            };
             failures.push(format!(
-                "{key} regressed: {now:.6}s vs committed {base:.6}s (+{:.0}% > +{:.0}% allowed)",
-                (now / base - 1.0) * 100.0,
-                TOLERANCE * 100.0
+                "{key} regressed: {now:.6} vs committed {base:.6} ({growth} > +{:.0}% allowed)",
+                tolerance * 100.0
             ));
         }
     }
@@ -118,5 +144,15 @@ mod tests {
     fn scientific_notation_parses() {
         assert_eq!(numeric_field(r#"{"x": 1.5e-3}"#, "x"), Some(0.0015));
         assert_eq!(numeric_field(r#"{"x": -2e2}"#, "x"), Some(-200.0));
+    }
+
+    #[test]
+    fn key_specs_carry_optional_per_key_tolerances() {
+        assert_eq!(parse_key_spec("serve_p50_secs"), Ok(("serve_p50_secs", TOLERANCE)));
+        assert_eq!(parse_key_spec("shed_total:0"), Ok(("shed_total", 0.0)));
+        assert_eq!(parse_key_spec("serve_p999_secs:1.0"), Ok(("serve_p999_secs", 1.0)));
+        assert!(parse_key_spec("x:-0.5").is_err());
+        assert!(parse_key_spec("x:nan").is_err());
+        assert!(parse_key_spec(":0.5").is_err());
     }
 }

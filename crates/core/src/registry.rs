@@ -53,11 +53,19 @@ impl ModelKey {
 
     /// Deterministic artifact file name for this key.
     pub fn file_name(&self) -> String {
+        format!("{}_{:016x}.msgb", self.group_name(), self.cohort_hash)
+    }
+
+    /// The `{outcome}_{variant}` prefix shared by every cohort
+    /// generation of this model — the unit a reload watcher tracks:
+    /// retraining on a refreshed cohort publishes a new file in the
+    /// same group, and [`ModelRegistry::latest_generation`] resolves
+    /// the group to its newest member.
+    pub fn group_name(&self) -> String {
         format!(
-            "{}_{}_{:016x}.msgb",
+            "{}_{}",
             self.outcome.name().to_ascii_lowercase(),
-            self.variant.label().to_ascii_lowercase(),
-            self.cohort_hash
+            self.variant.label().to_ascii_lowercase()
         )
     }
 }
@@ -192,8 +200,15 @@ impl ModelRegistry {
 
     /// Load and fully re-validate the artifact stored under `key`.
     pub fn load(&self, key: &ModelKey) -> Result<ModelArtifact, RegistryError> {
-        let path = self.path_for(key);
-        let key_file = key.file_name();
+        self.load_named(&key.file_name())
+    }
+
+    /// Load and fully re-validate the artifact stored under an exact
+    /// file name (as returned by [`ModelKey::file_name`] or
+    /// [`Self::latest_generation`]).
+    pub fn load_named(&self, file_name: &str) -> Result<ModelArtifact, RegistryError> {
+        let path = self.root.join(file_name);
+        let key_file = file_name.to_string();
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -205,6 +220,92 @@ impl ModelRegistry {
         };
         msaw_gbdt::artifact::decode(&bytes)
             .map_err(|source| RegistryError::Artifact { key_file, source })
+    }
+
+    /// The newest published artifact in a `{outcome}_{variant}` group
+    /// (see [`ModelKey::group_name`]), identified by its publish stamp.
+    ///
+    /// Ranking matches [`Self::prune`]: newest modification time first,
+    /// file-name order breaking ties, so the two ends of the retention
+    /// policy agree on which generation is "current". `Ok(None)` means
+    /// the group has no published artifact at all.
+    pub fn latest_generation(
+        &self,
+        group: &str,
+    ) -> Result<Option<ArtifactGeneration>, RegistryError> {
+        let mut newest: Option<ArtifactGeneration> = None;
+        for name in self.list()? {
+            let Some((file_group, _)) = split_key_name(&name) else { continue };
+            if file_group != group {
+                continue;
+            }
+            let path = self.root.join(&name);
+            let err = |e: std::io::Error| RegistryError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            };
+            let meta = match std::fs::metadata(&path) {
+                // Pruned between listing and stat: not a generation.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                other => other.map_err(err)?,
+            };
+            let gen = ArtifactGeneration {
+                file_name: name,
+                mtime: meta.modified().map_err(err)?,
+                len: meta.len(),
+            };
+            if newest
+                .as_ref()
+                .is_none_or(|best| (gen.mtime, &gen.file_name) > (best.mtime, &best.file_name))
+            {
+                newest = Some(gen);
+            }
+        }
+        Ok(newest)
+    }
+
+    /// Resolve a group to its newest generation and load it, retrying
+    /// when [`Self::prune`] deletes the chosen file between the listing
+    /// and the read.
+    ///
+    /// This is the race a live reload watcher runs into: it lists the
+    /// registry, picks the newest artifact, and a concurrent retention
+    /// pass removes that very file before the read lands. A plain load
+    /// would surface [`RegistryError::NotFound`] even though the group
+    /// still holds a perfectly servable (possibly older, possibly even
+    /// newer) generation — so on `NotFound` the resolution restarts
+    /// from a fresh listing and settles on whatever survives.
+    pub fn load_latest(
+        &self,
+        group: &str,
+    ) -> Result<Option<(ArtifactGeneration, ModelArtifact)>, RegistryError> {
+        self.load_latest_hooked(group, |_| {})
+    }
+
+    /// [`Self::load_latest`] with a test seam between choosing a
+    /// generation and reading it — the only way to pin the
+    /// prune-during-reload interleaving deterministically.
+    fn load_latest_hooked(
+        &self,
+        group: &str,
+        mut between: impl FnMut(&ArtifactGeneration),
+    ) -> Result<Option<(ArtifactGeneration, ModelArtifact)>, RegistryError> {
+        const ATTEMPTS: usize = 8;
+        for _ in 0..ATTEMPTS {
+            let Some(gen) = self.latest_generation(group)? else { return Ok(None) };
+            between(&gen);
+            match self.load_named(&gen.file_name) {
+                Ok(artifact) => return Ok(Some((gen, artifact))),
+                // The chosen generation vanished under us (a concurrent
+                // prune won the race): re-list and fall back to the
+                // surviving generations.
+                Err(RegistryError::NotFound { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Every attempt lost the race — the registry is being churned
+        // faster than it can be read. Surface it as the missing group.
+        Err(RegistryError::NotFound { key_file: format!("{group}_*.msgb") })
     }
 
     /// Whether an artifact is stored under `key`.
@@ -292,6 +393,24 @@ pub struct PruneReport {
     pub removed: Vec<String>,
     /// Artifacts retained (the newest `keep` of each group).
     pub kept: Vec<String>,
+}
+
+/// The publish stamp of one artifact file: which file is current in
+/// its group and whether it has changed since a watcher last looked.
+///
+/// Two stamps compare equal iff nothing about the published file
+/// changed — republishing even byte-identical content bumps the
+/// modification time (the atomic rename installs a fresh inode), so a
+/// watcher polling [`ModelRegistry::latest_generation`] sees every
+/// publish, including a no-op one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactGeneration {
+    /// Artifact file name within the registry root.
+    pub file_name: String,
+    /// Modification time at the moment of observation.
+    pub mtime: std::time::SystemTime,
+    /// File size in bytes at the moment of observation.
+    pub len: u64,
 }
 
 /// Split an artifact file name into its `{outcome}_{variant}` group and
@@ -488,6 +607,121 @@ mod tests {
 
         assert!(matches!(registry.prune(0), Err(RegistryError::InvalidKeep)));
         assert_eq!(registry.list().unwrap().len(), 1, "rejected prune must not delete");
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn latest_generation_tracks_the_newest_group_member() {
+        let registry = temp_registry("latest_gen");
+        let group = {
+            let set = tiny_set(0.0);
+            ModelKey::for_samples(&set, Approach::DataDriven).group_name()
+        };
+        assert_eq!(registry.latest_generation(&group).unwrap(), None);
+
+        let mut names = Vec::new();
+        for (gen, seed) in [0.0, 1.0].into_iter().enumerate() {
+            let set = tiny_set(seed);
+            let key = ModelKey::for_samples(&set, Approach::DataDriven);
+            assert_eq!(key.group_name(), group);
+            let path = registry.store(&key, &tiny_artifact(&set)).unwrap();
+            set_mtime(&path, 1_000 + gen as u64);
+            names.push(key.file_name());
+        }
+        let latest = registry.latest_generation(&group).unwrap().unwrap();
+        assert_eq!(latest.file_name, names[1]);
+
+        // A republish of the *older* cohort with a newer mtime becomes
+        // current: recency is publish order, not key order.
+        let set = tiny_set(0.0);
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        let path = registry.store(&key, &tiny_artifact(&set)).unwrap();
+        set_mtime(&path, 9_000);
+        let latest = registry.latest_generation(&group).unwrap().unwrap();
+        assert_eq!(latest.file_name, names[0]);
+
+        // Another group's artifacts are invisible to this group.
+        assert_eq!(registry.latest_generation("qol_kd").unwrap(), None);
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn republishing_identical_bytes_is_a_new_generation() {
+        let registry = temp_registry("regen_stamp");
+        let set = tiny_set(0.0);
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        let artifact = tiny_artifact(&set);
+        let path = registry.store(&key, &artifact).unwrap();
+        set_mtime(&path, 1_000);
+        let first = registry.latest_generation(&key.group_name()).unwrap().unwrap();
+        let path = registry.store(&key, &artifact).unwrap();
+        set_mtime(&path, 2_000);
+        let second = registry.latest_generation(&key.group_name()).unwrap().unwrap();
+        assert_eq!(first.file_name, second.file_name);
+        assert_eq!(first.len, second.len);
+        assert_ne!(first, second, "a republish must read as a fresh generation");
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn load_latest_survives_a_prune_deleting_the_chosen_generation() {
+        // The watcher race: generation B is newest when the listing
+        // happens, and a concurrent prune deletes it before the read.
+        // load_latest must fall back to the surviving generation A
+        // instead of surfacing NotFound.
+        let registry = temp_registry("prune_race");
+        let set_a = tiny_set(0.0);
+        let key_a = ModelKey::for_samples(&set_a, Approach::DataDriven);
+        let artifact_a = tiny_artifact(&set_a);
+        let path = registry.store(&key_a, &artifact_a).unwrap();
+        set_mtime(&path, 1_000);
+        let set_b = tiny_set(1.0);
+        let key_b = ModelKey::for_samples(&set_b, Approach::DataDriven);
+        let path_b = registry.store(&key_b, &tiny_artifact(&set_b)).unwrap();
+        set_mtime(&path_b, 2_000);
+
+        let mut deleted = false;
+        let (gen, loaded) = registry
+            .load_latest_hooked(&key_a.group_name(), |gen| {
+                // Fires between "pick newest" and "read it": the first
+                // pick is B — delete it, exactly what a prune racing the
+                // watcher does.
+                if !deleted {
+                    assert_eq!(gen.file_name, key_b.file_name());
+                    std::fs::remove_file(registry.root().join(&gen.file_name)).unwrap();
+                    deleted = true;
+                }
+            })
+            .unwrap()
+            .expect("generation A survives");
+        assert!(deleted);
+        assert_eq!(gen.file_name, key_a.file_name());
+        assert_eq!(loaded.booster, artifact_a.booster);
+
+        // Emptying the group entirely resolves to Ok(None), not an error.
+        registry.prune(1).unwrap();
+        std::fs::remove_file(registry.root().join(key_a.file_name())).unwrap();
+        assert_eq!(registry.load_latest(&key_a.group_name()).unwrap().map(|(g, _)| g), None);
+        let _ = std::fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn load_named_reports_missing_and_corrupt_files_typed() {
+        let registry = temp_registry("load_named");
+        assert!(matches!(
+            registry.load_named("qol_dd_0000000000000000.msgb"),
+            Err(RegistryError::NotFound { .. })
+        ));
+        let set = tiny_set(0.0);
+        let key = ModelKey::for_samples(&set, Approach::DataDriven);
+        registry.store(&key, &tiny_artifact(&set)).unwrap();
+        let path = registry.path_for(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            registry.load_named(&key.file_name()),
+            Err(RegistryError::Artifact { .. })
+        ));
         let _ = std::fs::remove_dir_all(registry.root());
     }
 

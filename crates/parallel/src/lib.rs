@@ -323,22 +323,50 @@ where
 
 /// Test-only fault injection (feature `failpoint`): arm a named site
 /// with a job index and the matching [`hit`](failpoint::hit) call
-/// panics exactly once. Used by the fault-injection suite to prove a
-/// panicking grid fit surfaces as a typed error at any worker count.
-/// Compiled out entirely unless the feature is enabled.
+/// fires the armed action — a panic ([`arm`](failpoint::arm)) or a
+/// deterministic stall ([`arm_sleep`](failpoint::arm_sleep)). Used by
+/// the fault-injection suites to prove a panicking grid fit surfaces
+/// as a typed error at any worker count, and to wedge the serving
+/// batcher at an exact batch so queue-pressure behaviour (deadlines,
+/// quotas, degradation) is testable without timing races. Compiled
+/// out entirely unless the feature is enabled.
 #[cfg(feature = "failpoint")]
 pub mod failpoint {
-    use std::collections::{BTreeSet, HashMap};
+    use std::collections::HashMap;
     use std::sync::Mutex;
+    use std::time::Duration;
 
-    static ARMED: Mutex<Option<HashMap<String, BTreeSet<usize>>>> = Mutex::new(None);
+    /// What an armed site does when its job hits it.
+    #[derive(Clone, Copy)]
+    enum Action {
+        Panic,
+        Sleep(Duration),
+    }
+
+    static ARMED: Mutex<Option<HashMap<String, HashMap<usize, Action>>>> = Mutex::new(None);
+
+    fn arm_action(site: &str, job: usize, action: Action) {
+        let mut armed = ARMED.lock().expect("failpoint registry");
+        armed
+            .get_or_insert_with(HashMap::new)
+            .entry(site.to_string())
+            .or_default()
+            .insert(job, action);
+    }
 
     /// Arm `site` to panic when job `job` hits it. A site may be armed
     /// for several jobs at once (to prove the pool reports the lowest
     /// failing index regardless of which worker detonates first).
     pub fn arm(site: &str, job: usize) {
-        let mut armed = ARMED.lock().expect("failpoint registry");
-        armed.get_or_insert_with(HashMap::new).entry(site.to_string()).or_default().insert(job);
+        arm_action(site, job, Action::Panic);
+    }
+
+    /// Arm `site` to sleep for `delay` when job `job` hits it — a
+    /// deterministic stall instead of a detonation, for tests that need
+    /// work to pile up behind a known point (a wedged batcher, a slow
+    /// worker) without depending on scheduler timing.
+    pub fn arm_sleep(site: &str, job: usize, delay: Duration) {
+        arm_action(site, job, Action::Sleep(delay));
     }
 
     /// Disarm every site.
@@ -346,16 +374,20 @@ pub mod failpoint {
         *ARMED.lock().expect("failpoint registry") = None;
     }
 
-    /// Panic iff `site` is armed for `job`. Call from production code
-    /// under `#[cfg(feature = "failpoint")]`; a disarmed site is a
-    /// cheap map lookup.
+    /// Fire whatever `site` is armed for at `job`. Call from production
+    /// code under `#[cfg(feature = "failpoint")]`; a disarmed site is a
+    /// cheap map lookup. The registry lock is released before the
+    /// action runs, so a sleeping site never blocks arming or other
+    /// sites.
     pub fn hit(site: &str, job: usize) {
-        let armed = ARMED.lock().expect("failpoint registry");
-        if let Some(map) = armed.as_ref() {
-            if map.get(site).is_some_and(|jobs| jobs.contains(&job)) {
-                drop(armed);
-                panic!("failpoint `{site}` fired at job {job}");
-            }
+        let action = {
+            let armed = ARMED.lock().expect("failpoint registry");
+            armed.as_ref().and_then(|map| map.get(site)).and_then(|jobs| jobs.get(&job)).copied()
+        };
+        match action {
+            Some(Action::Panic) => panic!("failpoint `{site}` fired at job {job}"),
+            Some(Action::Sleep(delay)) => std::thread::sleep(delay),
+            None => {}
         }
     }
 }
@@ -586,6 +618,21 @@ mod tests {
             failpoint::disarm_all();
             // Disarmed again: the same run now succeeds.
             assert!(try_run_indexed_on(2, 4, |i| i).is_ok());
+        });
+    }
+
+    #[cfg(feature = "failpoint")]
+    #[test]
+    fn failpoint_sleep_stalls_instead_of_panicking() {
+        quiet_panics(|| {
+            failpoint::disarm_all();
+            failpoint::arm_sleep("site_sleep", 1, std::time::Duration::from_millis(30));
+            let start = std::time::Instant::now();
+            failpoint::hit("site_sleep", 0); // wrong job: no stall
+            assert!(start.elapsed() < std::time::Duration::from_millis(25));
+            failpoint::hit("site_sleep", 1); // armed: deterministic stall
+            assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+            failpoint::disarm_all();
         });
     }
 }

@@ -1,0 +1,211 @@
+//! Hot model reload: a background watcher that polls a
+//! [`ModelRegistry`] group for a new artifact generation and installs
+//! it into a running service between batches.
+//!
+//! The watcher leans on two properties established elsewhere:
+//!
+//! * the registry's atomic publish (`.tmp` + rename) means a file that
+//!   exists under its final name is complete — the watcher never sees a
+//!   half-written artifact *by name*; and
+//! * [`Shared::install`](crate) swaps the model `Arc` under a mutex the
+//!   batcher only touches between batches, so in-flight requests always
+//!   finish on the model they were admitted under.
+//!
+//! What can still go wrong, and the policy for each:
+//!
+//! * **Corrupt republish** (bad magic, truncation, checksum mismatch —
+//!   exactly what the serialisation fuzz suite generates): the load
+//!   fails typed, the failure is counted in
+//!   [`ServiceStats::reload_failures`](crate::ServiceStats), and the
+//!   previous model keeps serving. The watcher re-attempts only when
+//!   the generation stamp changes again, so a permanently-bad artifact
+//!   does not busy-loop the poll thread through repeated parses.
+//! * **Prune race**: `ModelRegistry::prune` may delete the very
+//!   generation the watcher picked between listing and reading. The
+//!   watcher falls back to `load_latest`, which retries the
+//!   list-then-load internally and lands on whichever generation
+//!   survived.
+//! * **Feature-width change**: a republished model with a different
+//!   width than the service was spawned with is rejected
+//!   ([`ReloadError::FeatureMismatch`]) — admitted requests were
+//!   validated against the old width and must stay servable.
+
+use crate::Shared;
+use msaw_core::registry::{ArtifactGeneration, ModelRegistry, RegistryError};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Why a model swap was refused or failed. The service keeps serving
+/// the previous model through every variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReloadError {
+    /// The candidate artifact's feature width does not match the width
+    /// the service was spawned with.
+    FeatureMismatch { expected: usize, actual: usize },
+    /// The registry could not produce the candidate artifact (missing
+    /// file, I/O error, corrupt bytes).
+    Registry(RegistryError),
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::FeatureMismatch { expected, actual } => write!(
+                f,
+                "refusing reload: service expects {expected} features, artifact has {actual}"
+            ),
+            ReloadError::Registry(e) => write!(f, "reload failed in the registry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Registry(e) => Some(e),
+            ReloadError::FeatureMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<RegistryError> for ReloadError {
+    fn from(e: RegistryError) -> Self {
+        ReloadError::Registry(e)
+    }
+}
+
+/// Handle on the background reload thread started by
+/// [`PredictionService::watch_registry`](crate::PredictionService::watch_registry).
+///
+/// Dropping the watcher (or calling [`stop`](Self::stop)) stops the
+/// polling; the service keeps serving whatever model is currently
+/// installed. Successes and failures are visible in
+/// [`ServiceStats`](crate::ServiceStats) (`reloads`,
+/// `reload_failures`).
+#[derive(Debug)]
+pub struct ReloadWatcher {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReloadWatcher {
+    pub(crate) fn spawn(
+        shared: Arc<Shared>,
+        registry: ModelRegistry,
+        group: String,
+        poll: Duration,
+    ) -> Result<ReloadWatcher, crate::ServeError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        // Seed the change detector *before* the thread starts: the
+        // service was spawned with a model the caller chose, so exactly
+        // the publishes that happen after this call returns trigger a
+        // reload — no startup race where a publish lands between spawn
+        // and the watcher's first look.
+        let seed = registry.latest_generation(&group).ok().flatten();
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("msaw-serve-reload".into())
+                .spawn(move || watch_loop(&shared, &registry, &group, poll, &stop, seed))
+                .map_err(|e| crate::ServeError::Spawn { message: e.to_string() })?
+        };
+        Ok(ReloadWatcher { stop, thread: Some(thread) })
+    }
+
+    /// Stop polling and join the watcher thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ReloadWatcher {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Sleep `total` in short slices so a stop request takes effect within
+/// ~25 ms rather than a full poll interval.
+fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(25);
+    let mut remaining = total;
+    while !stop.load(Ordering::SeqCst) && remaining > Duration::ZERO {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+fn watch_loop(
+    shared: &Arc<Shared>,
+    registry: &ModelRegistry,
+    group: &str,
+    poll: Duration,
+    stop: &AtomicBool,
+    seed: Option<ArtifactGeneration>,
+) {
+    let mut last = seed;
+    while !stop.load(Ordering::SeqCst) {
+        interruptible_sleep(poll, stop);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let latest = match registry.latest_generation(group) {
+            Ok(latest) => latest,
+            Err(_) => continue, // transient listing error; poll again
+        };
+        let Some(generation) = latest else { continue };
+        if last.as_ref() == Some(&generation) {
+            continue;
+        }
+        match registry.load_named(&generation.file_name) {
+            Ok(artifact) => {
+                if shared.install(artifact).is_err() {
+                    // Width mismatch — counted inside install. Remember
+                    // the stamp so a bad publish is parsed once, not
+                    // every poll tick.
+                }
+                last = Some(generation);
+            }
+            Err(RegistryError::NotFound { .. }) => {
+                // Prune race: the chosen generation vanished between
+                // listing and reading. load_latest retries internally
+                // and lands on a surviving generation (possibly the one
+                // already installed, in which case install it anyway —
+                // idempotent by bit-identity of the artifact bytes).
+                match registry.load_latest(group) {
+                    Ok(Some((survivor, artifact))) => {
+                        let _ = shared.install(artifact);
+                        last = Some(survivor);
+                    }
+                    Ok(None) => {
+                        // Every generation pruned away: keep serving
+                        // the in-memory model.
+                        last = None;
+                    }
+                    Err(_) => {
+                        shared.note_reload_failure();
+                        last = Some(generation);
+                    }
+                }
+            }
+            Err(_) => {
+                // Corrupt or unreadable republish: keep the old model,
+                // count the failure, and wait for the next stamp change
+                // before re-parsing.
+                shared.note_reload_failure();
+                last = Some(generation);
+            }
+        }
+    }
+}

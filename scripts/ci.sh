@@ -36,11 +36,18 @@ MSAW_FORCE_SCALAR=1 cargo test --workspace --quiet
 echo "==> serialisation fuzz suite"
 cargo test --quiet -p msaw-gbdt --test serialize_robustness
 
+echo "==> serving robustness suite (deadlines / quotas / reload / supervision)"
+cargo test --quiet --test serve_robustness
+MSAW_FORCE_SCALAR=1 cargo test --quiet --test serve_robustness
+
 echo "==> cargo test (release codegen + debug assertions)"
 cargo test --workspace --quiet --profile release-dbg
 
 echo "==> serialisation fuzz suite (release codegen + debug assertions)"
 cargo test --quiet -p msaw-gbdt --test serialize_robustness --profile release-dbg
+
+echo "==> serving robustness suite (release codegen + debug assertions)"
+cargo test --quiet --test serve_robustness --profile release-dbg
 
 # Perf smoke: rerun the benchmark binaries and fail on a >25% headline
 # regression against the committed BENCH_*.json. Opt out on boxes where
@@ -61,8 +68,13 @@ else
         walk_single_core_secs flat_single_core_secs flat_scalar_single_core_secs
     ./target/release/perf_check BENCH_shap.json "$perf_tmp/shap.json" \
         shap_matrix_secs fig7_end_to_end_secs
+    # Latency percentiles use the default tolerance (p999 gets 100%
+    # headroom — a single-sample tail on a shared runner); the
+    # robustness counters are hard gates: any shed request at default
+    # limits, or more than the one scripted hot reload, is a bug.
     ./target/release/perf_check BENCH_serve.json "$perf_tmp/serve.json" \
-        serve_p50_secs serve_p99_secs
+        serve_p50_secs serve_p99_secs serve_p999_secs:1.0 \
+        shed_total:0 reload_count:0
 
     # Scaling smoke: rerun the streaming pipeline's 10k-patient point
     # and gate its stage seconds, reciprocal fit throughput and peak

@@ -91,8 +91,12 @@ fn served_explanations_reconstruct_reloaded_predictions() {
     let forest = reloaded.forest.clone();
     let service = PredictionService::spawn(reloaded, ServeConfig::default()).unwrap();
     let probe = set.features.take_rows(&[0, 17, 42]);
-    let out =
-        service.handle().submit(&probe, RequestOptions { explain: true }).unwrap().wait().unwrap();
+    let out = service
+        .handle()
+        .submit(&probe, RequestOptions { explain: true, ..RequestOptions::default() })
+        .unwrap()
+        .wait()
+        .unwrap();
     let explanations = out.explanations.expect("requested explanations");
     assert_eq!(explanations.len(), 3);
     for (i, explanation) in explanations.iter().enumerate() {
