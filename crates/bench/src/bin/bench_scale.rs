@@ -1,14 +1,24 @@
 //! Scaling curves for the streaming population-scale pipeline: runs
 //! the generate → sketch → encode → out-of-core-fit pipeline
 //! (`msaw_core::scale`) at 261 → 10k → 100k → 1M patients and records
-//! per-stage wall times, fit throughput, and peak RSS into
-//! `BENCH_scale.json`. Scales run ascending so the monotonic `VmHWM`
-//! reading attributes peak memory to each scale as it grows; blocks
-//! spill to disk from 100k patients up, which is what keeps the 1M fit
-//! inside a bounded resident set.
+//! per-stage wall times, per-stage worker counts, fit throughput, and
+//! peak RSS into `BENCH_scale.json`. Scales run ascending so the
+//! monotonic `VmHWM` reading attributes peak memory to each scale as
+//! it grows; blocks spill to disk from 100k patients up, which is what
+//! keeps the 1M fit inside a bounded resident set.
 //!
-//! CI gates the 10k point (seconds and peak RSS; smaller is better —
-//! throughput is gated via its reciprocal `fit_secs_per_mrow`).
+//! The 10k point carries three extra rows:
+//!
+//! * `sketch_par_speedup` / `encode_par_speedup` — the fan-out's yield:
+//!   serial (1-worker) stage seconds over pooled stage seconds. On a
+//!   single-core box these honestly read ~1.0; the merged artifacts
+//!   are byte-identical either way, so the ratio is pure wall time.
+//! * `spilled_fit_*` — the same 10k fit re-run against disk-spilled
+//!   blocks, isolating the prefetching block reader's throughput from
+//!   the in-memory path CI normally gates.
+//!
+//! CI gates the 10k point's normalised stage costs (`*_secs_per_mrow`,
+//! seconds per million sample rows; smaller is better) and peak RSS.
 //!
 //! Usage: `bench_scale [out.json] [max_patients]` — the second argument
 //! caps the sweep (CI smokes at 10000; the committed baseline is the
@@ -16,7 +26,7 @@
 
 use msaw_bench::{exit_on_error, BenchError, EXPERIMENT_SEED};
 use msaw_cohort::CohortConfig;
-use msaw_core::scale::{run_scale, ScaleConfig};
+use msaw_core::scale::{run_scale, ScaleConfig, ScaleReport};
 use msaw_preprocess::OutcomeKind;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,6 +36,18 @@ const SCALES: [usize; 4] = [261, 10_000, 100_000, 1_000_000];
 /// Spill binned blocks to disk from this scale up; below it the code
 /// matrix is small enough to keep resident.
 const SPILL_FROM: usize = 100_000;
+/// The scale that also measures parallel speedups and the spilled-fit
+/// row (cheap enough to run twice more, big enough to mean something).
+const PROBE_SCALE: usize = 10_000;
+
+/// Seconds per million sample rows — the scale-free form CI gates.
+fn secs_per_mrow(secs: f64, n_rows: usize) -> f64 {
+    if n_rows > 0 {
+        secs * 1.0e6 / n_rows as f64
+    } else {
+        0.0
+    }
+}
 
 fn main() {
     exit_on_error(run());
@@ -52,18 +74,20 @@ fn run() -> Result<(), BenchError> {
     for &n in SCALES.iter().filter(|&&n| n <= max_patients) {
         let cohort = CohortConfig::scaled(EXPERIMENT_SEED, n);
         let mut cfg = ScaleConfig::new(OutcomeKind::Qol);
+        let workers = cfg.workers;
         let spill = n >= SPILL_FROM;
         if spill {
             cfg.spill_path = Some(spill_dir.join(format!("scale_{n}.mscb")));
         }
         eprintln!(
-            "scale {n}: {} patients, {}...",
+            "scale {n}: {} patients, {} workers, {}...",
             cohort.total_patients(),
+            workers,
             if spill { "spilled blocks" } else { "in-memory blocks" }
         );
         let report = run_scale(&cohort, &cfg).map_err(BenchError::Pipeline)?;
         let trees = cfg.params.n_estimators;
-        let secs_per_mrow =
+        let fit_secs_per_mrow =
             if report.fit_rows_per_sec > 0.0 { 1.0e6 / report.fit_rows_per_sec } else { 0.0 };
         let rss = report.peak_rss_mb.unwrap_or(0.0);
         eprintln!(
@@ -78,12 +102,20 @@ fn run() -> Result<(), BenchError> {
         if let Some(path) = &cfg.spill_path {
             let _ = std::fs::remove_file(path);
         }
+        // Every stage fans out over the same pool width today; the
+        // keys stay per-stage so the sweep keeps its meaning if the
+        // stages ever get independent knobs.
         write!(
             body,
             "  \"scale{n}_patients\": {},\n  \"scale{n}_rows\": {},\n  \
              \"scale{n}_trees\": {trees},\n  \"scale{n}_spilled\": {},\n  \
+             \"scale{n}_sketch_workers\": {workers},\n  \"scale{n}_encode_workers\": {workers},\n  \
+             \"scale{n}_fit_workers\": {workers},\n  \
              \"scale{n}_sketch_secs\": {:.6},\n  \"scale{n}_encode_secs\": {:.6},\n  \
-             \"scale{n}_fit_secs\": {:.6},\n  \"scale{n}_fit_rows_per_sec\": {:.1},\n  \
+             \"scale{n}_fit_secs\": {:.6},\n  \
+             \"scale{n}_sketch_secs_per_mrow\": {:.6},\n  \
+             \"scale{n}_encode_secs_per_mrow\": {:.6},\n  \
+             \"scale{n}_fit_rows_per_sec\": {:.1},\n  \
              \"scale{n}_fit_secs_per_mrow\": {:.6},\n  \"scale{n}_peak_rss_mb\": {:.1},\n",
             report.n_patients,
             report.n_rows,
@@ -91,11 +123,17 @@ fn run() -> Result<(), BenchError> {
             report.sketch_secs,
             report.encode_secs,
             report.fit_secs,
+            secs_per_mrow(report.sketch_secs, report.n_rows),
+            secs_per_mrow(report.encode_secs, report.n_rows),
             report.fit_rows_per_sec,
-            secs_per_mrow,
+            fit_secs_per_mrow,
             rss,
         )
         .expect("writing to a String cannot fail");
+
+        if n == PROBE_SCALE {
+            probe_rows(&mut body, n, &cohort, &cfg, &report, &spill_dir)?;
+        }
     }
     let _ = std::fs::remove_dir_all(&spill_dir);
 
@@ -108,5 +146,60 @@ fn run() -> Result<(), BenchError> {
     std::fs::write(&out_path, json)
         .map_err(|source| BenchError::Io { path: out_path.clone(), source })?;
     println!("wrote {out_path}");
+    Ok(())
+}
+
+/// The probe-scale extras: a serial re-run for the stage speedups and
+/// a spilled re-run for the prefetching block reader's throughput.
+fn probe_rows(
+    body: &mut String,
+    n: usize,
+    cohort: &CohortConfig,
+    pooled_cfg: &ScaleConfig,
+    pooled: &ScaleReport,
+    spill_dir: &std::path::Path,
+) -> Result<(), BenchError> {
+    eprintln!("scale {n}: serial re-run (stage speedups)...");
+    let mut serial_cfg = pooled_cfg.clone();
+    serial_cfg.workers = 1;
+    serial_cfg.spill_path = None;
+    let serial = run_scale(cohort, &serial_cfg).map_err(BenchError::Pipeline)?;
+    let speedup = |serial_secs: f64, pooled_secs: f64| {
+        if pooled_secs > 0.0 {
+            serial_secs / pooled_secs
+        } else {
+            1.0
+        }
+    };
+    let sketch_speedup = speedup(serial.sketch_secs, pooled.sketch_secs);
+    let encode_speedup = speedup(serial.encode_secs, pooled.encode_secs);
+    eprintln!(
+        "  sketch {:.2}s -> {:.2}s ({sketch_speedup:.2}x) | encode {:.2}s -> {:.2}s ({encode_speedup:.2}x)",
+        serial.sketch_secs, pooled.sketch_secs, serial.encode_secs, pooled.encode_secs,
+    );
+
+    eprintln!("scale {n}: spilled re-run (prefetching block reader)...");
+    let mut spilled_cfg = pooled_cfg.clone();
+    let spill = spill_dir.join(format!("scale_{n}_probe.mscb"));
+    spilled_cfg.spill_path = Some(spill.clone());
+    let spilled = run_scale(cohort, &spilled_cfg).map_err(BenchError::Pipeline)?;
+    let _ = std::fs::remove_file(&spill);
+    let spilled_fit_secs_per_mrow =
+        if spilled.fit_rows_per_sec > 0.0 { 1.0e6 / spilled.fit_rows_per_sec } else { 0.0 };
+    eprintln!(
+        "  spilled fit {:.2}s | {:.0} row-trees/s",
+        spilled.fit_secs, spilled.fit_rows_per_sec,
+    );
+
+    write!(
+        body,
+        "  \"scale{n}_sketch_par_speedup\": {sketch_speedup:.3},\n  \
+         \"scale{n}_encode_par_speedup\": {encode_speedup:.3},\n  \
+         \"scale{n}_spilled_fit_secs\": {:.6},\n  \
+         \"scale{n}_spilled_fit_rows_per_sec\": {:.1},\n  \
+         \"scale{n}_spilled_fit_secs_per_mrow\": {spilled_fit_secs_per_mrow:.6},\n",
+        spilled.fit_secs, spilled.fit_rows_per_sec,
+    )
+    .expect("writing to a String cannot fail");
     Ok(())
 }

@@ -157,6 +157,17 @@ impl<'a> CohortStream<'a> {
         }
     }
 
+    /// Stream the patients with ids `start..end` (clamped to the
+    /// cohort), sharing one clinical panel. Generation is pure in
+    /// `(config, id)`, so a range stream yields bit-identical records
+    /// to the same ids of a full stream — the primitive parallel
+    /// pipelines fan chunks of the cohort across workers with.
+    pub fn range(config: &'a CohortConfig, start: u32, end: u32) -> CohortStream<'a> {
+        let total = config.total_patients() as u32;
+        let end = end.min(total);
+        CohortStream { config, panel: clinical_panel(), next: start.min(end), total: end }
+    }
+
     /// The clinical variable panel records are scored against.
     pub fn panel(&self) -> &[ClinicalVariable] {
         &self.panel

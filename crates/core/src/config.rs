@@ -34,6 +34,16 @@ pub struct ExperimentConfig {
     /// this on quantifies the within-patient leakage that protocol
     /// admits (see the `ablation_patient_split` binary).
     pub split_by_patient: bool,
+    /// Sort every train/test/fold row list ascending after the
+    /// shuffle-split. The *membership* of each split is unchanged —
+    /// only the order rows are visited in, which fixes the histogram
+    /// accumulation order to ascending row index. That is the order
+    /// the out-of-core trainer streams in, so the sharded chunked grid
+    /// requires this flag and is bit-identical to the in-memory grid
+    /// under it. Off by default: the historical protocol visits rows
+    /// in shuffle order, and flipping the order perturbs IEEE sums.
+    #[serde(default)]
+    pub canonical_row_order: bool,
 }
 
 impl ExperimentConfig {
@@ -87,6 +97,7 @@ impl Default for ExperimentConfig {
             decision_threshold: 0.5,
             auto_balance_falls: false,
             split_by_patient: false,
+            canonical_row_order: false,
         }
     }
 }

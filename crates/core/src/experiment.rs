@@ -118,8 +118,9 @@ impl VariantResult {
 }
 
 /// Tune `scale_pos_weight` to the training split's class imbalance,
-/// XGBoost's standard `sum(neg)/sum(pos)` recipe.
-fn balanced_params(base: &Params, labels: &[f64]) -> Params {
+/// XGBoost's standard `sum(neg)/sum(pos)` recipe. Shared with the
+/// sharded chunked grid, whose fits must reweight identically.
+pub(crate) fn balanced_params(base: &Params, labels: &[f64]) -> Params {
     let pos = labels.iter().filter(|&&l| l == 1.0).count().max(1);
     let neg = labels.len() - labels.iter().filter(|&&l| l == 1.0).count();
     Params {
@@ -157,43 +158,152 @@ fn predict_rows(model: &Booster, set: &SampleSet, rows: &[usize]) -> Vec<f64> {
     model.flat_forest().predict_rows_on(1, &set.features, rows)
 }
 
+/// The primary metric of predictions against their labels: accuracy at
+/// the decision threshold for classification, `1 - MAPE` otherwise.
+/// Shared with the chunked grid so both paths score identically.
+pub(crate) fn primary_metric_from_preds(
+    is_classification: bool,
+    y: &[f64],
+    preds: &[f64],
+    threshold: f64,
+) -> f64 {
+    if is_classification {
+        let labels: Vec<bool> = y.iter().map(|&l| l == 1.0).collect();
+        ConfusionMatrix::from_probabilities(&labels, preds, threshold).accuracy()
+    } else {
+        one_minus_mape(y, preds)
+    }
+}
+
+/// The final test-set evaluation of predictions against their labels —
+/// the [`FitOutput::Final`] both grid paths assemble.
+pub(crate) fn final_output_from_preds(
+    is_classification: bool,
+    y_test: &[f64],
+    preds: &[f64],
+    threshold: f64,
+) -> FitOutput {
+    if is_classification {
+        let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
+        let cm = ConfusionMatrix::from_probabilities(&labels, preds, threshold);
+        FitOutput::Final { regression: None, classification: Some(cm.report()) }
+    } else {
+        FitOutput::Final {
+            regression: Some(RegressionScores {
+                one_minus_mape: one_minus_mape(y_test, preds),
+                mae: mae(y_test, preds),
+            }),
+            classification: None,
+        }
+    }
+}
+
 /// Score a fitted model on the given rows: the primary metric.
 fn score(model: &Booster, set: &SampleSet, rows: &[usize], threshold: f64) -> f64 {
     let y: Vec<f64> = rows.iter().map(|&i| set.labels[i]).collect();
     let preds = predict_rows(model, set, rows);
-    if set.outcome.is_classification() {
-        let labels: Vec<bool> = y.iter().map(|&l| l == 1.0).collect();
-        ConfusionMatrix::from_probabilities(&labels, &preds, threshold).accuracy()
-    } else {
-        one_minus_mape(&y, &preds)
-    }
+    primary_metric_from_preds(set.outcome.is_classification(), &y, &preds, threshold)
 }
 
 /// The 80/20 split the protocol uses: sample-level (the paper's
 /// default) or per-patient grouped when `cfg.split_by_patient` is set.
 fn split_train_test(set: &SampleSet, cfg: &ExperimentConfig) -> (Vec<usize>, Vec<usize>) {
-    if cfg.split_by_patient {
-        group_train_test_split(&set.patient_groups(), cfg.test_fraction, cfg.seed)
-    } else {
-        train_test_split(set.len(), cfg.test_fraction, cfg.seed)
+    let groups = cfg.split_by_patient.then(|| set.patient_groups());
+    split_rows(set.len(), groups.as_deref(), cfg)
+}
+
+/// Set-free core of [`split_train_test`]: split `n_rows` samples,
+/// grouped by `groups` when given.
+fn split_rows(
+    n_rows: usize,
+    groups: Option<&[u64]>,
+    cfg: &ExperimentConfig,
+) -> (Vec<usize>, Vec<usize>) {
+    match groups {
+        Some(g) => group_train_test_split(g, cfg.test_fraction, cfg.seed),
+        None => train_test_split(n_rows, cfg.test_fraction, cfg.seed),
     }
 }
 
 /// CV folds over the training rows: stratified on the labels for
 /// classification outcomes (Falls is imbalanced enough that a plain
 /// KFold can hand a fold a lopsided class mix), plain KFold otherwise.
-/// Fold indices are positions into `train_rows`.
+/// Fold indices are positions into `train_rows`. (Production callers
+/// go through [`split_plan`]; kept for the stratification tests.)
+#[cfg(test)]
 fn cv_folds(
     set: &SampleSet,
     train_rows: &[usize],
     cfg: &ExperimentConfig,
 ) -> Vec<msaw_metrics::Fold> {
-    if set.outcome.is_classification() {
-        let labels: Vec<bool> = train_rows.iter().map(|&i| set.labels[i] == 1.0).collect();
-        stratified_kfold(&labels, cfg.cv_folds, cfg.seed ^ 0x5eed)
+    fold_rows(train_rows, &set.labels, set.outcome.is_classification(), cfg)
+}
+
+/// Set-free core of [`cv_folds`]: `labels` are full-dataset labels the
+/// training rows index into.
+fn fold_rows(
+    train_rows: &[usize],
+    labels: &[f64],
+    is_classification: bool,
+    cfg: &ExperimentConfig,
+) -> Vec<msaw_metrics::Fold> {
+    if is_classification {
+        let flags: Vec<bool> = train_rows.iter().map(|&i| labels[i] == 1.0).collect();
+        stratified_kfold(&flags, cfg.cv_folds, cfg.seed ^ 0x5eed)
     } else {
         kfold(train_rows.len(), cfg.cv_folds, cfg.seed ^ 0x5eed)
     }
+}
+
+/// The protocol's frozen row partition for one dataset: the 80/20
+/// split plus the CV folds over the training side, all in absolute row
+/// indices, exactly as [`plan_with_context`] freezes them into a
+/// [`VariantPlan`]. Exposed set-free so the sharded chunked grid —
+/// which never materialises a [`SampleSet`] — partitions its rows
+/// through the identical code path.
+pub(crate) struct SplitPlan {
+    /// Training rows of the 80% side.
+    pub train_rows: Vec<usize>,
+    /// Held-out test rows.
+    pub test_rows: Vec<usize>,
+    /// Per fold: (training rows, validation rows), absolute indices.
+    pub folds: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+/// Compute the protocol's split and folds for `n_rows` samples.
+/// Folds are built only when the training side can feed every fold at
+/// least two samples. Under `cfg.canonical_row_order` every list is
+/// then sorted ascending — same membership, streaming-friendly order.
+pub(crate) fn split_plan(
+    n_rows: usize,
+    labels: &[f64],
+    is_classification: bool,
+    groups: Option<&[u64]>,
+    cfg: &ExperimentConfig,
+) -> SplitPlan {
+    let (mut train_rows, mut test_rows) = split_rows(n_rows, groups, cfg);
+    let mut folds: Vec<(Vec<usize>, Vec<usize>)> = if train_rows.len() >= cfg.cv_folds * 2 {
+        fold_rows(&train_rows, labels, is_classification, cfg)
+            .into_iter()
+            .map(|fold| {
+                (
+                    fold.train.iter().map(|&i| train_rows[i]).collect(),
+                    fold.validation.iter().map(|&i| train_rows[i]).collect(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if cfg.canonical_row_order {
+        train_rows.sort_unstable();
+        test_rows.sort_unstable();
+        for (fold_train, fold_val) in &mut folds {
+            fold_train.sort_unstable();
+            fold_val.sort_unstable();
+        }
+    }
+    SplitPlan { train_rows, test_rows, folds }
 }
 
 /// One variant, prepared for fitting: the sample set's shared training
@@ -307,21 +417,18 @@ fn plan_with_context<'a>(
     cfg: &ExperimentConfig,
     ctx: TrainingContext<'a>,
 ) -> Result<VariantPlan<'a>, PipelineError> {
-    let (train_rows, test_rows) = split_train_test(set, cfg);
-    let folds = if train_rows.len() >= cfg.cv_folds * 2 {
-        cv_folds(set, &train_rows, cfg)
-            .into_iter()
-            .map(|fold| {
-                (
-                    fold.train.iter().map(|&i| train_rows[i]).collect(),
-                    fold.validation.iter().map(|&i| train_rows[i]).collect(),
-                )
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    Ok(VariantPlan { set, approach, with_fi, ctx, train_rows, test_rows, folds })
+    let groups = cfg.split_by_patient.then(|| set.patient_groups());
+    let plan =
+        split_plan(set.len(), &set.labels, set.outcome.is_classification(), groups.as_deref(), cfg);
+    Ok(VariantPlan {
+        set,
+        approach,
+        with_fi,
+        ctx,
+        train_rows: plan.train_rows,
+        test_rows: plan.test_rows,
+        folds: plan.folds,
+    })
 }
 
 impl VariantPlan<'_> {
@@ -384,20 +491,12 @@ pub fn try_run_fit_job_with(
             )?;
             let y_test: Vec<f64> = plan.test_rows.iter().map(|&i| plan.set.labels[i]).collect();
             let preds = predict_rows(&model, plan.set, &plan.test_rows);
-            if plan.set.outcome.is_classification() {
-                let labels: Vec<bool> = y_test.iter().map(|&l| l == 1.0).collect();
-                let cm =
-                    ConfusionMatrix::from_probabilities(&labels, &preds, cfg.decision_threshold);
-                Ok(FitOutput::Final { regression: None, classification: Some(cm.report()) })
-            } else {
-                Ok(FitOutput::Final {
-                    regression: Some(RegressionScores {
-                        one_minus_mape: one_minus_mape(&y_test, &preds),
-                        mae: mae(&y_test, &preds),
-                    }),
-                    classification: None,
-                })
-            }
+            Ok(final_output_from_preds(
+                plan.set.outcome.is_classification(),
+                &y_test,
+                &preds,
+                cfg.decision_threshold,
+            ))
         }
     }
 }
@@ -600,6 +699,35 @@ mod tests {
         let (t2, v2) = train_test_split(set.len(), cfg.test_fraction, cfg.seed);
         assert_eq!(train, t2);
         assert_eq!(test, v2);
+    }
+
+    #[test]
+    fn canonical_row_order_sorts_without_changing_membership() {
+        let set = qol_set();
+        let shuffled_cfg = ExperimentConfig::fast();
+        let sorted_cfg = ExperimentConfig { canonical_row_order: true, ..ExperimentConfig::fast() };
+        let a = split_plan(set.len(), &set.labels, false, None, &shuffled_cfg);
+        let b = split_plan(set.len(), &set.labels, false, None, &sorted_cfg);
+        let sorted = |v: &[usize]| {
+            let mut s = v.to_vec();
+            s.sort_unstable();
+            s
+        };
+        // Same membership on every list, ascending order on the
+        // canonical side.
+        assert_eq!(sorted(&a.train_rows), b.train_rows);
+        assert_eq!(sorted(&a.test_rows), b.test_rows);
+        assert_ne!(a.train_rows, b.train_rows, "shuffle order should not already be sorted");
+        assert_eq!(a.folds.len(), b.folds.len());
+        for ((at, av), (bt, bv)) in a.folds.iter().zip(&b.folds) {
+            assert_eq!(sorted(at), *bt);
+            assert_eq!(sorted(av), *bv);
+            assert!(bt.windows(2).all(|w| w[0] < w[1]));
+            assert!(bv.windows(2).all(|w| w[0] < w[1]));
+        }
+        // The protocol still runs end to end under the flag.
+        let r = run_variant(&set, Approach::DataDriven, false, &sorted_cfg);
+        assert!(r.primary_metric().is_finite());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   per-class classification report for Falls);
 //! * [`grid`] — the full 12-model grid (3 outcomes × DD/KD × ±FI) that
 //!   regenerates Fig. 4, with per-clinic stratification for Table 1;
+//! * [`grid_chunked`] — the same grid sharded out of core: every fit
+//!   streamed through spillable bin-coded matrices, bit-identical to
+//!   the in-memory grid under `canonical_row_order`;
 //! * [`oof`] — out-of-fold predictions over an entire sample set, used
 //!   for the per-patient MAE distributions of Fig. 5;
 //! * [`interpret`] — SHAP-based reports: per-patient top-k local
@@ -39,6 +42,7 @@ pub mod config;
 pub mod error;
 pub mod experiment;
 pub mod grid;
+pub mod grid_chunked;
 pub mod interpret;
 pub mod oof;
 pub mod registry;
@@ -51,6 +55,7 @@ pub use grid::{
     run_full_grid, run_grid_for_samples, try_run_clinic_grids, try_run_full_grid,
     try_run_full_grid_on,
 };
+pub use grid_chunked::{try_run_full_grid_chunked, ChunkedGridConfig, ChunkedGridReport};
 pub use oof::{oof_predictions, try_oof_predictions};
 pub use registry::{cohort_fingerprint, ModelKey, ModelRegistry, PruneReport, RegistryError};
 pub use scale::{peak_rss_mb, run_scale, ScaleConfig, ScaleReport};

@@ -38,15 +38,17 @@
 
 use crate::binning::{cuts_from_distinct, encode_value};
 use crate::booster::{Booster, EvalRecord, TrainReport};
-use crate::engine::scan_hist;
+
+use crate::engine::TreeScratch;
 use crate::error::{ChunkError, TrainError};
 use crate::fnv1a_64;
 use crate::params::{Params, TreeMethod};
-use crate::split::{BestTracker, SplitCandidate, SplitConfig};
+use crate::split::{scan_hist, BestTracker, SplitCandidate, SplitConfig};
 use crate::tree::{Node, Tree};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default rows per block: 16 Ki rows of 59 features ≈ 1.9 MiB of
 /// codes, big enough to amortise per-block overhead, small enough that
@@ -134,6 +136,30 @@ impl CutSketch {
             self.scratch.dedup();
             let merged = merge_distinct(&self.cols[j], &self.scratch);
             self.cols[j] = merged;
+            if self.cols[j].len() > self.capacity {
+                thin_even(&mut self.cols[j], self.capacity);
+                self.thinned[j] = true;
+            }
+        }
+    }
+
+    /// Absorb another sketch over the same features — the reduction the
+    /// parallel pass-1 fan-out uses. While every column is still exact,
+    /// merging distinct sets is associative and commutative, so the
+    /// result is independent of how the input chunks were grouped into
+    /// per-worker sketches; once capacity forces thinning, the merge
+    /// stays deterministic in merge order (the scale pipeline always
+    /// merges in ascending chunk order).
+    pub fn merge(&mut self, other: &CutSketch) {
+        assert_eq!(self.cols.len(), other.cols.len(), "sketch width mismatch");
+        assert_eq!(self.capacity, other.capacity, "sketch capacity mismatch");
+        for j in 0..self.cols.len() {
+            if other.cols[j].is_empty() {
+                self.thinned[j] |= other.thinned[j];
+                continue;
+            }
+            self.cols[j] = merge_distinct(&self.cols[j], &other.cols[j]);
+            self.thinned[j] |= other.thinned[j];
             if self.cols[j].len() > self.capacity {
                 thin_even(&mut self.cols[j], self.capacity);
                 self.thinned[j] = true;
@@ -243,6 +269,35 @@ impl ChunkedMatrixBuilder {
         Ok(())
     }
 
+    /// The builder's cut tables (what [`encode_rows`] must be given so
+    /// [`ChunkedMatrixBuilder::push_encoded`] appends the exact codes
+    /// [`ChunkedMatrixBuilder::push_rows`] would produce).
+    pub fn cuts(&self) -> &[Vec<f64>] {
+        &self.cuts
+    }
+
+    /// Append a chunk of already-encoded codes (row-major, a multiple
+    /// of the feature count). This is the reassembly half of the
+    /// parallel pass-2 fan-out: workers encode their chunks off-thread
+    /// with [`encode_rows`] and the builder appends them in chunk
+    /// order, so block boundaries — and therefore the sealed spill
+    /// bytes — are identical to a serial [`push_rows`] build.
+    pub fn push_encoded(&mut self, codes: &[u16]) -> Result<(), ChunkError> {
+        assert!(codes.len().is_multiple_of(self.ncols), "row-major chunk width mismatch");
+        let block_len = self.block_rows * self.ncols;
+        let mut rest = codes;
+        while !rest.is_empty() {
+            let take = (block_len - self.current.len()).min(rest.len());
+            self.current.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.nrows += take / self.ncols;
+            if self.current.len() == block_len {
+                self.flush_block()?;
+            }
+        }
+        Ok(())
+    }
+
     fn flush_block(&mut self) -> Result<(), ChunkError> {
         let block = std::mem::take(&mut self.current);
         match &mut self.spill {
@@ -271,8 +326,25 @@ impl ChunkedMatrixBuilder {
             nrows: self.nrows,
             block_rows: self.block_rows,
             store,
+            prefetch: true,
         })
     }
+}
+
+/// Encode a row-major chunk of raw feature values against fixed cut
+/// tables, off the builder — the per-worker half of the parallel
+/// pass-2 fan-out. Produces exactly the codes
+/// [`ChunkedMatrixBuilder::push_rows`] would emit for the same chunk.
+pub fn encode_rows(cuts: &[Vec<f64>], rows: &[f64]) -> Vec<u16> {
+    let ncols = cuts.len();
+    assert!(ncols > 0 && rows.len().is_multiple_of(ncols), "row-major chunk width mismatch");
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows.chunks_exact(ncols) {
+        for (j, &v) in row.iter().enumerate() {
+            out.push(encode_value(v, &cuts[j]));
+        }
+    }
+    out
 }
 
 /// Serialise the spill header for the given shape. `nrows`/`n_blocks`
@@ -376,30 +448,30 @@ impl SpillWriter {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&header)?;
         self.file.flush()?;
-        let verified = vec![false; self.offsets.len()];
+        let verified = (0..self.offsets.len()).map(|_| AtomicBool::new(false)).collect();
         Ok(DiskStore {
             file: self.file,
             path: self.path,
             offsets: self.offsets,
             rows: self.rows,
             verified,
-            byte_buf: Vec::new(),
-            code_buf: Vec::new(),
         })
     }
 }
 
 /// The on-disk half of a spilled [`ChunkedMatrix`]: block offsets, lazy
-/// checksum verification, and one reusable decode buffer.
+/// checksum verification, and one reusable decode buffer. Reads are
+/// positional (no shared cursor) and the per-block verified flags are
+/// atomic, so any number of concurrent readers — prefetch threads,
+/// parallel grid fits — can stream the same store through their own
+/// buffers; a racing first load verifies twice, harmlessly.
 #[derive(Debug)]
 struct DiskStore {
     file: File,
     path: PathBuf,
     offsets: Vec<u64>,
     rows: Vec<u32>,
-    verified: Vec<bool>,
-    byte_buf: Vec<u8>,
-    code_buf: Vec<u16>,
+    verified: Vec<AtomicBool>,
 }
 
 #[derive(Debug)]
@@ -420,6 +492,9 @@ pub struct ChunkedMatrix {
     nrows: usize,
     block_rows: usize,
     store: Store,
+    /// Overlap spilled block reads with compute (on by default; the
+    /// equivalence tests toggle it off to pin the non-overlapped path).
+    prefetch: bool,
 }
 
 impl ChunkedMatrix {
@@ -465,10 +540,10 @@ impl ChunkedMatrix {
         fn corrupt(what: &'static str, detail: String) -> ChunkError {
             ChunkError::Corrupt { what, detail }
         }
-        let mut file = OpenOptions::new().read(true).write(false).open(path)?;
+        let file = OpenOptions::new().read(true).write(false).open(path)?;
         let file_len = file.metadata()?.len();
         let mut fixed = [0u8; 26];
-        read_exact_at(&mut file, 0, &mut fixed)?;
+        pread_exact(&file, path, 0, &mut fixed)?;
         if &fixed[0..4] != MAGIC {
             return Err(corrupt("magic", format!("expected {MAGIC:?}, found {:?}", &fixed[0..4])));
         }
@@ -496,7 +571,7 @@ impl ChunkedMatrix {
         let mut cuts: Vec<Vec<f64>> = Vec::with_capacity(ncols.min(4096));
         for j in 0..ncols {
             let mut cnt = [0u8; 4];
-            read_exact_at(&mut file, pos, &mut cnt)?;
+            pread_exact(&file, path, pos, &mut cnt)?;
             header.extend_from_slice(&cnt);
             pos += 4;
             let n_cuts = u32::from_le_bytes(cnt) as usize;
@@ -510,7 +585,7 @@ impl ChunkedMatrix {
                 ));
             }
             let mut raw = vec![0u8; n_cuts * 8];
-            read_exact_at(&mut file, pos, &mut raw)?;
+            pread_exact(&file, path, pos, &mut raw)?;
             header.extend_from_slice(&raw);
             pos += raw.len() as u64;
             cuts.push(
@@ -518,7 +593,7 @@ impl ChunkedMatrix {
             );
         }
         let mut sum_bytes = [0u8; 8];
-        read_exact_at(&mut file, pos, &mut sum_bytes)?;
+        pread_exact(&file, path, pos, &mut sum_bytes)?;
         let stored = u64::from_le_bytes(sum_bytes);
         let computed = fnv1a_64(&header);
         if stored != computed {
@@ -555,10 +630,9 @@ impl ChunkedMatrix {
                 path: path.to_path_buf(),
                 offsets,
                 rows,
-                verified: vec![false; n_blocks],
-                byte_buf: Vec::new(),
-                code_buf: Vec::new(),
+                verified: (0..n_blocks).map(|_| AtomicBool::new(false)).collect(),
             }),
+            prefetch: true,
         })
     }
 
@@ -570,74 +644,310 @@ impl ChunkedMatrix {
         }
     }
 
-    /// Load block `b`'s codes (row-major, `rows_in_block(b) × ncols`).
-    /// Disk blocks are checksum- and range-verified on first load.
-    fn load_block(&mut self, b: usize) -> Result<&[u16], ChunkError> {
+    /// Turn off (or back on) prefetching of spilled blocks. Purely a
+    /// scheduling knob: trained models are bitwise identical either way
+    /// (pinned by `tests/chunked_equivalence.rs`).
+    pub fn set_prefetch(&mut self, on: bool) {
+        self.prefetch = on;
+    }
+
+    /// Whether block streaming should overlap reads with compute.
+    fn prefetch_on(&self) -> bool {
+        self.prefetch && self.is_spilled()
+    }
+
+    /// A full-width training view of this matrix.
+    pub fn view(&self) -> ChunkedView<'_> {
+        ChunkedView { matrix: self, col_start: 0, ncols: self.ncols }
+    }
+
+    /// A contiguous column-range view: train on a prefix (or any range)
+    /// of the stored features without re-encoding. Codes agree column
+    /// for column because the cuts do.
+    pub fn col_view(&self, range: std::ops::Range<usize>) -> ChunkedView<'_> {
+        assert!(range.start < range.end, "column view must be non-empty");
+        assert!(range.end <= self.ncols, "column view out of range");
+        ChunkedView { matrix: self, col_start: range.start, ncols: range.end - range.start }
+    }
+
+    /// Load block `b`'s codes (row-major, `rows_in_block(b) × ncols`)
+    /// into a fresh buffer. Disk blocks are checksum- and
+    /// range-verified on first load. Test-only: the trainer streams
+    /// through [`stream_blocks`] with rotating buffers instead.
+    #[cfg(test)]
+    fn load_block(&self, b: usize) -> Result<Vec<u16>, ChunkError> {
         let expect_rows = self.rows_in_block(b);
-        match &mut self.store {
-            Store::Memory { blocks } => Ok(&blocks[b]),
+        match &self.store {
+            Store::Memory { blocks } => Ok(blocks[b].clone()),
             Store::Disk(d) => {
-                let mut head = [0u8; 12];
-                read_exact_at(&mut d.file, d.offsets[b], &mut head)?;
-                let stored_sum = u64::from_le_bytes(head[0..8].try_into().unwrap());
-                let stored_rows = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
-                if stored_rows != expect_rows || stored_rows != d.rows[b] as usize {
-                    return Err(ChunkError::Corrupt {
-                        what: "block rows",
-                        detail: format!("block {b}: stored {stored_rows}, expected {expect_rows}"),
-                    });
-                }
-                let n_bytes = expect_rows * self.ncols * 2;
-                d.byte_buf.clear();
-                d.byte_buf.resize(n_bytes, 0);
-                read_exact_at(&mut d.file, d.offsets[b] + 12, &mut d.byte_buf)?;
-                let verify = !d.verified[b];
-                if verify {
-                    let computed = fnv1a_64(&d.byte_buf);
-                    if computed != stored_sum {
-                        return Err(ChunkError::Corrupt {
-                            what: "block checksum",
-                            detail: format!(
-                                "block {b}: stored {stored_sum:#018x}, computed {computed:#018x}"
-                            ),
-                        });
-                    }
-                }
-                d.code_buf.clear();
-                d.code_buf.reserve(n_bytes / 2);
-                for c in d.byte_buf.chunks_exact(2) {
-                    d.code_buf.push(u16::from_le_bytes([c[0], c[1]]));
-                }
-                if verify {
-                    // Range-check codes once so histogram indexing can
-                    // trust them: code ≤ missing code for its column.
-                    for (i, &code) in d.code_buf.iter().enumerate() {
-                        let j = i % self.ncols;
-                        let missing = self.cuts[j].len() as u16 + 1;
-                        if code > missing {
-                            return Err(ChunkError::Corrupt {
-                                what: "code range",
-                                detail: format!(
-                                    "block {b}: code {code} exceeds missing sentinel {missing} \
-                                     for feature {j}"
-                                ),
-                            });
-                        }
-                    }
-                    d.verified[b] = true;
-                }
-                Ok(&d.code_buf)
+                let mut buf = Vec::new();
+                load_disk_block_into(
+                    &d.file,
+                    &d.path,
+                    &d.offsets,
+                    &d.rows,
+                    &d.verified,
+                    &self.cuts,
+                    b,
+                    expect_rows,
+                    &mut buf,
+                )?;
+                Ok(buf)
             }
         }
     }
 }
 
-/// `pread`-style helper: seek then fill `buf`, mapping short files to
-/// an I/O error the caller wraps.
-fn read_exact_at(file: &mut File, offset: u64, buf: &mut [u8]) -> Result<(), ChunkError> {
-    file.seek(SeekFrom::Start(offset))?;
-    file.read_exact(buf)?;
+/// A borrowed view of a [`ChunkedMatrix`] restricted to a contiguous
+/// column range — what [`ChunkedFitRun`] trains on. The full-width view
+/// is [`ChunkedMatrix::view`]; the sharded grid trains e.g. its DD
+/// variant on the first 59 columns of the DD+FI matrix via
+/// [`ChunkedMatrix::col_view`], sharing one encode pass and one spill
+/// file across variants.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkedView<'m> {
+    matrix: &'m ChunkedMatrix,
+    col_start: usize,
+    ncols: usize,
+}
+
+impl ChunkedView<'_> {
+    /// Feature count of the view.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row count (views never restrict rows; [`ChunkedFitRun`] does).
+    pub fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// Cut points of view feature `j`.
+    pub fn cuts(&self, feature: usize) -> &[f64] {
+        self.matrix.cuts(self.col_start + feature)
+    }
+}
+
+/// Read, verify (first time) and decode one spilled block into `out`.
+/// The payload is read positionally straight into the code buffer's
+/// byte view — on little-endian targets the wire format *is* the
+/// in-memory layout, so there is no per-element decode loop; big-endian
+/// targets byte-swap in place after checksumming the wire bytes.
+#[allow(clippy::too_many_arguments)]
+fn load_disk_block_into(
+    file: &File,
+    path: &Path,
+    offsets: &[u64],
+    rows: &[u32],
+    verified: &[AtomicBool],
+    cuts: &[Vec<f64>],
+    b: usize,
+    expect_rows: usize,
+    out: &mut Vec<u16>,
+) -> Result<(), ChunkError> {
+    let mut head = [0u8; 12];
+    pread_exact(file, path, offsets[b], &mut head)?;
+    let stored_sum = u64::from_le_bytes(head[0..8].try_into().unwrap());
+    let stored_rows = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+    if stored_rows != expect_rows || stored_rows != rows[b] as usize {
+        return Err(ChunkError::Corrupt {
+            what: "block rows",
+            detail: format!("block {b}: stored {stored_rows}, expected {expect_rows}"),
+        });
+    }
+    let ncols = cuts.len();
+    let n_codes = expect_rows * ncols;
+    out.clear();
+    out.resize(n_codes, 0);
+    let verify = !verified[b].load(Ordering::Acquire);
+    {
+        // SAFETY: a `u16` buffer viewed as bytes is always valid —
+        // same allocation, `2 × n_codes` bytes, no alignment demand on
+        // `u8`, and every bit pattern is a valid `u16`.
+        let byte_view =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u8>(), n_codes * 2) };
+        pread_exact(file, path, offsets[b] + 12, byte_view)?;
+        if verify {
+            let computed = fnv1a_64(byte_view);
+            if computed != stored_sum {
+                return Err(ChunkError::Corrupt {
+                    what: "block checksum",
+                    detail: format!(
+                        "block {b}: stored {stored_sum:#018x}, computed {computed:#018x}"
+                    ),
+                });
+            }
+        }
+    }
+    #[cfg(target_endian = "big")]
+    for c in out.iter_mut() {
+        *c = u16::from_le(*c);
+    }
+    if verify {
+        // Range-check codes once so histogram indexing can trust them:
+        // code ≤ missing code for its column.
+        for (i, &code) in out.iter().enumerate() {
+            let j = i % ncols;
+            let missing = cuts[j].len() as u16 + 1;
+            if code > missing {
+                return Err(ChunkError::Corrupt {
+                    what: "code range",
+                    detail: format!(
+                        "block {b}: code {code} exceeds missing sentinel {missing} \
+                         for feature {j}"
+                    ),
+                });
+            }
+        }
+        verified[b].store(true, Ordering::Release);
+    }
     Ok(())
+}
+
+/// Positional `pread`: fill `buf` from `offset` without touching any
+/// shared cursor, so concurrent readers (prefetch threads, parallel
+/// grid fits) can share one open store.
+#[cfg(unix)]
+fn pread_exact(file: &File, _path: &Path, offset: u64, buf: &mut [u8]) -> Result<(), ChunkError> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)?;
+    Ok(())
+}
+
+/// Non-unix fallback: reopen the file per call so every reader owns its
+/// cursor. Slower, but preserves the concurrent-reader contract.
+#[cfg(not(unix))]
+fn pread_exact(_file: &File, path: &Path, offset: u64, buf: &mut [u8]) -> Result<(), ChunkError> {
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)?;
+    Ok(())
+}
+
+/// Stream the listed blocks of `matrix` through `f` in order. Spilled
+/// matrices with prefetching on overlap I/O with compute: a reader
+/// thread loads (and first-time-verifies) block *k+1* while `f` works
+/// on block *k*, rotating two persistent code buffers through a pair of
+/// channels — steady state moves buffers, never allocates. The call
+/// order of `f` is identical on every path, so training is bitwise
+/// unaffected by the store kind or the prefetch toggle.
+fn stream_blocks<F>(
+    matrix: &ChunkedMatrix,
+    block_list: &[u32],
+    bufs: &mut Vec<Vec<u16>>,
+    mut f: F,
+) -> Result<(), ChunkError>
+where
+    F: FnMut(usize, &[u16]),
+{
+    let d = match &matrix.store {
+        Store::Memory { blocks } => {
+            for &b in block_list {
+                f(b as usize, &blocks[b as usize]);
+            }
+            return Ok(());
+        }
+        Store::Disk(d) => d,
+    };
+    if !matrix.prefetch_on() || block_list.len() < 2 {
+        let mut buf = bufs.pop().unwrap_or_default();
+        let mut result = Ok(());
+        for &b in block_list {
+            let b = b as usize;
+            if let Err(e) = load_disk_block_into(
+                &d.file,
+                &d.path,
+                &d.offsets,
+                &d.rows,
+                &d.verified,
+                &matrix.cuts,
+                b,
+                matrix.rows_in_block(b),
+                &mut buf,
+            ) {
+                result = Err(e);
+                break;
+            }
+            f(b, &buf);
+        }
+        bufs.push(buf);
+        return result;
+    }
+
+    while bufs.len() < 2 {
+        bufs.push(Vec::new());
+    }
+    let spare = bufs.split_off(2);
+    drop(spare); // never more than two live: keep the pool bounded
+    let primed_b = bufs.pop().expect("two primed buffers");
+    let primed_a = bufs.pop().expect("two primed buffers");
+    let (full_tx, full_rx) = std::sync::mpsc::sync_channel::<Result<Vec<u16>, ChunkError>>(2);
+    let (empty_tx, empty_rx) = std::sync::mpsc::channel::<Vec<u16>>();
+    let _ = empty_tx.send(primed_a);
+    let _ = empty_tx.send(primed_b);
+    let n = block_list.len();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            // Reader: claim an empty buffer, load the next block, hand
+            // it over. Stops when the consumer hangs up or a block
+            // fails to load. With only two buffers in flight the
+            // capacity-2 channel never blocks a send.
+            for &b in block_list {
+                let Ok(mut buf) = empty_rx.recv() else { return };
+                let b = b as usize;
+                let loaded = load_disk_block_into(
+                    &d.file,
+                    &d.path,
+                    &d.offsets,
+                    &d.rows,
+                    &d.verified,
+                    &matrix.cuts,
+                    b,
+                    matrix.rows_in_block(b),
+                    &mut buf,
+                );
+                let failed = loaded.is_err();
+                let sent = match loaded {
+                    Ok(()) => full_tx.send(Ok(buf)),
+                    Err(e) => full_tx.send(Err(e)),
+                };
+                if failed || sent.is_err() {
+                    return;
+                }
+            }
+        });
+        let mut result = Ok(());
+        for (i, &block) in block_list.iter().enumerate() {
+            match full_rx.recv() {
+                Ok(Ok(buf)) => {
+                    f(block as usize, &buf);
+                    if i + 2 < n {
+                        // The reader still has blocks to claim buffers
+                        // for; recycle. The last two stay with us so
+                        // the next pass reuses their capacity.
+                        let _ = empty_tx.send(buf);
+                    } else {
+                        bufs.push(buf);
+                    }
+                }
+                Ok(Err(e)) => {
+                    result = Err(e);
+                    break;
+                }
+                Err(_) => {
+                    result = Err(ChunkError::Corrupt {
+                        what: "prefetch",
+                        detail: "block reader thread hung up".to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+        // Dropping our end of the empty channel unblocks (and stops)
+        // the reader if we bailed early; the scope then joins it.
+        drop(empty_tx);
+        result
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -677,15 +987,31 @@ struct Route {
     right: u32,
 }
 
-/// Accumulate one block's rows into the histograms of the `targets`
-/// nodes owned by this worker. `owner_of[node] == target index` (or
-/// `u32::MAX`); rows are visited in ascending order so each cell sees
-/// the same IEEE additions as the in-memory grower.
+/// Resolve position `pos` of the training view to its matrix row.
+/// `None` trains on every row (position == row); `Some` trains on a
+/// strictly ascending row subset.
+#[inline(always)]
+fn row_at(rows: Option<&[u32]>, pos: usize) -> usize {
+    match rows {
+        None => pos,
+        Some(rs) => rs[pos] as usize,
+    }
+}
+
+/// Accumulate one block's positions into the histograms of the
+/// `my_targets` nodes owned by this worker. `owner_of[node] == target
+/// index` (or `u32::MAX`); positions are visited in ascending order so
+/// each cell sees the same IEEE additions as the in-memory grower.
 #[allow(clippy::too_many_arguments)]
-fn accumulate_block(
+fn accumulate_targets(
     codes: &[u16],
-    base_row: usize,
+    stride: usize,
+    col_start: usize,
     ncols: usize,
+    base_row: usize,
+    lo: usize,
+    hi: usize,
+    rows: Option<&[u32]>,
     bounds: &[usize],
     node_of: &[u32],
     owner_of: &[u32],
@@ -694,20 +1020,729 @@ fn accumulate_block(
     my_targets: std::ops::Range<usize>,
     hists: &mut [Vec<[f64; 2]>],
 ) {
-    let n_rows = codes.len() / ncols;
-    for local in 0..n_rows {
-        let r = base_row + local;
-        let t = owner_of[node_of[r] as usize];
+    for pos in lo..hi {
+        let t = owner_of[node_of[pos] as usize];
         if t == u32::MAX || !my_targets.contains(&(t as usize)) {
             continue;
         }
         let hist = &mut hists[t as usize - my_targets.start];
-        let row = &codes[local * ncols..(local + 1) * ncols];
-        let (g, h) = (grad[r], hess[r]);
+        let local = row_at(rows, pos) - base_row;
+        let row = &codes[local * stride + col_start..local * stride + col_start + ncols];
+        let (g, h) = (grad[pos], hess[pos]);
         for (j, &code) in row.iter().enumerate() {
             let cell = &mut hist[bounds[j] + code as usize];
             cell[0] += g;
             cell[1] += h;
+        }
+    }
+}
+
+/// Feature-parallel twin of [`accumulate_targets`] for the
+/// single-target case (the root pass every round, and levels that left
+/// only one small child): workers own disjoint *feature ranges* of one
+/// histogram instead of disjoint nodes. Every cell still receives the
+/// same additions in ascending position order — the split is across
+/// cells, never within one — so the result is bitwise identical to the
+/// serial pass for any worker count.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_features_parallel(
+    codes: &[u16],
+    stride: usize,
+    col_start: usize,
+    base_row: usize,
+    lo: usize,
+    hi: usize,
+    rows: Option<&[u32]>,
+    owner: Option<(&[u32], &[u32])>,
+    bounds: &[usize],
+    grad: &[f64],
+    hess: &[f64],
+    workers: usize,
+    hist: &mut [[f64; 2]],
+) {
+    let ncols = bounds.len() - 1;
+    let per = ncols.div_ceil(workers.min(ncols));
+    std::thread::scope(|s| {
+        let mut rest = hist;
+        let mut consumed = 0usize;
+        let mut j0 = 0usize;
+        while j0 < ncols {
+            let j1 = (j0 + per).min(ncols);
+            let (part, tail) = rest.split_at_mut(bounds[j1] - consumed);
+            rest = tail;
+            consumed = bounds[j1];
+            let range = j0..j1;
+            s.spawn(move || {
+                let offset = bounds[range.start];
+                for pos in lo..hi {
+                    if let Some((node_of, owner_of)) = owner {
+                        if owner_of[node_of[pos] as usize] != 0 {
+                            continue;
+                        }
+                    }
+                    let local = row_at(rows, pos) - base_row;
+                    let row = &codes[local * stride + col_start..];
+                    let (g, h) = (grad[pos], hess[pos]);
+                    for j in range.clone() {
+                        let cell = &mut part[bounds[j] - offset + row[j] as usize];
+                        cell[0] += g;
+                        cell[1] += h;
+                    }
+                }
+            });
+            j0 = j1;
+        }
+    });
+}
+
+/// Cell-update threshold below which the feature-parallel fan-out is
+/// not worth its thread spawns and the serial pass runs instead.
+const FEATURE_PAR_MIN_CELLS: usize = 1 << 15;
+
+/// Pop a histogram buffer from the pool (or mint one) sized and zeroed
+/// to `total_slots`.
+fn take_hist(pool: &mut Vec<Vec<[f64; 2]>>, total_slots: usize) -> Vec<[f64; 2]> {
+    let mut h = pool.pop().unwrap_or_default();
+    h.clear();
+    h.resize(total_slots, [0.0; 2]);
+    h
+}
+
+/// Per-fit buffer arena for the chunked trainer — the out-of-core
+/// counterpart of the engine pools inside [`TreeScratch`], where it
+/// lives as the `chunk` field. [`ChunkedFitRun::new`] sizes every
+/// buffer to the fit's worst case (tree arena, routing maps, histogram
+/// pool, per-position scalars, prefetch code buffers), so steady-state
+/// rounds perform zero heap allocations, pinned by
+/// `tests/alloc_regression.rs`.
+#[derive(Debug, Default)]
+pub(crate) struct ChunkPools {
+    /// Position-indexed raw scores / gradients / hessians / node ids.
+    raw: Vec<f64>,
+    grad: Vec<f64>,
+    hess: Vec<f64>,
+    node_of: Vec<u32>,
+    /// Histogram layout: view feature `j` owns `bounds[j]..bounds[j+1]`.
+    bounds: Vec<usize>,
+    /// Blocks with at least one training position, ascending.
+    visit_blocks: Vec<u32>,
+    /// Per-block position ranges (`block_lo[b]..block_hi[b]`).
+    block_lo: Vec<u32>,
+    block_hi: Vec<u32>,
+    /// Level-order build arena of the current tree.
+    arena: Vec<BuildNode>,
+    frontier: Vec<u32>,
+    splitting: Vec<u32>,
+    confirmed: Vec<u32>,
+    route_of: Vec<Option<Route>>,
+    owner_of: Vec<u32>,
+    targets: Vec<(u32, u32)>,
+    small_hists: Vec<Vec<[f64; 2]>>,
+    hist_pool: Vec<Vec<[f64; 2]>>,
+    leaf_weight: Vec<f64>,
+    /// Flat node arena across rounds; tree `t` occupies
+    /// `nodes[tree_starts[t]..tree_starts[t + 1]]`.
+    nodes: Vec<Node>,
+    tree_starts: Vec<usize>,
+    /// Rotating code buffers for the spilled-block prefetcher.
+    prefetch: Vec<Vec<u16>>,
+}
+
+/// An in-progress chunked fit, the out-of-core mirror of
+/// [`crate::FitRun`]: [`ChunkedFitRun::new`] validates and sizes the
+/// scratch, each [`ChunkedFitRun::round`] streams the matrix blocks
+/// through the root, partition and accumulation passes of one boosting
+/// round, and [`ChunkedFitRun::finish`] materialises the model. All
+/// per-round buffers live in the borrowed [`TreeScratch`]'s chunk
+/// arena, so driving many fits through one (per-worker) scratch keeps
+/// steady-state rounds allocation-free.
+///
+/// `rows` optionally restricts training to a strictly ascending row
+/// subset (the sharded grid trains fold fits this way); positions —
+/// labels, gradients, raw scores — then index the subset, exactly like
+/// the in-memory engine's position space.
+pub struct ChunkedFitRun<'a> {
+    params: &'a Params,
+    matrix: &'a ChunkedMatrix,
+    col_start: usize,
+    ncols: usize,
+    rows: Option<&'a [u32]>,
+    labels: &'a [f64],
+    workers: usize,
+    pools: &'a mut ChunkPools,
+    cfg: SplitConfig,
+    base_score: f64,
+    total_slots: usize,
+    history: Vec<EvalRecord>,
+    round: usize,
+}
+
+impl<'a> ChunkedFitRun<'a> {
+    /// Start a chunked fit over (a column view of) a chunked matrix,
+    /// with the same validation as [`train_chunked`]. `labels` has one
+    /// entry per training position (`rows.len()`, or every matrix row
+    /// when `rows` is `None`).
+    pub fn new(
+        params: &'a Params,
+        view: ChunkedView<'a>,
+        rows: Option<&'a [u32]>,
+        labels: &'a [f64],
+        workers: usize,
+        scratch: &'a mut TreeScratch,
+    ) -> Result<ChunkedFitRun<'a>, ChunkError> {
+        params.validate().map_err(ChunkError::Train)?;
+        if !matches!(params.tree_method, TreeMethod::Hist { .. }) {
+            return Err(TrainError::InvalidParam {
+                name: "tree_method",
+                message: "chunked training requires the histogram method".to_string(),
+            }
+            .into());
+        }
+        if params.subsample < 1.0 {
+            return Err(TrainError::InvalidParam {
+                name: "subsample",
+                message: "chunked training requires subsample == 1.0".to_string(),
+            }
+            .into());
+        }
+        if params.colsample_bytree < 1.0 {
+            return Err(TrainError::InvalidParam {
+                name: "colsample_bytree",
+                message: "chunked training requires colsample_bytree == 1.0".to_string(),
+            }
+            .into());
+        }
+        let matrix = view.matrix;
+        let n_positions = match rows {
+            None => matrix.nrows(),
+            Some(rs) => rs.len(),
+        };
+        if n_positions == 0 {
+            return Err(TrainError::EmptyDataset.into());
+        }
+        if let Some(rs) = rows {
+            let mut prev = None;
+            for &r in rs {
+                if (r as usize) >= matrix.nrows() || prev.is_some_and(|p: u32| p >= r) {
+                    return Err(TrainError::InvalidParam {
+                        name: "rows",
+                        message: "chunked training rows must be strictly ascending and in range"
+                            .to_string(),
+                    }
+                    .into());
+                }
+                prev = Some(r);
+            }
+        }
+        if labels.len() != n_positions {
+            return Err(TrainError::LabelLength { rows: n_positions, labels: labels.len() }.into());
+        }
+        params.objective.validate_labels(labels).map_err(ChunkError::Train)?;
+        let workers = workers.max(1);
+        let pools = &mut scratch.chunk;
+
+        // Histogram layout shared by every node: view feature `j` owns
+        // slots `bounds[j]..bounds[j + 1]` — bins `0..=cuts` plus the
+        // missing slot, exactly the in-memory `NodeHists` layout.
+        pools.bounds.clear();
+        pools.bounds.reserve(view.ncols + 1);
+        pools.bounds.push(0);
+        for j in 0..view.ncols {
+            let prev = pools.bounds[j];
+            pools.bounds.push(prev + view.cuts(j).len() + 2);
+        }
+        let total_slots = pools.bounds[view.ncols];
+        let cfg = SplitConfig {
+            lambda: params.lambda,
+            gamma: params.gamma,
+            min_child_weight: params.min_child_weight,
+        };
+
+        // Which blocks hold training positions, and which position
+        // range each covers (`rows` is ascending, so positions within a
+        // block are contiguous).
+        let n_blocks = matrix.n_blocks();
+        pools.visit_blocks.clear();
+        pools.visit_blocks.reserve(n_blocks);
+        pools.block_lo.clear();
+        pools.block_lo.resize(n_blocks, 0);
+        pools.block_hi.clear();
+        pools.block_hi.resize(n_blocks, 0);
+        for b in 0..n_blocks {
+            let start = b * matrix.block_rows();
+            let end = start + matrix.rows_in_block(b);
+            let (lo, hi) = match rows {
+                None => (start, end),
+                Some(rs) => (
+                    rs.partition_point(|&r| (r as usize) < start),
+                    rs.partition_point(|&r| (r as usize) < end),
+                ),
+            };
+            pools.block_lo[b] = lo as u32;
+            pools.block_hi[b] = hi as u32;
+            if hi > lo {
+                pools.visit_blocks.push(b as u32);
+            }
+        }
+
+        let base_score = params.objective.base_score(labels);
+        pools.raw.clear();
+        pools.raw.resize(n_positions, base_score);
+        pools.grad.clear();
+        pools.grad.resize(n_positions, 0.0);
+        pools.hess.clear();
+        pools.hess.resize(n_positions, 0.0);
+        pools.node_of.clear();
+        pools.node_of.resize(n_positions, 0);
+
+        // Worst-case arena sizing: a full binary tree of the allowed
+        // depth, capped by the leaves-need-a-row bound.
+        let depth_cap = if params.max_depth + 1 >= usize::BITS as usize {
+            usize::MAX
+        } else {
+            (1usize << (params.max_depth + 1)) - 1
+        };
+        let per_tree = depth_cap.min(2 * n_positions - 1);
+        pools.arena.reserve(per_tree);
+        pools.route_of.reserve(per_tree);
+        pools.owner_of.reserve(per_tree);
+        pools.leaf_weight.reserve(per_tree);
+        pools.frontier.reserve(per_tree);
+        pools.splitting.reserve(per_tree);
+        pools.confirmed.reserve(per_tree);
+        pools.targets.reserve(per_tree);
+        pools.small_hists.reserve(per_tree);
+        pools.nodes.clear();
+        pools.nodes.reserve(per_tree * params.n_estimators);
+        pools.tree_starts.clear();
+        pools.tree_starts.reserve(params.n_estimators);
+        // Pre-fill the histogram pool to the level-order worst case
+        // (every node of the widest two levels holding a buffer), so no
+        // later round has to mint one whatever shape its tree takes.
+        let want_hists = per_tree.min(depth_cap);
+        for h in &mut pools.hist_pool {
+            h.clear();
+            h.reserve(total_slots);
+        }
+        while pools.hist_pool.len() < want_hists {
+            pools.hist_pool.push(Vec::with_capacity(total_slots));
+        }
+
+        Ok(ChunkedFitRun {
+            params,
+            matrix,
+            col_start: view.col_start,
+            ncols: view.ncols,
+            rows,
+            labels,
+            workers,
+            pools,
+            cfg,
+            base_score,
+            total_slots,
+            history: Vec::with_capacity(params.n_estimators),
+            round: 0,
+        })
+    }
+
+    /// Execute one boosting round, streaming every pass over the
+    /// matrix blocks. Returns `Ok(false)` (without doing any work) once
+    /// all rounds have run, so `while run.round()? {}` drives a fit to
+    /// completion.
+    pub fn round(&mut self) -> Result<bool, ChunkError> {
+        if self.round >= self.params.n_estimators {
+            return Ok(false);
+        }
+        let params = self.params;
+        let matrix = self.matrix;
+        let (col_start, ncols) = (self.col_start, self.ncols);
+        let stride = matrix.ncols();
+        let block_rows = matrix.block_rows();
+        let (workers, rows_idx, total_slots) = (self.workers, self.rows, self.total_slots);
+        let pools = &mut *self.pools;
+        params.objective.grad_hess(self.labels, &pools.raw, &mut pools.grad, &mut pools.hess);
+
+        // --- Grow one tree, level by level -------------------------
+        pools.node_of.fill(0);
+        pools.arena.clear();
+        let root_g: f64 = pools.grad.iter().sum();
+        let root_h: f64 = pools.hess.iter().sum();
+        let mut root_hist = take_hist(&mut pools.hist_pool, total_slots);
+        {
+            let ChunkPools {
+                visit_blocks, block_lo, block_hi, bounds, grad, hess, prefetch, ..
+            } = pools;
+            let root_hist = &mut root_hist;
+            stream_blocks(matrix, visit_blocks, prefetch, |b, codes| {
+                let base_row = b * block_rows;
+                let (lo, hi) = (block_lo[b] as usize, block_hi[b] as usize);
+                if workers > 1 && ncols >= 2 && (hi - lo) * ncols >= FEATURE_PAR_MIN_CELLS {
+                    accumulate_features_parallel(
+                        codes, stride, col_start, base_row, lo, hi, rows_idx, None, bounds, grad,
+                        hess, workers, root_hist,
+                    );
+                } else {
+                    for pos in lo..hi {
+                        let local = row_at(rows_idx, pos) - base_row;
+                        let row =
+                            &codes[local * stride + col_start..local * stride + col_start + ncols];
+                        let (g, h) = (grad[pos], hess[pos]);
+                        for (j, &code) in row.iter().enumerate() {
+                            let cell = &mut root_hist[bounds[j] + code as usize];
+                            cell[0] += g;
+                            cell[1] += h;
+                        }
+                    }
+                }
+            })?;
+        }
+        let n_positions = pools.raw.len();
+        pools.arena.push(BuildNode {
+            g: root_g,
+            h: root_h,
+            n_rows: n_positions,
+            fate: Fate::Open,
+            hist: root_hist,
+        });
+
+        pools.frontier.clear();
+        pools.frontier.push(0);
+        let mut depth = 0usize;
+        while !pools.frontier.is_empty() {
+            // Decide every frontier node: leaf out, or pick a split
+            // with the engine's own scanner (same offers, same
+            // tie-breaks as the recursive grower).
+            pools.splitting.clear();
+            for i in 0..pools.frontier.len() {
+                let id = pools.frontier[i];
+                let node = &pools.arena[id as usize];
+                let (g, h) = (node.g, node.h);
+                let cand = if depth >= params.max_depth || node.n_rows < 2 {
+                    None
+                } else {
+                    let mut tracker = BestTracker::new(self.cfg, g, h);
+                    for j in 0..ncols {
+                        scan_hist(
+                            j,
+                            matrix.cuts(col_start + j),
+                            &node.hist[pools.bounds[j]..pools.bounds[j + 1]],
+                            g,
+                            h,
+                            &mut tracker,
+                        );
+                    }
+                    tracker.best
+                };
+                match cand {
+                    None => {
+                        let weight = -g / (h + params.lambda) * params.learning_rate;
+                        let node = &mut pools.arena[id as usize];
+                        node.fate = Fate::Leaf { weight };
+                        pools.hist_pool.push(std::mem::take(&mut node.hist));
+                    }
+                    Some(cand) => {
+                        let left = pools.arena.len() as u32;
+                        let right = left + 1;
+                        pools.arena.push(BuildNode {
+                            g: cand.left_grad,
+                            h: cand.left_hess,
+                            n_rows: 0,
+                            fate: Fate::Open,
+                            hist: Vec::new(),
+                        });
+                        pools.arena.push(BuildNode {
+                            g: cand.right_grad,
+                            h: cand.right_hess,
+                            n_rows: 0,
+                            fate: Fate::Open,
+                            hist: Vec::new(),
+                        });
+                        pools.arena[id as usize].fate = Fate::Split { cand, left, right };
+                        pools.splitting.push(id);
+                    }
+                }
+            }
+            if pools.splitting.is_empty() {
+                break;
+            }
+
+            // Partition pass: stream blocks in ascending position
+            // order and route each position of a splitting node to its
+            // child — the same in-band-code routing as the recursive
+            // grower.
+            pools.route_of.clear();
+            pools.route_of.resize(pools.arena.len(), None);
+            for i in 0..pools.splitting.len() {
+                let id = pools.splitting[i] as usize;
+                if let Fate::Split { cand, left, right } = &pools.arena[id].fate {
+                    let cuts = matrix.cuts(col_start + cand.feature);
+                    pools.route_of[id] = Some(Route {
+                        feature: cand.feature,
+                        missing_code: cuts.len() as u16 + 1,
+                        boundary: cuts.partition_point(|&c| c < cand.threshold),
+                        default_left: cand.default_left,
+                        left: *left,
+                        right: *right,
+                    });
+                }
+            }
+            {
+                let ChunkPools {
+                    visit_blocks,
+                    block_lo,
+                    block_hi,
+                    node_of,
+                    arena,
+                    route_of,
+                    prefetch,
+                    ..
+                } = pools;
+                stream_blocks(matrix, visit_blocks, prefetch, |b, codes| {
+                    let base_row = b * block_rows;
+                    for pos in block_lo[b] as usize..block_hi[b] as usize {
+                        let Some(route) = route_of[node_of[pos] as usize] else { continue };
+                        let local = row_at(rows_idx, pos) - base_row;
+                        let code = codes[local * stride + col_start + route.feature];
+                        let goes_left = if code == route.missing_code {
+                            route.default_left
+                        } else {
+                            (code as usize) <= route.boundary
+                        };
+                        let child = if goes_left { route.left } else { route.right };
+                        node_of[pos] = child;
+                        arena[child as usize].n_rows += 1;
+                    }
+                })?;
+            }
+
+            // Empty-side fallback (numerical pathology, same as the
+            // recursive grower): demote the split back to a leaf with
+            // the node's own mass. All its rows sit in the one
+            // non-empty child, which becomes a ghost carrying the same
+            // weight so the score update needs no re-routing.
+            pools.confirmed.clear();
+            for i in 0..pools.splitting.len() {
+                let id = pools.splitting[i];
+                let Fate::Split { left, right, .. } = pools.arena[id as usize].fate.clone() else {
+                    unreachable!("splitting nodes keep their split fate until here")
+                };
+                let empty_side = pools.arena[left as usize].n_rows == 0
+                    || pools.arena[right as usize].n_rows == 0;
+                if empty_side {
+                    let node = &mut pools.arena[id as usize];
+                    let weight = -node.g / (node.h + params.lambda) * params.learning_rate;
+                    node.fate = Fate::Leaf { weight };
+                    pools.hist_pool.push(std::mem::take(&mut node.hist));
+                    pools.arena[left as usize].fate = Fate::Leaf { weight };
+                    pools.arena[right as usize].fate = Fate::Leaf { weight };
+                } else {
+                    pools.confirmed.push(id);
+                }
+            }
+            if pools.confirmed.is_empty() {
+                break;
+            }
+
+            // Accumulation pass: build each smaller child's histogram
+            // by streaming blocks (position-ascending adds), then
+            // derive the larger child by the subtraction trick from the
+            // parent's buffer. Workers own disjoint nodes — or, when
+            // only one node needs building, disjoint feature ranges —
+            // so any worker count adds the same floats in the same
+            // order per cell.
+            pools.owner_of.clear();
+            pools.owner_of.resize(pools.arena.len(), u32::MAX);
+            pools.targets.clear();
+            for i in 0..pools.confirmed.len() {
+                let id = pools.confirmed[i];
+                let Fate::Split { left, right, .. } = pools.arena[id as usize].fate.clone() else {
+                    unreachable!("confirmed splits keep their split fate")
+                };
+                let small =
+                    if pools.arena[left as usize].n_rows <= pools.arena[right as usize].n_rows {
+                        left
+                    } else {
+                        right
+                    };
+                pools.owner_of[small as usize] = pools.targets.len() as u32;
+                pools.targets.push((small, id));
+            }
+            pools.small_hists.clear();
+            for _ in 0..pools.targets.len() {
+                let h = take_hist(&mut pools.hist_pool, total_slots);
+                pools.small_hists.push(h);
+            }
+            {
+                let ChunkPools {
+                    visit_blocks,
+                    block_lo,
+                    block_hi,
+                    bounds,
+                    node_of,
+                    owner_of,
+                    grad,
+                    hess,
+                    targets,
+                    small_hists,
+                    prefetch,
+                    ..
+                } = pools;
+                let n_targets = targets.len();
+                let bounds: &[usize] = bounds;
+                let node_of: &[u32] = node_of;
+                let owner_of: &[u32] = owner_of;
+                let grad: &[f64] = grad;
+                let hess: &[f64] = hess;
+                stream_blocks(matrix, visit_blocks, prefetch, |b, codes| {
+                    let base_row = b * block_rows;
+                    let (lo, hi) = (block_lo[b] as usize, block_hi[b] as usize);
+                    if n_targets == 1
+                        && workers > 1
+                        && ncols >= 2
+                        && (hi - lo) * ncols >= FEATURE_PAR_MIN_CELLS
+                    {
+                        accumulate_features_parallel(
+                            codes,
+                            stride,
+                            col_start,
+                            base_row,
+                            lo,
+                            hi,
+                            rows_idx,
+                            Some((node_of, owner_of)),
+                            bounds,
+                            grad,
+                            hess,
+                            workers,
+                            &mut small_hists[0],
+                        );
+                    } else if workers <= 1 || n_targets < 2 {
+                        accumulate_targets(
+                            codes,
+                            stride,
+                            col_start,
+                            ncols,
+                            base_row,
+                            lo,
+                            hi,
+                            rows_idx,
+                            bounds,
+                            node_of,
+                            owner_of,
+                            grad,
+                            hess,
+                            0..n_targets,
+                            small_hists,
+                        );
+                    } else {
+                        let n_workers = workers.min(n_targets);
+                        let chunk = n_targets.div_ceil(n_workers);
+                        std::thread::scope(|s| {
+                            for (w, hists) in small_hists.chunks_mut(chunk).enumerate() {
+                                let start = w * chunk;
+                                let end = start + hists.len();
+                                s.spawn(move || {
+                                    accumulate_targets(
+                                        codes,
+                                        stride,
+                                        col_start,
+                                        ncols,
+                                        base_row,
+                                        lo,
+                                        hi,
+                                        rows_idx,
+                                        bounds,
+                                        node_of,
+                                        owner_of,
+                                        grad,
+                                        hess,
+                                        start..end,
+                                        hists,
+                                    );
+                                });
+                            }
+                        });
+                    }
+                })?;
+            }
+            for t in 0..pools.targets.len() {
+                let (small, parent) = pools.targets[t];
+                let small_hist = std::mem::take(&mut pools.small_hists[t]);
+                let mut larger_hist = std::mem::take(&mut pools.arena[parent as usize].hist);
+                for (ps, cs) in larger_hist.iter_mut().zip(&small_hist) {
+                    ps[0] -= cs[0];
+                    ps[1] -= cs[1];
+                }
+                let Fate::Split { left, right, .. } = pools.arena[parent as usize].fate.clone()
+                else {
+                    unreachable!("confirmed splits keep their split fate")
+                };
+                let large = if small == left { right } else { left };
+                pools.arena[small as usize].hist = small_hist;
+                pools.arena[large as usize].hist = larger_hist;
+            }
+
+            pools.frontier.clear();
+            for i in 0..pools.confirmed.len() {
+                let id = pools.confirmed[i];
+                if let Fate::Split { left, right, .. } = pools.arena[id as usize].fate {
+                    pools.frontier.push(left);
+                    pools.frontier.push(right);
+                }
+            }
+            depth += 1;
+        }
+        // Return any still-held histogram buffers to the pool.
+        for i in 0..pools.arena.len() {
+            if !pools.arena[i].hist.is_empty() {
+                let h = std::mem::take(&mut pools.arena[i].hist);
+                pools.hist_pool.push(h);
+            }
+        }
+
+        // --- Emit the arena in the recursion's DFS pre-order -------
+        let tree_start = pools.nodes.len();
+        pools.tree_starts.push(tree_start);
+        emit(&pools.arena, 0, tree_start, &mut pools.nodes);
+
+        // --- Score update and bookkeeping, as in `FitRun::round` ---
+        pools.leaf_weight.clear();
+        pools.leaf_weight.resize(pools.arena.len(), 0.0);
+        for (i, node) in pools.arena.iter().enumerate() {
+            if let Fate::Leaf { weight } = node.fate {
+                pools.leaf_weight[i] = weight;
+            }
+        }
+        let ChunkPools { raw, node_of, leaf_weight, .. } = pools;
+        for (pos, raw_r) in raw.iter_mut().enumerate() {
+            *raw_r += leaf_weight[node_of[pos] as usize];
+        }
+        let train_loss = params.objective.loss(self.labels, raw);
+        self.history.push(EvalRecord { round: self.round, train_loss, eval_loss: None });
+        self.round += 1;
+        Ok(true)
+    }
+
+    /// Materialise the trained model and loss history. Trees are
+    /// copied out of the scratch arena here, once per fit.
+    pub fn finish(self) -> TrainReport {
+        let pools = self.pools;
+        let n_trees = pools.tree_starts.len();
+        let mut trees: Vec<Tree> = Vec::with_capacity(n_trees);
+        for t in 0..n_trees {
+            let start = pools.tree_starts[t];
+            let end = pools.tree_starts.get(t + 1).copied().unwrap_or(pools.nodes.len());
+            trees.push(Tree::from_nodes(pools.nodes[start..end].to_vec()));
+        }
+        TrainReport {
+            booster: Booster {
+                trees,
+                base_score: self.base_score,
+                objective: self.params.objective,
+                n_features: self.ncols,
+            },
+            history: self.history,
+            best_round: self.params.n_estimators,
         }
     }
 }
@@ -723,367 +1758,126 @@ fn accumulate_block(
 /// `colsample_bytree == 1.0`: row/column subsampling would need the
 /// trainer to consult a shuffled index per round, which breaks the
 /// ascending-row streaming the bit-identity argument rests on.
+///
+/// Thin wrapper over [`ChunkedFitRun`] with a throwaway scratch; use
+/// [`train_chunked_on`] to reuse a (per-worker) [`TreeScratch`] across
+/// fits.
 pub fn train_chunked(
     params: &Params,
     matrix: &mut ChunkedMatrix,
     labels: &[f64],
     workers: usize,
 ) -> Result<TrainReport, ChunkError> {
-    params.validate().map_err(ChunkError::Train)?;
-    if !matches!(params.tree_method, TreeMethod::Hist { .. }) {
-        return Err(TrainError::InvalidParam {
-            name: "tree_method",
-            message: "chunked training requires the histogram method".to_string(),
-        }
-        .into());
-    }
-    if params.subsample < 1.0 {
-        return Err(TrainError::InvalidParam {
-            name: "subsample",
-            message: "chunked training requires subsample == 1.0".to_string(),
-        }
-        .into());
-    }
-    if params.colsample_bytree < 1.0 {
-        return Err(TrainError::InvalidParam {
-            name: "colsample_bytree",
-            message: "chunked training requires colsample_bytree == 1.0".to_string(),
-        }
-        .into());
-    }
-    let nrows = matrix.nrows();
-    let ncols = matrix.ncols();
-    if nrows == 0 {
-        return Err(TrainError::EmptyDataset.into());
-    }
-    if labels.len() != nrows {
-        return Err(TrainError::LabelLength { rows: nrows, labels: labels.len() }.into());
-    }
-    params.objective.validate_labels(labels).map_err(ChunkError::Train)?;
-    let workers = workers.max(1);
+    let mut scratch = TreeScratch::new();
+    train_chunked_on(params, matrix.view(), None, labels, workers, &mut scratch)
+}
 
-    // Histogram layout shared by every node: feature `j` owns slots
-    // `bounds[j]..bounds[j + 1]` — bins `0..=cuts` plus the missing
-    // slot, exactly the in-memory `NodeHists` layout.
-    let mut bounds = Vec::with_capacity(ncols + 1);
-    bounds.push(0usize);
-    for j in 0..ncols {
-        bounds.push(bounds[j] + matrix.cuts(j).len() + 2);
+/// [`train_chunked`] over a column view and optional ascending row
+/// subset, driving the fit through a borrowed [`TreeScratch`]'s chunk
+/// arena — the entry point the sharded grid fans across its worker
+/// pool.
+pub fn train_chunked_on(
+    params: &Params,
+    view: ChunkedView<'_>,
+    rows: Option<&[u32]>,
+    labels: &[f64],
+    workers: usize,
+    scratch: &mut TreeScratch,
+) -> Result<TrainReport, ChunkError> {
+    let mut run = ChunkedFitRun::new(params, view, rows, labels, workers, scratch)?;
+    while run.round()? {}
+    Ok(run.finish())
+}
+
+/// Walk one tree on a bin-coded row, the code-space mirror of the
+/// raw-value walk: a row goes left iff its raw value would satisfy
+/// `v < threshold`. Hist thresholds are always cut values, and
+/// `encode_value` puts `v` in bin `partition_point(cuts, c <= v)`, so
+/// `v < t  ⟺  code <= partition_point(cuts, c < t)`; the missing
+/// sentinel takes the split's default direction, exactly like NaN.
+fn leaf_value_codes(nodes: &[Node], row: &[u16], view: &ChunkedView<'_>) -> f64 {
+    let mut i = 0usize;
+    loop {
+        match &nodes[i] {
+            Node::Leaf { weight, .. } => return *weight,
+            Node::Split { feature, threshold, default_left, left, right, .. } => {
+                let cuts = view.cuts(*feature);
+                let code = row[*feature];
+                let goes_left = if code == cuts.len() as u16 + 1 {
+                    *default_left
+                } else {
+                    (code as usize) <= cuts.partition_point(|&c| c < *threshold)
+                };
+                i = if goes_left { *left } else { *right };
+            }
+        }
     }
-    let total_slots = bounds[ncols];
-    let cfg = SplitConfig {
-        lambda: params.lambda,
-        gamma: params.gamma,
-        min_child_weight: params.min_child_weight,
-    };
+}
 
-    let base_score = params.objective.base_score(labels);
-    let mut raw = vec![base_score; nrows];
-    let mut grad = vec![0.0; nrows];
-    let mut hess = vec![0.0; nrows];
-    let mut node_of = vec![0u32; nrows];
-    let mut hist_pool: Vec<Vec<[f64; 2]>> = Vec::new();
-    let take_hist = |pool: &mut Vec<Vec<[f64; 2]>>| -> Vec<[f64; 2]> {
-        let mut h = pool.pop().unwrap_or_default();
-        h.clear();
-        h.resize(total_slots, [0.0; 2]);
-        h
-    };
-
-    let mut trees: Vec<Tree> = Vec::with_capacity(params.n_estimators);
-    let mut history: Vec<EvalRecord> = Vec::with_capacity(params.n_estimators);
+/// Transformed predictions for an ascending row subset of a column
+/// view, walking the booster's trees directly on the stored bin codes
+/// — no feature regeneration pass. Bit-identical to
+/// [`crate::forest::FlatForest::predict_rows_on`] over the raw
+/// feature rows: same tree order, same zero-seeded accumulator, same
+/// `+ base_score` tail (IEEE addition commutes bit-for-bit), same
+/// transform. `bufs` is the caller's rotating prefetch buffer pool,
+/// reused across calls.
+pub fn predict_rows_chunked(
+    booster: &Booster,
+    view: ChunkedView<'_>,
+    rows: &[u32],
+    bufs: &mut Vec<Vec<u16>>,
+) -> Result<Vec<f64>, ChunkError> {
+    let matrix = view.matrix;
+    let (col_start, ncols) = (view.col_start, view.ncols);
+    let stride = matrix.ncols();
+    let block_rows = matrix.block_rows();
     let n_blocks = matrix.n_blocks();
-
-    for round in 0..params.n_estimators {
-        params.objective.grad_hess(labels, &raw, &mut grad, &mut hess);
-
-        // --- Grow one tree, level by level -------------------------
-        node_of.fill(0);
-        let mut arena: Vec<BuildNode> = Vec::new();
-        let root_g: f64 = grad.iter().sum();
-        let root_h: f64 = hess.iter().sum();
-        let mut root_hist = take_hist(&mut hist_pool);
-        for b in 0..n_blocks {
-            let base_row = b * matrix.block_rows();
-            let codes = matrix.load_block(b)?;
-            let n = codes.len() / ncols;
-            for local in 0..n {
-                let r = base_row + local;
-                let row = &codes[local * ncols..(local + 1) * ncols];
-                let (g, h) = (grad[r], hess[r]);
-                for (j, &code) in row.iter().enumerate() {
-                    let cell = &mut root_hist[bounds[j] + code as usize];
-                    cell[0] += g;
-                    cell[1] += h;
-                }
-            }
+    let mut visit = Vec::new();
+    let mut ranges = vec![(0u32, 0u32); n_blocks];
+    for (b, range) in ranges.iter_mut().enumerate() {
+        let start = b * block_rows;
+        let end = start + matrix.rows_in_block(b);
+        let lo = rows.partition_point(|&r| (r as usize) < start);
+        let hi = rows.partition_point(|&r| (r as usize) < end);
+        *range = (lo as u32, hi as u32);
+        if hi > lo {
+            visit.push(b as u32);
         }
-        arena.push(BuildNode {
-            g: root_g,
-            h: root_h,
-            n_rows: nrows,
-            fate: Fate::Open,
-            hist: root_hist,
-        });
-
-        let mut frontier: Vec<u32> = vec![0];
-        let mut depth = 0usize;
-        while !frontier.is_empty() {
-            // Decide every frontier node: leaf out, or pick a split
-            // with the engine's own scanner (same offers, same
-            // tie-breaks as the recursive grower).
-            let mut splitting: Vec<u32> = Vec::new();
-            for &id in &frontier {
-                let node = &arena[id as usize];
-                let (g, h) = (node.g, node.h);
-                let cand = if depth >= params.max_depth || node.n_rows < 2 {
-                    None
-                } else {
-                    let mut tracker = BestTracker::new(cfg, g, h);
-                    for j in 0..ncols {
-                        scan_hist(
-                            j,
-                            matrix.cuts(j),
-                            &node.hist[bounds[j]..bounds[j + 1]],
-                            g,
-                            h,
-                            &mut tracker,
-                        );
-                    }
-                    tracker.best
-                };
-                match cand {
-                    None => {
-                        let weight = -g / (h + params.lambda) * params.learning_rate;
-                        let node = &mut arena[id as usize];
-                        node.fate = Fate::Leaf { weight };
-                        hist_pool.push(std::mem::take(&mut node.hist));
-                    }
-                    Some(cand) => {
-                        let left = arena.len() as u32;
-                        let right = left + 1;
-                        arena.push(BuildNode {
-                            g: cand.left_grad,
-                            h: cand.left_hess,
-                            n_rows: 0,
-                            fate: Fate::Open,
-                            hist: Vec::new(),
-                        });
-                        arena.push(BuildNode {
-                            g: cand.right_grad,
-                            h: cand.right_hess,
-                            n_rows: 0,
-                            fate: Fate::Open,
-                            hist: Vec::new(),
-                        });
-                        arena[id as usize].fate = Fate::Split { cand, left, right };
-                        splitting.push(id);
-                    }
-                }
-            }
-            if splitting.is_empty() {
-                break;
-            }
-
-            // Partition pass: stream blocks in ascending row order and
-            // route each row of a splitting node to its child — the
-            // same in-band-code routing as the recursive grower.
-            let mut route_of: Vec<Option<Route>> = vec![None; arena.len()];
-            for &id in &splitting {
-                if let Fate::Split { cand, left, right } = &arena[id as usize].fate {
-                    let cuts = matrix.cuts(cand.feature);
-                    route_of[id as usize] = Some(Route {
-                        feature: cand.feature,
-                        missing_code: cuts.len() as u16 + 1,
-                        boundary: cuts.partition_point(|&c| c < cand.threshold),
-                        default_left: cand.default_left,
-                        left: *left,
-                        right: *right,
-                    });
-                }
-            }
-            for b in 0..n_blocks {
-                let base_row = b * matrix.block_rows();
-                let codes = matrix.load_block(b)?;
-                let n = codes.len() / ncols;
-                for local in 0..n {
-                    let r = base_row + local;
-                    let Some(route) = route_of[node_of[r] as usize] else { continue };
-                    let code = codes[local * ncols + route.feature];
-                    let goes_left = if code == route.missing_code {
-                        route.default_left
-                    } else {
-                        (code as usize) <= route.boundary
-                    };
-                    let child = if goes_left { route.left } else { route.right };
-                    node_of[r] = child;
-                    arena[child as usize].n_rows += 1;
-                }
-            }
-
-            // Empty-side fallback (numerical pathology, same as the
-            // recursive grower): demote the split back to a leaf with
-            // the node's own mass. All its rows sit in the one
-            // non-empty child, which becomes a ghost carrying the same
-            // weight so the score update needs no re-routing.
-            let mut confirmed: Vec<u32> = Vec::new();
-            for &id in &splitting {
-                let Fate::Split { left, right, .. } = arena[id as usize].fate.clone() else {
-                    unreachable!("splitting nodes keep their split fate until here")
-                };
-                let empty_side =
-                    arena[left as usize].n_rows == 0 || arena[right as usize].n_rows == 0;
-                if empty_side {
-                    let node = &mut arena[id as usize];
-                    let weight = -node.g / (node.h + params.lambda) * params.learning_rate;
-                    node.fate = Fate::Leaf { weight };
-                    hist_pool.push(std::mem::take(&mut node.hist));
-                    arena[left as usize].fate = Fate::Leaf { weight };
-                    arena[right as usize].fate = Fate::Leaf { weight };
-                } else {
-                    confirmed.push(id);
-                }
-            }
-            if confirmed.is_empty() {
-                break;
-            }
-
-            // Accumulation pass: build each smaller child's histogram
-            // by streaming blocks (row-ascending adds), then derive the
-            // larger child by the subtraction trick from the parent's
-            // buffer. Workers own disjoint nodes, so any worker count
-            // adds the same floats in the same order per cell.
-            let mut owner_of: Vec<u32> = vec![u32::MAX; arena.len()];
-            let mut targets: Vec<(u32, u32)> = Vec::new(); // (small child, parent)
-            for &id in &confirmed {
-                let Fate::Split { left, right, .. } = arena[id as usize].fate.clone() else {
-                    unreachable!("confirmed splits keep their split fate")
-                };
-                let small = if arena[left as usize].n_rows <= arena[right as usize].n_rows {
-                    left
-                } else {
-                    right
-                };
-                owner_of[small as usize] = targets.len() as u32;
-                targets.push((small, id));
-            }
-            let mut small_hists: Vec<Vec<[f64; 2]>> =
-                targets.iter().map(|_| take_hist(&mut hist_pool)).collect();
-            for b in 0..n_blocks {
-                let base_row = b * matrix.block_rows();
-                let block_rows_here = matrix.rows_in_block(b);
-                let codes = matrix.load_block(b)?;
-                debug_assert_eq!(codes.len(), block_rows_here * ncols);
-                if workers <= 1 || targets.len() < 2 {
-                    accumulate_block(
-                        codes,
-                        base_row,
-                        ncols,
-                        &bounds,
-                        &node_of,
-                        &owner_of,
-                        &grad,
-                        &hess,
-                        0..targets.len(),
-                        &mut small_hists,
-                    );
-                } else {
-                    let n_workers = workers.min(targets.len());
-                    let chunk = targets.len().div_ceil(n_workers);
-                    let bounds_ref: &[usize] = &bounds;
-                    let node_of_ref: &[u32] = &node_of;
-                    let owner_ref: &[u32] = &owner_of;
-                    let grad_ref: &[f64] = &grad;
-                    let hess_ref: &[f64] = &hess;
-                    std::thread::scope(|s| {
-                        for (w, hists) in small_hists.chunks_mut(chunk).enumerate() {
-                            let start = w * chunk;
-                            let end = start + hists.len();
-                            s.spawn(move || {
-                                accumulate_block(
-                                    codes,
-                                    base_row,
-                                    ncols,
-                                    bounds_ref,
-                                    node_of_ref,
-                                    owner_ref,
-                                    grad_ref,
-                                    hess_ref,
-                                    start..end,
-                                    hists,
-                                );
-                            });
-                        }
-                    });
-                }
-            }
-            for (t, (small, parent)) in targets.iter().enumerate() {
-                let small_hist = std::mem::take(&mut small_hists[t]);
-                let mut larger_hist = std::mem::take(&mut arena[*parent as usize].hist);
-                for (ps, cs) in larger_hist.iter_mut().zip(&small_hist) {
-                    ps[0] -= cs[0];
-                    ps[1] -= cs[1];
-                }
-                let Fate::Split { left, right, .. } = arena[*parent as usize].fate.clone() else {
-                    unreachable!("confirmed splits keep their split fate")
-                };
-                let large = if *small == left { right } else { left };
-                arena[*small as usize].hist = small_hist;
-                arena[large as usize].hist = larger_hist;
-            }
-
-            frontier.clear();
-            for &id in &confirmed {
-                if let Fate::Split { left, right, .. } = arena[id as usize].fate {
-                    frontier.push(left);
-                    frontier.push(right);
-                }
-            }
-            depth += 1;
-        }
-        // Return any still-held histogram buffers to the pool.
-        for node in &mut arena {
-            if !node.hist.is_empty() {
-                hist_pool.push(std::mem::take(&mut node.hist));
-            }
-        }
-
-        // --- Emit the arena in the recursion's DFS pre-order -------
-        let mut nodes: Vec<Node> = Vec::with_capacity(arena.len());
-        emit(&arena, 0, &mut nodes);
-
-        // --- Score update and bookkeeping, as in `FitRun::round` ---
-        let mut leaf_weight = vec![0.0f64; arena.len()];
-        for (i, node) in arena.iter().enumerate() {
-            if let Fate::Leaf { weight } = node.fate {
-                leaf_weight[i] = weight;
-            }
-        }
-        for (r, raw_r) in raw.iter_mut().enumerate() {
-            *raw_r += leaf_weight[node_of[r] as usize];
-        }
-        let train_loss = params.objective.loss(labels, &raw);
-        history.push(EvalRecord { round, train_loss, eval_loss: None });
-        trees.push(Tree::from_nodes(nodes));
     }
-
-    let best_round = params.n_estimators;
-    Ok(TrainReport {
-        booster: Booster { trees, base_score, objective: params.objective, n_features: ncols },
-        history,
-        best_round,
-    })
+    assert!(
+        visit.iter().map(|&b| ranges[b as usize]).map(|(lo, hi)| hi - lo).sum::<u32>() as usize
+            == rows.len(),
+        "prediction rows must be strictly ascending and in range"
+    );
+    let mut out = Vec::with_capacity(rows.len());
+    stream_blocks(matrix, &visit, bufs, |b, codes| {
+        let base_row = b * block_rows;
+        let (lo, hi) = ranges[b];
+        for &row_idx in &rows[lo as usize..hi as usize] {
+            let local = row_idx as usize - base_row;
+            let row = &codes[local * stride + col_start..local * stride + col_start + ncols];
+            let mut acc = 0.0;
+            for tree in booster.trees() {
+                acc += leaf_value_codes(tree.nodes(), row, &view);
+            }
+            out.push(booster.objective().transform(acc + booster.base_score()));
+        }
+    })?;
+    Ok(out)
 }
 
 /// Emit `id`'s subtree in DFS pre-order (node, left, right) with
 /// tree-relative child links — the exact order and linking the
-/// recursive grower's `TreeBuf` produces.
-fn emit(arena: &[BuildNode], id: u32, nodes: &mut Vec<Node>) -> usize {
+/// recursive grower's `TreeBuf` produces. `base` is the tree's start
+/// offset in the flat `nodes` arena; returned indices and patched
+/// links are relative to it.
+fn emit(arena: &[BuildNode], id: u32, base: usize, nodes: &mut Vec<Node>) -> usize {
     let node = &arena[id as usize];
     match &node.fate {
         Fate::Leaf { weight } => {
             nodes.push(Node::Leaf { weight: *weight, cover: node.h });
-            nodes.len() - 1
+            nodes.len() - 1 - base
         }
         Fate::Split { cand, left, right } => {
             nodes.push(Node::Split {
@@ -1095,10 +1889,10 @@ fn emit(arena: &[BuildNode], id: u32, nodes: &mut Vec<Node>) -> usize {
                 cover: node.h,
                 gain: cand.gain,
             });
-            let idx = nodes.len() - 1;
-            let l = emit(arena, *left, nodes);
-            let r = emit(arena, *right, nodes);
-            if let Node::Split { left: pl, right: pr, .. } = &mut nodes[idx] {
+            let idx = nodes.len() - 1 - base;
+            let l = emit(arena, *left, base, nodes);
+            let r = emit(arena, *right, base, nodes);
+            if let Node::Split { left: pl, right: pr, .. } = &mut nodes[base + idx] {
                 *pl = l;
                 *pr = r;
             }
@@ -1185,7 +1979,7 @@ mod tests {
 
         let mut mem = ChunkedMatrixBuilder::in_memory(cuts.clone(), 32);
         mem.push_rows(&rows).unwrap();
-        let mut mem = mem.finish().unwrap();
+        let mem = mem.finish().unwrap();
 
         let path = tmp_path("roundtrip");
         let mut disk = ChunkedMatrixBuilder::spilled(cuts, 32, &path).unwrap();
@@ -1193,7 +1987,7 @@ mod tests {
             disk.push_rows(block).unwrap();
         }
         disk.finish().unwrap();
-        let mut disk = ChunkedMatrix::open(&path).unwrap();
+        let disk = ChunkedMatrix::open(&path).unwrap();
 
         assert_eq!(mem.n_blocks(), disk.n_blocks());
         assert_eq!(mem.nrows(), disk.nrows());
@@ -1246,7 +2040,7 @@ mod tests {
         let last = bad.len() - 1;
         bad[last] ^= 0xff;
         std::fs::write(&path, &bad).unwrap();
-        let mut m = ChunkedMatrix::open(&path).unwrap();
+        let m = ChunkedMatrix::open(&path).unwrap();
         let err = m.load_block(m.n_blocks() - 1);
         assert!(matches!(err, Err(ChunkError::Corrupt { what: "block checksum", .. })));
 

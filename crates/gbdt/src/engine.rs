@@ -73,7 +73,7 @@
 use crate::binning::BinnedMatrix;
 use crate::context::{ExactIndex, MISSING_RANK};
 use crate::params::Params;
-use crate::split::{merge_chunks, BestTracker, SplitCandidate, SplitConfig};
+use crate::split::{merge_chunks, scan_hist, BestTracker, SplitCandidate, SplitConfig};
 use crate::tree::Node;
 
 /// Which precomputed index drives split finding.
@@ -290,6 +290,10 @@ pub struct TreeScratch {
     pub(crate) sample_cols: Vec<usize>,
     /// Single-tree flat compilation reused every round for score updates.
     pub(crate) single: crate::forest::FlatForest,
+    /// Buffer arena for the out-of-core trainer
+    /// ([`crate::chunked::ChunkedFitRun`]), disjoint from the
+    /// in-memory pools so a worker can interleave both kinds of fit.
+    pub(crate) chunk: crate::chunked::ChunkPools,
 }
 
 impl TreeScratch {
@@ -311,6 +315,7 @@ impl TreeScratch {
             all_cols: Vec::new(),
             sample_cols: Vec::new(),
             single: crate::forest::FlatForest::empty(),
+            chunk: crate::chunked::ChunkPools::default(),
         }
     }
 
@@ -999,28 +1004,6 @@ fn subtract_hists(parent: &mut NodeHists, child: &NodeHists) {
     for (ps, cs) in parent.data[..n].iter_mut().zip(&child.data[..n]) {
         ps[0] -= cs[0];
         ps[1] -= cs[1];
-    }
-}
-
-pub(crate) fn scan_hist(
-    feature: usize,
-    cuts: &[f64],
-    hist: &[[f64; 2]],
-    total_g: f64,
-    total_h: f64,
-    tracker: &mut BestTracker,
-) {
-    if cuts.is_empty() {
-        return;
-    }
-    let [g_miss, h_miss] = hist[hist.len() - 1];
-    let mut gl = 0.0;
-    let mut hl = 0.0;
-    // Boundary after bin i corresponds to threshold cuts[i].
-    for (i, &cut) in cuts.iter().enumerate() {
-        gl += hist[i][0];
-        hl += hist[i][1];
-        tracker.offer_both(feature, cut, gl, hl, g_miss, h_miss, total_g, total_h);
     }
 }
 

@@ -61,7 +61,8 @@ pub mod tree;
 pub use artifact::{fnv1a_64, ModelArtifact, ARTIFACT_VERSION};
 pub use booster::{Booster, EvalRecord, FitRun, TrainReport};
 pub use chunked::{
-    train_chunked, ChunkedMatrix, ChunkedMatrixBuilder, CutSketch, DEFAULT_BLOCK_ROWS,
+    encode_rows, predict_rows_chunked, train_chunked, train_chunked_on, ChunkedFitRun,
+    ChunkedMatrix, ChunkedMatrixBuilder, ChunkedView, CutSketch, DEFAULT_BLOCK_ROWS,
     DEFAULT_SKETCH_DISTINCT,
 };
 pub use context::{ContextCache, ExactIndex, TrainingContext, MISSING_RANK};

@@ -402,6 +402,15 @@ pub(crate) mod x86 {
         unsafe { _mm_set_pd(h, g) }
     }
 
+    /// Load a histogram cell as a 128-bit lane pair (`g` low), the
+    /// counterpart of [`pair_add`] for read-only operands.
+    #[inline(always)]
+    pub(crate) fn load_pair(cell: &[f64; 2]) -> __m128d {
+        // SAFETY: `cell` is a valid pair; unaligned load has no
+        // alignment requirement.
+        unsafe { _mm_loadu_pd(cell.as_ptr()) }
+    }
+
     /// Element-wise `a[i] -= b[i]` over flattened histogram cells, four
     /// f64 lanes at a time — each subtraction is the same single IEEE
     /// operation the scalar loop performs on that cell.

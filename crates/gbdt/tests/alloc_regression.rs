@@ -16,7 +16,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use msaw_gbdt::{FitRun, Params, TrainingContext, TreeMethod, TreeScratch};
+use msaw_gbdt::{
+    ChunkedFitRun, ChunkedMatrix, ChunkedMatrixBuilder, CutSketch, FitRun, Params, TrainingContext,
+    TreeMethod, TreeScratch,
+};
 use msaw_tabular::Matrix;
 
 struct CountingAlloc;
@@ -162,6 +165,108 @@ fn a_second_fit_on_a_used_scratch_is_allocation_free_from_round_one() {
         if more {
             rounds += 1;
             assert_eq!(delta, 0, "warm-scratch round {rounds} allocated {delta} times");
+        }
+        more
+    } {}
+    assert_eq!(rounds, params.n_estimators);
+}
+
+/// The chunked problem: same synthetic data, stream-compatible params
+/// (no subsampling — the chunked trainer requires 1.0), and an
+/// in-memory chunked matrix so the meter sees only trainer work.
+fn chunked_problem(nrows: usize, ncols: usize, block_rows: usize) -> (ChunkedMatrix, Vec<f64>) {
+    let (data, labels) = problem(nrows, ncols);
+    let mut sketch = CutSketch::new(ncols);
+    sketch.update(data.as_slice());
+    let mut b = ChunkedMatrixBuilder::in_memory(sketch.cuts(32), block_rows);
+    b.push_rows(data.as_slice()).unwrap();
+    (b.finish().unwrap(), labels)
+}
+
+fn chunked_params() -> Params {
+    Params {
+        n_estimators: 12,
+        max_depth: 4,
+        tree_method: TreeMethod::Hist { max_bins: 32 },
+        ..Params::regression()
+    }
+}
+
+/// Drive one chunked fit round-by-round, asserting every round after
+/// the first allocates nothing.
+fn assert_chunked_rounds_allocation_free(
+    params: &Params,
+    matrix: &ChunkedMatrix,
+    labels: &[f64],
+    scratch: &mut TreeScratch,
+    label: &str,
+) -> usize {
+    let mut run = ChunkedFitRun::new(params, matrix.view(), None, labels, 1, scratch)
+        .expect("valid chunked fit");
+    assert!(run.round().expect("round"), "at least one round must run");
+    let mut rounds = 1;
+    while {
+        let before = alloc_count();
+        let more = run.round().expect("round");
+        let delta = alloc_count() - before;
+        if more {
+            rounds += 1;
+            assert_eq!(
+                delta, 0,
+                "{label}: chunked round {rounds} allocated {delta} times; \
+                 the chunk arenas must absorb every round after the first"
+            );
+        }
+        more
+    } {}
+    let report = run.finish();
+    report.booster.trees().len()
+}
+
+#[test]
+fn chunked_rounds_after_the_first_do_not_allocate() {
+    // The out-of-core contract: once round one has sized the chunk
+    // pools, every later round streams blocks, builds histograms,
+    // partitions and emits trees without touching the heap — across
+    // several block sizes, since block count shapes the visit lists.
+    let params = chunked_params();
+    for block_rows in [16usize, 48, 200] {
+        let (matrix, labels) = chunked_problem(120, 8, block_rows);
+        let mut scratch = TreeScratch::new();
+        let n_trees = assert_chunked_rounds_allocation_free(
+            &params,
+            &matrix,
+            &labels,
+            &mut scratch,
+            &format!("chunked block_rows={block_rows}"),
+        );
+        assert_eq!(n_trees, params.n_estimators);
+    }
+}
+
+#[test]
+fn a_second_chunked_fit_on_a_used_scratch_is_allocation_free_from_round_one() {
+    // Steady state across fits — the sharded grid's execution shape:
+    // a worker's scratch sees many fits of the same shape, and every
+    // fit after the first must run allocation-free from round one.
+    let params = chunked_params();
+    let (matrix, labels) = chunked_problem(120, 8, 48);
+    let mut scratch = TreeScratch::new();
+    let mut run =
+        ChunkedFitRun::new(&params, matrix.view(), None, &labels, 1, &mut scratch).unwrap();
+    while run.round().unwrap() {}
+    let _ = run.finish();
+
+    let mut run =
+        ChunkedFitRun::new(&params, matrix.view(), None, &labels, 1, &mut scratch).unwrap();
+    let mut rounds = 0;
+    while {
+        let before = alloc_count();
+        let more = run.round().unwrap();
+        let delta = alloc_count() - before;
+        if more {
+            rounds += 1;
+            assert_eq!(delta, 0, "warm-scratch chunked round {rounds} allocated {delta} times");
         }
         more
     } {}

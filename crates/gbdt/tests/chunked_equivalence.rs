@@ -5,7 +5,8 @@
 //! rest on.
 
 use msaw_gbdt::{
-    train_chunked, Booster, ChunkedMatrix, ChunkedMatrixBuilder, CutSketch, Params, TreeMethod,
+    predict_rows_chunked, train_chunked, train_chunked_on, Booster, ChunkedMatrix,
+    ChunkedMatrixBuilder, CutSketch, Params, TrainingContext, TreeMethod, TreeScratch,
 };
 use msaw_tabular::Matrix;
 
@@ -156,6 +157,148 @@ fn spilled_store_trains_identically_to_memory_store() {
         assert!(m.is_spilled());
         let report = train_chunked(&params, &mut m, &labels, workers).unwrap();
         assert_models_identical(&reference, &report.booster, &data, &format!("disk w={workers}"));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn subset_fit_equals_in_memory_row_view_training() {
+    // The sharded grid's primitive: training on a strictly ascending
+    // row subset of the chunked matrix must be bit-identical to the
+    // in-memory engine's row-view fit over the same context cuts.
+    let nrows = 230;
+    let ncols = 5;
+    let rows = synth_rows(nrows, ncols);
+    let labels = synth_labels(&rows, nrows, ncols);
+    let data = Matrix::from_vec(rows.clone(), nrows, ncols);
+    let params = hist_params();
+    let ctx = TrainingContext::with_max_bins(&data, 16);
+
+    // An arbitrary ascending subset (every row i with i % 3 != 1).
+    let subset: Vec<usize> = (0..nrows).filter(|i| i % 3 != 1).collect();
+    let y: Vec<f64> = subset.iter().map(|&i| labels[i]).collect();
+    let mut scratch = TreeScratch::new();
+    let reference = Booster::train_on_rows_with(&params, &ctx, &subset, &y, &mut scratch).unwrap();
+
+    let subset_u32: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+    for block_rows in [16usize, 64, nrows] {
+        for workers in [1usize, 2, 8] {
+            let m = chunk_matrix(&rows, ncols, block_rows);
+            let mut scratch = TreeScratch::new();
+            let report =
+                train_chunked_on(&params, m.view(), Some(&subset_u32), &y, workers, &mut scratch)
+                    .unwrap();
+            assert_models_identical(
+                &reference,
+                &report.booster,
+                &data,
+                &format!("subset block_rows={block_rows} workers={workers}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn column_view_fit_ignores_columns_outside_the_view() {
+    // A fit over a column-prefix view of a wide matrix must equal a
+    // fit over a narrow matrix holding only those columns — the
+    // economy the sharded grid's shared DD/DD+FI storage rests on.
+    let nrows = 160;
+    let ncols = 6;
+    let keep = 4usize;
+    let rows = synth_rows(nrows, ncols);
+    let labels = synth_labels(&rows, nrows, ncols);
+    let narrow_rows: Vec<f64> =
+        (0..nrows).flat_map(|i| rows[i * ncols..i * ncols + keep].to_vec()).collect();
+    let params = hist_params();
+
+    let narrow = chunk_matrix(&narrow_rows, keep, 32);
+    let mut scratch = TreeScratch::new();
+    let reference =
+        train_chunked_on(&params, narrow.view(), None, &labels, 1, &mut scratch).unwrap();
+
+    let wide = chunk_matrix(&rows, ncols, 32);
+    let mut scratch = TreeScratch::new();
+    let report =
+        train_chunked_on(&params, wide.col_view(0..keep), None, &labels, 2, &mut scratch).unwrap();
+    assert_eq!(reference.booster, report.booster, "column view leaked out-of-view columns");
+}
+
+#[test]
+fn prefetch_toggle_never_changes_the_model() {
+    // Spilled fits read identical bytes whether block k+1 is
+    // prefetched on the reader thread or loaded serially; both match
+    // the in-memory store at every worker count.
+    let nrows = 300;
+    let ncols = 5;
+    let rows = synth_rows(nrows, ncols);
+    let labels = synth_labels(&rows, nrows, ncols);
+    let data = Matrix::from_vec(rows.clone(), nrows, ncols);
+    let params = hist_params();
+    let reference = Booster::train(&params, &data, &labels).unwrap();
+
+    let mut sketch = CutSketch::new(ncols);
+    sketch.update(&rows);
+    let cuts = sketch.cuts(16);
+    let path = std::env::temp_dir().join(format!("msaw_prefetch_eq_{}.mscb", std::process::id()));
+    let mut b = ChunkedMatrixBuilder::spilled(cuts, 32, &path).unwrap();
+    b.push_rows(&rows).unwrap();
+    b.finish().unwrap();
+
+    for workers in [1usize, 2, 8] {
+        for prefetch in [false, true] {
+            let mut m = ChunkedMatrix::open(&path).unwrap();
+            m.set_prefetch(prefetch);
+            let report = train_chunked(&params, &mut m, &labels, workers).unwrap();
+            assert_models_identical(
+                &reference,
+                &report.booster,
+                &data,
+                &format!("workers={workers} prefetch={prefetch}"),
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn chunked_predictions_equal_the_flat_forest() {
+    // predict_rows_chunked walks bin codes; the flat forest walks raw
+    // values. Same trees, same rows — the transformed outputs must be
+    // bit-identical, in memory and spilled, prefetch on or off.
+    let nrows = 240;
+    let ncols = 5;
+    let rows = synth_rows(nrows, ncols);
+    let labels = synth_labels(&rows, nrows, ncols);
+    let data = Matrix::from_vec(rows.clone(), nrows, ncols);
+    let params = hist_params();
+    let model = Booster::train(&params, &data, &labels).unwrap();
+
+    let subset: Vec<usize> = (0..nrows).filter(|i| i % 4 != 2).collect();
+    let reference = model.flat_forest().predict_rows_on(1, &data, &subset);
+    let subset_u32: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+
+    let assert_preds = |m: &ChunkedMatrix, tag: &str| {
+        let mut bufs = Vec::new();
+        let preds = predict_rows_chunked(&model, m.view(), &subset_u32, &mut bufs).unwrap();
+        assert_eq!(preds.len(), reference.len(), "{tag}");
+        for (a, b) in preds.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag}: prediction bits differ");
+        }
+    };
+
+    assert_preds(&chunk_matrix(&rows, ncols, 48), "memory");
+
+    let mut sketch = CutSketch::new(ncols);
+    sketch.update(&rows);
+    let path = std::env::temp_dir().join(format!("msaw_predict_eq_{}.mscb", std::process::id()));
+    let mut b = ChunkedMatrixBuilder::spilled(sketch.cuts(16), 48, &path).unwrap();
+    b.push_rows(&rows).unwrap();
+    b.finish().unwrap();
+    for prefetch in [false, true] {
+        let mut m = ChunkedMatrix::open(&path).unwrap();
+        m.set_prefetch(prefetch);
+        assert_preds(&m, &format!("disk prefetch={prefetch}"));
     }
     std::fs::remove_file(&path).unwrap();
 }

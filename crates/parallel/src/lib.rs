@@ -321,6 +321,73 @@ where
     Ok(out)
 }
 
+/// Why a [`try_run_waves_on`] run stopped early.
+#[derive(Debug)]
+pub enum WaveError<E> {
+    /// A job inside a wave panicked (lowest failing index within its
+    /// wave, rebased to the global job list).
+    Pool(PoolError),
+    /// The in-order consumer rejected a job's output; carries the
+    /// consumer's own error.
+    Consume(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for WaveError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveError::Pool(e) => write!(f, "{e}"),
+            WaveError::Consume(e) => write!(f, "wave consumer failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for WaveError<E> {}
+
+/// Fan jobs `0..n_jobs` across the pool in bounded waves of `wave`
+/// jobs, feeding each wave's outputs to `consume` **in job-index
+/// order** on the calling thread before the next wave starts.
+///
+/// This is the streaming-merge shape: producers are pure functions of
+/// their index (the usual pool contract), the consumer is a stateful
+/// fold (merging sketches, appending encoded blocks), and at most
+/// `wave` outputs are ever held in memory. Because consumption order
+/// is the job order regardless of `workers` or `wave`, the folded
+/// result is byte-identical at any worker count — including
+/// `workers == 1`, which takes the pool's serial fast path.
+///
+/// A consumer error stops the run before later waves launch; a panic
+/// inside a wave surfaces as [`WaveError::Pool`] with the lowest
+/// failing global job index of that wave (earlier waves have already
+/// been consumed, later ones never start).
+pub fn try_run_waves_on<T, E, F, C>(
+    workers: usize,
+    n_jobs: usize,
+    wave: usize,
+    job: F,
+    mut consume: C,
+) -> Result<(), WaveError<E>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T) -> Result<(), E>,
+{
+    let wave = wave.max(1);
+    let mut start = 0usize;
+    while start < n_jobs {
+        let end = (start + wave).min(n_jobs);
+        let outs =
+            try_run_indexed_on(workers, end - start, |k| job(start + k)).map_err(|mut e| {
+                e.job += start;
+                WaveError::Pool(e)
+            })?;
+        for (k, out) in outs.into_iter().enumerate() {
+            consume(start + k, out).map_err(WaveError::Consume)?;
+        }
+        start = end;
+    }
+    Ok(())
+}
+
 /// Test-only fault injection (feature `failpoint`): arm a named site
 /// with a job index and the matching [`hit`](failpoint::hit) call
 /// fires the armed action — a panic ([`arm`](failpoint::arm)) or a
@@ -596,6 +663,74 @@ mod tests {
                 })
                 .unwrap_err();
                 assert_eq!(err.job, 3, "workers={workers}");
+            }
+        });
+    }
+
+    #[test]
+    fn waves_consume_in_index_order_at_any_worker_and_wave_size() {
+        for workers in [1usize, 2, 8] {
+            for wave in [1usize, 3, 50] {
+                let mut seen = Vec::new();
+                try_run_waves_on(
+                    workers,
+                    23,
+                    wave,
+                    |i| i * 10,
+                    |i, out| {
+                        seen.push((i, out));
+                        Ok::<(), ()>(())
+                    },
+                )
+                .unwrap();
+                let expect: Vec<(usize, usize)> = (0..23).map(|i| (i, i * 10)).collect();
+                assert_eq!(seen, expect, "workers={workers} wave={wave}");
+            }
+        }
+    }
+
+    #[test]
+    fn wave_consumer_error_stops_later_waves() {
+        let produced = AtomicUsize::new(0);
+        let err = try_run_waves_on(
+            2,
+            20,
+            4,
+            |i| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            |i, _| if i == 5 { Err("reject") } else { Ok(()) },
+        )
+        .unwrap_err();
+        match err {
+            WaveError::Consume(e) => assert_eq!(e, "reject"),
+            other => panic!("expected Consume, got {other:?}"),
+        }
+        // Waves 0 and 1 (jobs 0..8) ran; the rejection at job 5 stops
+        // wave 2 from launching.
+        assert_eq!(produced.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn wave_pool_error_carries_global_job_index() {
+        quiet_panics(|| {
+            let err = try_run_waves_on(
+                2,
+                20,
+                4,
+                |i| {
+                    if i == 9 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                |_, _| Ok::<(), ()>(()),
+            )
+            .unwrap_err();
+            match err {
+                WaveError::Pool(e) => assert_eq!(e.job, 9),
+                other => panic!("expected Pool, got {other:?}"),
             }
         });
     }

@@ -37,7 +37,7 @@ pub use error::SampleError;
 pub use ingest::{frame_to_samples, ingest_frame, read_sample_csv, IngestMode, Ingested};
 pub use interpolate::interpolate;
 pub use samples::{
-    build_samples, FeaturePanel, OutcomeKind, PatientFeatures, PipelineConfig, SampleMeta,
-    SampleSet,
+    build_samples, label_of, FeaturePanel, OutcomeKind, PatientFeatures, PipelineConfig,
+    SampleMeta, SampleSet,
 };
-pub use stream::{collect_samples, patient_samples, SampleBlock, SampleStream};
+pub use stream::{collect_samples, patient_samples, range_samples, SampleBlock, SampleStream};

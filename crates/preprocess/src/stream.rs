@@ -78,6 +78,30 @@ pub fn patient_samples(
     SampleBlock { rows: flat, labels, meta, n_features }
 }
 
+/// Featurize the patients with ids `start..end` into one
+/// [`SampleBlock`] — the unit of work parallel pipelines fan across
+/// workers. Generation is pure in `(config, id)`, so this block is
+/// bit-identical to the same id range of a serial [`SampleStream`]
+/// pass, whatever chunking either side uses.
+pub fn range_samples(
+    config: &CohortConfig,
+    outcome: OutcomeKind,
+    cfg: &PipelineConfig,
+    start: u32,
+    end: u32,
+) -> SampleBlock {
+    let n_features = FeaturePanel::feature_names().len();
+    let mut block =
+        SampleBlock { rows: Vec::new(), labels: Vec::new(), meta: Vec::new(), n_features };
+    for record in CohortStream::range(config, start, end) {
+        let part = patient_samples(&record, outcome, cfg);
+        block.rows.extend_from_slice(&part.rows);
+        block.labels.extend(part.labels);
+        block.meta.extend(part.meta);
+    }
+    block
+}
+
 /// Streaming generate→featurize pipeline: yields one [`SampleBlock`]
 /// per chunk of `chunk_patients` patients, holding only that chunk in
 /// memory. Patient order (and therefore row order under concatenation)
